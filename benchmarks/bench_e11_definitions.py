@@ -1,0 +1,127 @@
+"""E11 — "actual senders" [9] vs. "potential senders" (this paper).
+
+Reproduces: the Section 2 comparison — "the notion of k-anonymity used
+in [9] is slightly different: the authors consider a message … to be
+k-anonymous only if there are other k-1 users in the same spatio-temporal
+context that actually send a message.  …  We only require the presence
+in the same spatio-temporal context of k-1 potential senders, which is a
+much weaker requirement."
+
+Both definitions are evaluated on identical request streams drawn from
+the benchmark city at several request rates, under the same spatial and
+temporal tolerances (1.5 km / 15 min):
+
+* **actual senders** — the CliqueCloak engine [9]: a request is served
+  only when k−1 *other requests* can share its box before its deadline;
+  the cost shows up as drops and queueing delay, both exploding when
+  requests are sparse;
+* **potential senders** — this paper's anonymity-set test: are k users'
+  PHLs inside the box at all?  Its failure rate depends only on user
+  density, not on how often anyone else talks.
+"""
+
+import numpy as np
+
+from repro.baselines.clique_cloak import CliqueCloak, CliqueRequest
+from repro.experiments.harness import Table
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.store import TrajectoryStore
+
+K = 5
+SPATIAL = 1500.0
+TEMPORAL = 900.0
+REQUEST_PROBABILITIES = (0.005, 0.02, 0.1)
+
+
+def _request_stream(city, probability, seed):
+    rng = np.random.default_rng(seed)
+    samples = sorted(
+        (
+            (point.t, user_id, point)
+            for user_id in city.store.user_ids()
+            for point in city.store.history(user_id)
+        ),
+        key=lambda item: item[0],
+    )
+    stream = []
+    for msgid, (_t, user_id, point) in enumerate(samples):
+        if rng.random() < probability:
+            stream.append((msgid, user_id, point))
+    return stream
+
+
+def _potential_failure_rate(store: TrajectoryStore, stream):
+    failures = 0
+    for _msgid, _user_id, point in stream:
+        box = STBox(
+            Rect.from_center(point.point, SPATIAL, SPATIAL),
+            Interval(point.t - TEMPORAL, point.t + TEMPORAL),
+        )
+        if len(store.users_in_box(box)) < K:
+            failures += 1
+    return failures / len(stream) if stream else 0.0
+
+
+def run_e11(city):
+    rows = []
+    for probability in REQUEST_PROBABILITIES:
+        stream = _request_stream(city, probability, seed=31)
+        engine = CliqueCloak()
+        for msgid, user_id, point in stream:
+            engine.submit(
+                CliqueRequest(
+                    msgid=msgid,
+                    user_id=user_id,
+                    location=point,
+                    k=K,
+                    spatial_tolerance=SPATIAL,
+                    temporal_tolerance=TEMPORAL,
+                )
+            )
+        engine.flush()
+        potential_failures = _potential_failure_rate(
+            city.store, stream[:: max(1, len(stream) // 400)]
+        )
+        rows.append(
+            (
+                probability,
+                len(stream),
+                engine.stats.drop_rate,
+                engine.stats.mean_delay,
+                potential_failures,
+            )
+        )
+    return rows
+
+
+def test_e11_definitions(benchmark, bench_city):
+    rows = benchmark.pedantic(
+        run_e11, args=(bench_city,), rounds=1, iterations=1
+    )
+
+    table = Table(
+        f"E11: actual-senders [9] vs potential-senders anonymity "
+        f"(k={K}, {SPATIAL:.0f} m / {TEMPORAL:.0f} s)",
+        [
+            "request prob",
+            "requests",
+            "[9] drop rate",
+            "[9] mean delay s",
+            "potential-sender failure rate",
+        ],
+    )
+    for row in rows:
+        table.add_row(row)
+    table.print()
+
+    # The actual-senders requirement is brutal on sparse workloads …
+    assert rows[0][2] > 0.5
+    # … and relaxes as request density grows.
+    drops = [row[2] for row in rows]
+    assert drops == sorted(drops, reverse=True)
+    # The potential-senders test barely notices the request rate: its
+    # failure rate stays low and roughly constant (user density fixed).
+    for row in rows:
+        assert row[4] < 0.2
+    spread = max(r[4] for r in rows) - min(r[4] for r in rows)
+    assert spread < 0.1

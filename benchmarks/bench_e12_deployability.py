@@ -1,0 +1,109 @@
+"""E12 — deployability evaluation: where can a service be offered?
+
+Reproduces: the paper's second intended use of the framework
+(Section 7): "to evaluate if the privacy policies that a location-based
+service guarantees are sufficient to deploy the service in a certain
+area.  This may be achieved by considering, for example, the typical
+density of users, their movement patterns, their concerns about privacy,
+as well as the spatio-temporal tolerance constraints of the service."
+
+The sweep crosses user density x anonymity level x service tolerance
+and reports the generalization success rate; a cell is judged
+*deployable* when at least 90% of LBQID-matching requests can be served
+with historical k-anonymity intact.  The output is the feasible region a
+deployment study would draw.
+"""
+
+from repro.core.generalization import ToleranceConstraint
+from repro.core.unlinking import AlwaysUnlink
+from repro.experiments.harness import Table
+from repro.experiments.workloads import run_protected
+from repro.granularity.timeline import MINUTE
+from repro.mobility.population import CityConfig, SyntheticCity
+
+DENSITIES = (25, 50, 100, 200)
+K_VALUES = (2, 5)
+TOLERANCES = (
+    ("poi 1km/20min", 1000.0, 20),
+    ("news 3km/60min", 3000.0, 60),
+)
+DEPLOYABLE_AT = 0.90
+
+
+def run_e12():
+    rows = []
+    for n_commuters in DENSITIES:
+        city = SyntheticCity.generate(
+            CityConfig(
+                n_commuters=n_commuters,
+                n_wanderers=int(0.4 * n_commuters),
+                days=7,
+                seed=7,
+            )
+        )
+        density = (n_commuters + int(0.4 * n_commuters)) / (
+            city.bounds.area / 1e6
+        )
+        for k in K_VALUES:
+            for label, side, minutes in TOLERANCES:
+                tolerance = ToleranceConstraint.square(
+                    side, minutes * MINUTE
+                )
+                report = run_protected(
+                    city,
+                    k=k,
+                    tolerance=tolerance,
+                    unlinker=AlwaysUnlink(),
+                    seed=97,
+                )
+                attempted = sum(
+                    1 for e in report.events if e.lbqid_name is not None
+                )
+                succeeded = sum(
+                    1 for e in report.events if e.hk_anonymity
+                )
+                success = succeeded / attempted if attempted else 0.0
+                rows.append(
+                    (
+                        n_commuters,
+                        round(density, 1),
+                        k,
+                        label,
+                        success,
+                        success >= DEPLOYABLE_AT,
+                    )
+                )
+    return rows
+
+
+def test_e12_deployability(benchmark):
+    rows = benchmark.pedantic(run_e12, rounds=1, iterations=1)
+
+    table = Table(
+        "E12: deployability feasible region "
+        f"(deployable at >= {DEPLOYABLE_AT:.0%} generalization success)",
+        [
+            "commuters",
+            "users/km^2",
+            "k",
+            "service tolerance",
+            "success rate",
+            "deployable",
+        ],
+    )
+    for row in rows:
+        table.add_row(row)
+    table.print()
+
+    by_cell = {(r[0], r[2], r[3]): r for r in rows}
+    # Success improves with density at fixed (k, tolerance) ...
+    for k in K_VALUES:
+        for label, _s, _m in TOLERANCES:
+            successes = [
+                by_cell[(n, k, label)][4] for n in DENSITIES
+            ]
+            for earlier, later in zip(successes, successes[1:]):
+                assert later >= earlier - 0.02
+    # ... the easiest cell is deployable, the hardest is not.
+    assert by_cell[(DENSITIES[-1], 2, "news 3km/60min")][5]
+    assert not by_cell[(DENSITIES[0], 5, "poi 1km/20min")][5]

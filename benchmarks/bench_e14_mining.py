@@ -1,0 +1,94 @@
+"""E14 — LBQID derivation from movement history (Section 4).
+
+Reproduces: the derivation process the paper defers — "based on
+statistical analysis of the data about users movement history: If a
+certain pattern turns out to be very common for many users, it is
+unlikely to be useful for identifying any one of them" — as a measured
+pipeline over the benchmark city:
+
+* **yield** — for how many commuters a commute-shaped candidate can be
+  mined at all;
+* **validity** — whether the fitted windows/recurrence match the
+  owner's own history (a pattern the owner doesn't exhibit is useless);
+* **distinctiveness** — how many users in the whole city match each
+  candidate: a true quasi-identifier is matched by (almost) only its
+  owner, which is precisely what makes protecting it worthwhile.
+"""
+
+import statistics
+
+from repro.core.matching import request_set_matches
+from repro.experiments.harness import Table
+from repro.mining import mine_commute_lbqid, score_candidates
+
+
+def run_e14(city):
+    store = city.store
+    mined = []
+    self_matches = 0
+    for commuter in city.commuters:
+        history = store.history(commuter.user_id)
+        candidate = mine_commute_lbqid(history)
+        if candidate is None:
+            continue
+        mined.append((commuter, candidate))
+        if request_set_matches(candidate.lbqid, history.points):
+            self_matches += 1
+    kept = score_candidates([c for _u, c in mined], store)
+    matching_counts = [score.matching_users for _c, score in kept]
+    anchors_correct = 0
+    for commuter, candidate in mined:
+        if candidate.home.area.expanded(100).contains(
+            commuter.home_point
+        ):
+            anchors_correct += 1
+    return {
+        "commuters": len(city.commuters),
+        "mined": len(mined),
+        "self_matches": self_matches,
+        "anchors_correct": anchors_correct,
+        "kept": len(kept),
+        "median_matching": (
+            statistics.median(matching_counts) if matching_counts else 0
+        ),
+        "max_matching": max(matching_counts, default=0),
+        "unique": sum(1 for m in matching_counts if m == 1),
+    }
+
+
+def test_e14_mining(benchmark, bench_city):
+    result = benchmark.pedantic(
+        run_e14, args=(bench_city,), rounds=1, iterations=1
+    )
+
+    table = Table(
+        "E14: LBQID derivation over the benchmark city "
+        f"({result['commuters']} commuters, "
+        f"{len(bench_city.store)} users total)",
+        ["metric", "value"],
+    )
+    table.add_row(["candidates mined", result["mined"]])
+    table.add_row(["match owner's own history", result["self_matches"]])
+    table.add_row(
+        ["home anchor agrees with ground truth", result["anchors_correct"]]
+    )
+    table.add_row(["kept after distinctiveness filter", result["kept"]])
+    table.add_row(
+        ["median users matching a candidate", result["median_matching"]]
+    )
+    table.add_row(
+        ["max users matching a candidate", result["max_matching"]]
+    )
+    table.add_row(
+        ["candidates matched by exactly 1 user", result["unique"]]
+    )
+    table.print()
+
+    # Mining works on the vast majority of commuters...
+    assert result["mined"] >= 0.9 * result["commuters"]
+    # ...its candidates describe their owners...
+    assert result["self_matches"] >= 0.9 * result["mined"]
+    assert result["anchors_correct"] >= 0.9 * result["mined"]
+    # ...and they are true quasi-identifiers: matched by very few users.
+    assert result["median_matching"] <= 2
+    assert result["unique"] >= 0.5 * result["kept"]

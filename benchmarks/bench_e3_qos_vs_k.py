@@ -1,0 +1,89 @@
+"""E3 — quality of service vs. degree of anonymity vs. user density.
+
+Reproduces: the first leg of the Section 6.2 trade-off ("quality of
+service … degree of anonymity") plus the Section 7 observation that
+deployability depends on "the typical density of users".
+
+For each (density, k) cell the pipeline runs with an unbounded-looking
+tolerance removed: contexts are capped at 1.5 km / 30 min, so failures
+show up as unlink events.  Expected shape: generalized contexts grow
+with k and shrink with density; the failure (unlink) rate grows sharply
+once the k nearest users no longer fit the tolerance box.
+"""
+
+from repro.core.unlinking import AlwaysUnlink
+from repro.experiments.harness import Table
+from repro.experiments.workloads import run_protected
+from repro.metrics.qos import qos_summary
+from repro.mobility.population import CityConfig, SyntheticCity
+
+DENSITIES = (50, 100, 200)  # commuters; wanderers scale at 40%
+K_VALUES = (2, 5, 10)
+
+
+def run_e3():
+    rows = []
+    for n_commuters in DENSITIES:
+        city = SyntheticCity.generate(
+            CityConfig(
+                n_commuters=n_commuters,
+                n_wanderers=int(0.4 * n_commuters),
+                days=7,
+                seed=7,
+            )
+        )
+        for k in K_VALUES:
+            report = run_protected(
+                city, k=k, unlinker=AlwaysUnlink(), seed=97
+            )
+            qos = qos_summary(report.events)
+            attempted = sum(
+                1 for e in report.events if e.lbqid_name is not None
+            )
+            failed = sum(
+                1
+                for e in report.events
+                if e.lbqid_name is not None and not e.hk_anonymity
+            )
+            rows.append(
+                (
+                    n_commuters,
+                    k,
+                    qos.mean_width_m,
+                    qos.mean_duration_s,
+                    qos.p95_width_m,
+                    failed / attempted if attempted else 0.0,
+                )
+            )
+    return rows
+
+
+def test_e3_qos_vs_k(benchmark):
+    rows = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+
+    table = Table(
+        "E3: generalization cost vs k and density "
+        "(tolerance 1.5 km / 30 min, 7 days)",
+        [
+            "commuters",
+            "k",
+            "mean width m",
+            "mean interval s",
+            "p95 width m",
+            "failure rate",
+        ],
+    )
+    for row in rows:
+        table.add_row(row)
+    table.print()
+
+    by_cell = {(n, k): row for (n, k, *row) in [
+        (r[0], r[1], r[2], r[5]) for r in rows
+    ]}
+    # Context width grows with k at every density.
+    for n in DENSITIES:
+        widths = [by_cell[(n, k)][0] for k in K_VALUES]
+        assert widths == sorted(widths)
+    # Failure rate at k=10 improves with density.
+    failures_k10 = [by_cell[(n, 10)][1] for n in DENSITIES]
+    assert failures_k10[-1] <= failures_k10[0]

@@ -1,0 +1,163 @@
+"""E8 — mix-zone effectiveness: achieved unlinking likelihood Θ.
+
+Reproduces: Section 6.3's use of mix-zones as the Unlinking primitive
+([1, 2]) and the on-demand variant the paper proposes ("finding, given a
+specific point in space, k diverging trajectories … sufficiently close
+to the point").
+
+Part a (static zones): users cross a central zone; the attacker plays
+the optimal entry/exit re-association game.  The attacker's accuracy is
+the achieved Θ̂ — sweep how it falls as more users cross together
+(mixing needs company) and as the zone grows (longer, more variable
+dwell times).
+
+Part b (on-demand zones): sweep the formation radius and required k and
+report how often a mix-zone can be formed at random request points in
+the benchmark city — the availability knob that E4 showed governs
+suppression.
+"""
+
+import numpy as np
+
+from repro.core.phl import PersonalHistory
+from repro.experiments.harness import Table
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.mixzone.on_demand import OnDemandMixZone
+from repro.mixzone.zones import MixZone, zone_attack_accuracy
+
+RATES = (0.5, 2.0, 8.0)  # crossings entering per minute
+ZONE_SIDES = (100.0, 300.0)
+
+
+def _crossing_histories(n_users, rate_per_minute, zone_side, rng):
+    """Straight traversals through a central zone, Poisson-staggered."""
+    histories = []
+    t = 0.0
+    for user_id in range(n_users):
+        t += rng.exponential(60.0 / rate_per_minute)
+        speed = rng.uniform(1.0, 2.5)
+        y = 500.0 + rng.uniform(-zone_side / 2, zone_side / 2)
+        points = [
+            STPoint(x, y, t + x / speed) for x in np.arange(0, 1001, 25.0)
+        ]
+        histories.append(PersonalHistory(user_id, points))
+    return histories
+
+
+def run_e8a():
+    rng = np.random.default_rng(13)
+    rows = []
+    for zone_side in ZONE_SIDES:
+        zone = MixZone(
+            Rect(
+                500 - zone_side / 2,
+                500 - zone_side / 2,
+                500 + zone_side / 2,
+                500 + zone_side / 2,
+            )
+        )
+        for rate in RATES:
+            histories = _crossing_histories(60, rate, zone_side, rng)
+            result = zone_attack_accuracy(
+                zone, histories, batch_window=900.0, expected_speed=1.75
+            )
+            rows.append(
+                (
+                    zone_side,
+                    rate,
+                    result.crossings,
+                    result.accuracy,
+                    result.effective_anonymity,
+                )
+            )
+    return rows
+
+
+def run_e8b(city):
+    rng = np.random.default_rng(29)
+    rows = []
+    samples = [
+        (user_id, point)
+        for user_id in city.store.user_ids()
+        for point in list(city.store.history(user_id))[::37]
+    ]
+    picks = [
+        samples[i]
+        for i in rng.choice(len(samples), size=300, replace=False)
+    ]
+    for k in (2, 3, 5):
+        for radius in (150.0, 300.0, 600.0):
+            zone = OnDemandMixZone(
+                city.store, k=k, radius=radius, staleness=1200.0
+            )
+            outcomes = [
+                zone.attempt_unlink(user_id, point)
+                for user_id, point in picks
+            ]
+            successes = [o for o in outcomes if o.success]
+            rows.append(
+                (
+                    k,
+                    radius,
+                    len(successes) / len(outcomes),
+                    (
+                        sum(o.theta for o in successes) / len(successes)
+                        if successes
+                        else float("nan")
+                    ),
+                )
+            )
+    return rows
+
+
+def test_e8a_static_zone_game(benchmark):
+    rows = benchmark.pedantic(run_e8a, rounds=1, iterations=1)
+    table = Table(
+        "E8a: static mix-zone, attacker re-association accuracy "
+        "(60 crossings each)",
+        [
+            "zone side m",
+            "arrivals/min",
+            "crossings",
+            "attacker accuracy",
+            "effective anonymity",
+        ],
+    )
+    for row in rows:
+        table.add_row(row)
+    table.print()
+
+    by_cell = {(r[0], r[1]): r for r in rows}
+    for zone_side in ZONE_SIDES:
+        accuracies = [by_cell[(zone_side, rate)][3] for rate in RATES]
+        # Busier zones mix better (accuracy falls with arrival rate).
+        assert accuracies == sorted(accuracies, reverse=True)
+        # A lonely trickle is mostly re-associated; a crowd is not.
+        assert accuracies[0] > 0.7
+        assert accuracies[-1] < 0.6
+
+
+def test_e8b_on_demand_formation(benchmark, bench_city):
+    rows = benchmark.pedantic(
+        run_e8b, args=(bench_city,), rounds=1, iterations=1
+    )
+    table = Table(
+        "E8b: on-demand mix-zone formation in the benchmark city "
+        "(300 random request points)",
+        ["k", "radius m", "formation rate", "mean achieved theta"],
+    )
+    for row in rows:
+        table.add_row(row)
+    table.print()
+
+    by_cell = {(r[0], r[1]): r for r in rows}
+    for k in (2, 3, 5):
+        # Wider search radius -> easier formation.
+        formation = [by_cell[(k, radius)][2] for radius in
+                     (150.0, 300.0, 600.0)]
+        assert formation == sorted(formation)
+    for radius in (150.0, 300.0, 600.0):
+        # Stricter k -> harder formation.
+        formation = [by_cell[(k, radius)][2] for k in (2, 3, 5)]
+        assert formation == sorted(formation, reverse=True)

@@ -1,0 +1,122 @@
+"""E9 — Algorithm 1's cost and the moving-object-index speed-up.
+
+Reproduces: Section 6.2's complexity discussion — "the most time
+consuming step is the one at line 5 … the worst case complexity of this
+step is O(k·n) where n is the number of location points in the TS.
+Optimizations may be inspired by the work on indexing moving objects."
+
+Two measurements:
+
+* the brute-force line-5 selection (scan every user's PHL) at growing
+  store sizes n — its cost should scale roughly linearly in n;
+* the same queries against the uniform grid index — its cost should be
+  roughly flat in n, giving a growing speed-up.
+
+This is the one experiment where the *timing* is the result, so the
+pytest-benchmark fixture times the query batches directly.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.harness import Table
+from repro.geometry.point import STPoint
+from repro.mod.store import TrajectoryStore
+
+STORE_SIZES = (10_000, 30_000, 100_000)
+K = 10
+QUERIES = 30
+AREA = 4000.0
+SPAN = 14 * 86_400.0
+
+
+def _build_stores(n_points):
+    """A brute and an indexed store over identical data."""
+    rng = np.random.default_rng(n_points)
+    n_users = max(20, n_points // 500)
+    brute = TrajectoryStore()
+    indexed = TrajectoryStore(index_cell_size=500.0)
+    per_user = n_points // n_users
+    for user_id in range(n_users):
+        times = np.sort(rng.uniform(0.0, SPAN, size=per_user))
+        xs = rng.uniform(0.0, AREA, size=per_user)
+        ys = rng.uniform(0.0, AREA, size=per_user)
+        points = [
+            STPoint(float(x), float(y), float(t))
+            for x, y, t in zip(xs, ys, times)
+        ]
+        brute.add_trajectory(user_id, points)
+        indexed.add_trajectory(user_id, points)
+    return brute, indexed
+
+
+def _query_points(seed):
+    rng = np.random.default_rng(seed)
+    return [
+        STPoint(
+            float(rng.uniform(0.0, AREA)),
+            float(rng.uniform(0.0, AREA)),
+            float(rng.uniform(0.0, SPAN)),
+        )
+        for _ in range(QUERIES)
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def run_e9():
+    rows = []
+    targets = _query_points(seed=3)
+    for n_points in STORE_SIZES:
+        brute, indexed = _build_stores(n_points)
+
+        def run_brute():
+            for target in targets:
+                brute.nearest_users_brute(target, K)
+
+        def run_indexed():
+            for target in targets:
+                indexed.nearest_users(target, K)
+
+        brute_ms = _timed(run_brute) / QUERIES
+        grid_ms = _timed(run_indexed) / QUERIES
+        rows.append(
+            (
+                n_points,
+                K,
+                brute_ms,
+                grid_ms,
+                brute_ms / grid_ms if grid_ms > 0 else float("inf"),
+            )
+        )
+    return rows
+
+
+def test_e9_scaling(benchmark):
+    rows = benchmark.pedantic(run_e9, rounds=1, iterations=1)
+
+    table = Table(
+        f"E9: Algorithm 1 line-5 cost, k={K}, {QUERIES} queries/cell",
+        [
+            "points in TS (n)",
+            "k",
+            "brute ms/query",
+            "grid ms/query",
+            "speedup",
+        ],
+    )
+    for row in rows:
+        table.add_row(row)
+    table.print()
+
+    # Brute force grows with n …
+    brute_times = [row[2] for row in rows]
+    assert brute_times[-1] > brute_times[0] * 2
+    # … the index is faster at scale, increasingly so.
+    assert rows[-1][4] > rows[0][4]
+    assert rows[-1][4] > 2.0

@@ -1,0 +1,23 @@
+"""Shared workloads for the benchmark harness.
+
+Cities are cached at session scope; benchmarks must not mutate them.
+Every benchmark prints the table recorded in EXPERIMENTS.md in addition
+to pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobility.population import CityConfig, SyntheticCity
+
+
+@pytest.fixture(scope="session")
+def bench_city():
+    """The standard benchmark city: 100 commuters, 40 wanderers, 14 days."""
+    return SyntheticCity.generate(CityConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def bench_city_lbqids(bench_city):
+    return {c.user_id: [c.lbqid()] for c in bench_city.commuters}

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""The paper's motivating attack, and what each defense does to it.
+
+Three service configurations face the same adversary — the phone-book
+home-identification attack of Section 1 (group requests by pseudonym,
+anchor each group at a dwelling, look the address up):
+
+1. **no protection** — exact coordinates, stable pseudonym;
+2. **interval cloaking [11]** — per-request k-anonymous boxes, stable
+   pseudonym (the baseline the paper argues is insufficient);
+3. **this paper** — LBQID monitoring (commute + declared home area),
+   Algorithm 1 generalization, and mix-zone unlinking.
+
+Reported per configuration: how many users the attacker names at least
+once (rate) and how often its claims are right (precision).  k-anonymity
+predicts precision ~ 1/k for the full framework.
+
+Run:  python examples/attack_and_defend.py
+"""
+
+import statistics
+
+from repro.attack.reidentification import HomeIdentificationAttack
+from repro.baselines.interval_cloak import IntervalCloak
+from repro.core.historical_k import historical_anonymity_set
+from repro.core.requests import Request
+from repro.metrics.anonymity import historical_k_per_user
+from repro.core.unlinking import AlwaysUnlink
+from repro.experiments.workloads import make_policy, small_city
+from repro.ts.simulation import LBSSimulation
+
+K = 4
+
+
+def attack(log, true_owner, homes, population):
+    attacker = HomeIdentificationAttack(
+        homes, anchor_grid=200.0, claim_radius=300.0
+    )
+    result = attacker.run(log, true_owner=true_owner)
+    return result.rate(population), result.precision
+
+
+def median_trace_k(ts_requests, histories):
+    """Definition 8 over each user's whole request trace: 1 + how many
+    *other* users stay LT-consistent with every context — the paper's
+    measure of what a trace reveals, independent of any one attack."""
+    by_user = {}
+    for request in ts_requests:
+        by_user.setdefault(request.user_id, []).append(request.context)
+    values = [
+        1 + len(historical_anonymity_set(contexts, histories,
+                                         exclude_user=user_id))
+        for user_id, contexts in by_user.items()
+    ]
+    return statistics.median(values) if values else 0
+
+
+def raw_request_log(city, cloaker=None):
+    """Requests at every LBQID-element-matching sample, optionally
+    cloaked per-request, under stable per-user pseudonyms.
+
+    Returns TS-side requests; callers project to SP views for attacks.
+    """
+    requests = []
+    msgid = 0
+    for commuter in city.commuters:
+        lbqid = commuter.lbqid()
+        for point in city.store.history(commuter.user_id):
+            if lbqid.element_matching(point) is None:
+                continue
+            box = None
+            if cloaker is not None:
+                box = cloaker.cloak(commuter.user_id, point)
+                if box is None:
+                    continue
+            msgid += 1
+            request = Request.issue(
+                msgid, commuter.user_id, f"u{commuter.user_id}", point
+            )
+            if box is not None:
+                request = request.with_context(box)
+            requests.append(request)
+    return requests
+
+
+def main() -> None:
+    city = small_city(seed=11)
+    homes = city.home_locations()
+    histories = city.store.histories
+    population = len(city.commuters)
+    stable_owner = {f"u{c.user_id}": c.user_id for c in city.commuters}
+
+    print(f"{population} commuters; attacker = phone-book home lookup\n")
+    print(
+        f"{'configuration':<28} {'identified':>10} {'precision':>10} "
+        f"{'trace k':>8}"
+    )
+    print("-" * 60)
+
+    raw = raw_request_log(city)
+    rate, precision = attack(
+        [r.sp_view() for r in raw], stable_owner, homes, population
+    )
+    print(
+        f"{'no protection':<28} {rate:>10.1%} {precision:>10.1%} "
+        f"{median_trace_k(raw, histories):>8.0f}"
+    )
+
+    cloaker = IntervalCloak(city.store, city.bounds, k=K, window=1800.0)
+    cloaked = raw_request_log(city, cloaker)
+    rate, precision = attack(
+        [r.sp_view() for r in cloaked], stable_owner, homes, population
+    )
+    print(
+        f"{'interval cloaking [11], k=4':<28} {rate:>10.1%} "
+        f"{precision:>10.1%} "
+        f"{median_trace_k(cloaked, histories):>8.0f}"
+    )
+
+    simulation = LBSSimulation(
+        city,
+        policy=make_policy(k=K),
+        unlinker=AlwaysUnlink(),
+        register_home_lbqids=True,
+        seed=23,
+    )
+    report = simulation.run()
+    owner = {
+        e.request.pseudonym: e.request.user_id for e in report.events
+    }
+    forwarded = [e.request for e in report.events if e.forwarded]
+    rate, precision = attack(
+        [r.sp_view() for r in forwarded], owner, homes, population
+    )
+    achieved = historical_k_per_user(
+        report.events, report.store.histories, hk_only=True
+    )
+    paper_trace_k = (
+        statistics.median(achieved.values()) if achieved else 0
+    )
+    print(
+        f"{'this paper, k=4':<28} {rate:>10.1%} {precision:>10.1%} "
+        f"{paper_trace_k:>8.0f}"
+    )
+
+    print(
+        "\nreading: the 'trace k' column is Definition 8 over each "
+        "user's whole request trace — per-request cloaking leaves it at "
+        "1 (each box holds k users, but only one user fits them ALL), "
+        "while the paper's strategy keeps the same k-1 companions "
+        f"across the trace; attacker precision is bounded near "
+        f"1/k = {1 / K:.0%}."
+    )
+
+
+if __name__ == "__main__":
+    main()

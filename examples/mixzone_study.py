@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Mix-zones as the Unlinking primitive (Section 6.3).
+
+Two studies on the same synthetic city:
+
+1. **Static zone, adversarial game** — users cross a downtown mix-zone;
+   the attacker optimally re-associates exit events with entry events by
+   travel-time plausibility.  The attacker's accuracy is the achieved
+   linkability Θ̂: it collapses only when several users cross *together*.
+2. **On-demand zones** — the paper's proposal: at a request point, look
+   for k nearby users with diverging headings.  We measure how often the
+   TS can actually form one across the day, which is exactly the
+   "unlinking availability" knob that decides between a pseudonym change
+   and a suppressed request in the main strategy.
+
+Run:  python examples/mixzone_study.py
+"""
+
+from repro.experiments.harness import Table
+from repro.experiments.workloads import small_city
+from repro.geometry.region import Rect
+from repro.granularity.timeline import HOUR
+from repro.mixzone.on_demand import OnDemandMixZone
+from repro.mixzone.zones import MixZone, zone_attack_accuracy
+
+
+def main() -> None:
+    city = small_city(seed=11)
+    histories = [
+        city.store.history(user_id) for user_id in city.all_user_ids
+    ]
+
+    # --- study 1: a static downtown mix-zone ---------------------------
+    center = city.bounds.center
+    table = Table(
+        "static mix-zone: attacker re-association vs zone size",
+        ["zone side m", "crossings", "attacker accuracy",
+         "effective anonymity"],
+    )
+    for side in (200.0, 400.0, 800.0):
+        zone = MixZone(
+            Rect.from_center(center, side, side)
+        )
+        result = zone_attack_accuracy(
+            zone, histories, batch_window=HOUR / 4
+        )
+        table.add_row(
+            [side, result.crossings, result.accuracy,
+             result.effective_anonymity]
+        )
+    table.print()
+
+    # --- study 2: on-demand formation ----------------------------------
+    table = Table(
+        "on-demand mix-zones: formation success at commute anchors",
+        ["k", "radius m", "attempts", "formed", "mean theta"],
+    )
+    anchor_points = [
+        point
+        for commuter in city.commuters[:10]
+        for point in list(city.store.history(commuter.user_id))[::29]
+    ]
+    for k in (2, 3, 5):
+        for radius in (200.0, 400.0):
+            zone = OnDemandMixZone(
+                city.store, k=k, radius=radius, staleness=1200.0
+            )
+            outcomes = [
+                zone.attempt_unlink(99_999, point)
+                for point in anchor_points
+            ]
+            formed = [o for o in outcomes if o.success]
+            mean_theta = (
+                sum(o.theta for o in formed) / len(formed)
+                if formed
+                else float("nan")
+            )
+            table.add_row(
+                [k, radius, len(outcomes), len(formed), mean_theta]
+            )
+    table.print()
+
+    print(
+        "reading: a zone only mixes when crossings coincide in time; "
+        "on-demand formation succeeds where people actually cluster — "
+        "the availability that bounds how often the TS can rotate "
+        "pseudonyms instead of suppressing service."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships a setuptools too old for PEP 660 editable
+installs (no ``wheel`` module); with this file present, ``pip install -e .``
+falls back to the legacy ``setup.py develop`` path, which works offline.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

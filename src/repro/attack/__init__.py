@@ -1,0 +1,41 @@
+"""Adversary models.
+
+Section 5.2 assumes the TS "can replicate the techniques used by a
+possible attacker"; this subpackage holds those techniques, all operating
+strictly on the SP-visible request stream (:class:`repro.core.requests.
+SPRequest`) — never on ground truth:
+
+* :mod:`repro.attack.tracker` — multi-target tracking linkage (the
+  paper's reference [12], Gruteser & Hoh): associate requests into
+  trajectories across pseudonym changes by spatio-temporal gating;
+* :mod:`repro.attack.linker` — turn tracker output into a
+  :class:`~repro.core.linkability.LinkFunction` and score it against
+  ground truth;
+* :mod:`repro.attack.reidentification` — the Section 1 motivating
+  attack: anchor a pseudonym's requests at a dwelling, look the address
+  up in the "phone book" (a home-location oracle), and name the user.
+"""
+
+from repro.attack.tracker import Track, TrajectoryTracker
+from repro.attack.linker import TrackerLink, link_accuracy
+from repro.attack.reidentification import (
+    HomeIdentificationAttack,
+    ReidentificationResult,
+)
+from repro.attack.inference import (
+    center_guess_errors,
+    edge_fraction,
+    mean_relative_center_error,
+)
+
+__all__ = [
+    "Track",
+    "TrajectoryTracker",
+    "TrackerLink",
+    "link_accuracy",
+    "HomeIdentificationAttack",
+    "ReidentificationResult",
+    "center_guess_errors",
+    "edge_fraction",
+    "mean_relative_center_error",
+]

@@ -1,0 +1,87 @@
+"""Center-bias inference attack on generalized contexts.
+
+The attack Section 7's randomization is meant to prevent: the geometry
+of Algorithm 1 places the true request point at a statistically
+predictable position inside the forwarded box (bounding boxes put it on
+an edge with high probability; tolerance shrinking re-centers on it), so
+an SP that simply guesses "the user is at the context center" — or
+models the empirical offset distribution — recovers precision.
+
+:func:`center_guess_errors` scores the naive center guess against
+ground truth; :func:`edge_fraction` measures how often the true point
+lies on the box boundary (a second fingerprint of deterministic
+bounding).  Both should rise/fall sharply when
+:class:`~repro.core.randomization.BoxRandomizer` is enabled
+(benchmark E13).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.requests import Request
+
+
+def center_guess_errors(requests: Sequence[Request]) -> list[float]:
+    """Distance from each context's center to the true request point.
+
+    Requires TS-side requests (scoring needs ground truth); the guess
+    itself uses only the SP-visible context.
+    """
+    errors = []
+    for request in requests:
+        center = request.context.rect.center
+        errors.append(center.distance_to(request.location.point))
+    return errors
+
+
+def edge_fraction(
+    requests: Sequence[Request], relative_margin: float = 0.02
+) -> float:
+    """Fraction of requests whose true point hugs the box boundary.
+
+    A point is "on the edge" when it lies within ``relative_margin`` of
+    the box's extent from some side.  Deterministic bounding boxes put
+    the request point on an edge almost always; randomized placement
+    makes edges no more likely than anywhere else.
+    """
+    if not requests:
+        return 0.0
+    on_edge = 0
+    for request in requests:
+        rect = request.context.rect
+        p = request.location.point
+        margin_x = relative_margin * max(rect.width, 1e-9)
+        margin_y = relative_margin * max(rect.height, 1e-9)
+        if (
+            p.x - rect.x_min <= margin_x
+            or rect.x_max - p.x <= margin_x
+            or p.y - rect.y_min <= margin_y
+            or rect.y_max - p.y <= margin_y
+        ):
+            on_edge += 1
+    return on_edge / len(requests)
+
+
+def mean_relative_center_error(requests: Sequence[Request]) -> float:
+    """Center-guess error normalized by each box's half-diagonal.
+
+    0 means the guess is exact; values near 1 mean the point is as far
+    from the center as the box allows — i.e. the center carries no
+    information beyond the box itself.
+    """
+    if not requests:
+        return 0.0
+    total = 0.0
+    counted = 0
+    for request in requests:
+        rect = request.context.rect
+        half_diagonal = (
+            (rect.width / 2) ** 2 + (rect.height / 2) ** 2
+        ) ** 0.5
+        if half_diagonal <= 0:
+            continue
+        center = rect.center
+        total += center.distance_to(request.location.point) / half_diagonal
+        counted += 1
+    return total / counted if counted else 0.0

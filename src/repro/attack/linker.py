@@ -1,0 +1,101 @@
+"""From tracker output to a Definition 4 ``Link()`` function.
+
+Section 5.2: "if this association succeeds, the new request is considered
+linkable (with a certain probability) to all the requests used in the
+trajectory".  :class:`TrackerLink` realizes that: two requests link with
+likelihood 1 when the tracker put them on the same track (0 otherwise),
+optionally attenuated by a per-track confidence.
+
+:func:`link_accuracy` scores an attacker link function against the
+ground-truth link (same real user) as pairwise precision/recall — the
+evaluation used in benchmark E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.attack.tracker import TrajectoryTracker
+from repro.core.requests import Request, SPRequest
+
+
+class TrackerLink:
+    """A :class:`~repro.core.linkability.LinkFunction` induced by tracking."""
+
+    def __init__(self, tracker: TrajectoryTracker) -> None:
+        self._tracker = tracker
+
+    @classmethod
+    def from_requests(
+        cls,
+        requests: Sequence[SPRequest],
+        max_speed: float = 15.0,
+        track_timeout: float = 1800.0,
+        follow_pseudonyms: bool = True,
+    ) -> "TrackerLink":
+        """Run a fresh tracker over a log and wrap it."""
+        tracker = TrajectoryTracker(
+            max_speed=max_speed,
+            track_timeout=track_timeout,
+            follow_pseudonyms=follow_pseudonyms,
+        )
+        tracker.run(list(requests))
+        return cls(tracker)
+
+    def link(self, a: SPRequest, b: SPRequest) -> float:
+        if a.msgid == b.msgid:
+            return 1.0
+        track_a = self._tracker.track_of(a.msgid)
+        track_b = self._tracker.track_of(b.msgid)
+        if track_a is None or track_b is None:
+            return 0.0
+        return 1.0 if track_a == track_b else 0.0
+
+
+@dataclass(frozen=True)
+class LinkAccuracy:
+    """Pairwise linkage quality of an attacker against ground truth."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall
+            / (self.precision + self.recall)
+        )
+
+
+def link_accuracy(
+    ts_requests: Sequence[Request],
+    attacker_link,
+    theta: float = 0.5,
+) -> LinkAccuracy:
+    """Score an attacker link function on pairwise same-user decisions.
+
+    ``ts_requests`` are the TS-side records (ground truth user ids); the
+    attacker link is evaluated on their SP views.  A pair counts as
+    *claimed* when the attacker's likelihood is ≥ ``theta`` and as *true*
+    when the requests share a real user.
+    """
+    sp_views = [request.sp_view() for request in ts_requests]
+    claimed_true = 0
+    claimed = 0
+    true = 0
+    for i in range(len(ts_requests)):
+        for j in range(i + 1, len(ts_requests)):
+            same_user = ts_requests[i].user_id == ts_requests[j].user_id
+            linked = attacker_link.link(sp_views[i], sp_views[j]) >= theta
+            if same_user:
+                true += 1
+            if linked:
+                claimed += 1
+            if linked and same_user:
+                claimed_true += 1
+    precision = claimed_true / claimed if claimed else 0.0
+    recall = claimed_true / true if true else 0.0
+    return LinkAccuracy(precision=precision, recall=recall)

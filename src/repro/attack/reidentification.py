@@ -1,0 +1,208 @@
+"""The home-identification attack of the paper's introduction.
+
+"A service request containing as location information the exact
+coordinates of a private house provides sufficient information to
+personally identify the house's owner since the mapping of such
+coordinates to home addresses is generally available and a simple look up
+in a phone book (or similar sources) can reveal the people who live
+there.  If several requests are made from the same location with the same
+pseudonym, it is very likely that the user associated with that pseudonym
+is a member of the household."
+
+The attacker:
+
+1. groups the SP log by pseudonym (or, when given a tracker, by track —
+   stitching across pseudonym changes);
+2. for each group, finds the *dwelling anchor*: the modal context center
+   among requests in the home-hours window (early morning and evening);
+3. looks the anchor up in the home oracle (``home → user``, the
+   strongest instantiation of the phone book) and claims the nearest home
+   within ``claim_radius`` — a radius above which the "address" is too
+   ambiguous to look up;
+4. the claim is correct when the claimed user is the group's true issuer.
+
+Re-identification *rate* (fraction of users correctly named) is the
+headline metric of benchmark E6.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.attack.tracker import TrajectoryTracker
+from repro.core.requests import SPRequest
+from repro.geometry.point import Point
+from repro.granularity.timeline import seconds_of_day, HOUR
+
+
+#: Hours-of-day windows in which a request is presumed home-anchored.
+HOME_HOURS: tuple[tuple[float, float], ...] = ((5.0, 8.5), (17.5, 24.0))
+
+
+def _in_home_hours(t: float) -> bool:
+    offset = seconds_of_day(t)
+    return any(
+        lo * HOUR <= offset <= hi * HOUR for lo, hi in HOME_HOURS
+    )
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One identity claim: a request group attributed to a user."""
+
+    group_key: str
+    claimed_user: int
+    anchor: Point
+    requests: int
+
+
+@dataclass
+class ReidentificationResult:
+    """Outcome of running the attack over one SP log."""
+
+    claims: list[Claim] = field(default_factory=list)
+    correct: int = 0
+    #: Users the attacker correctly named at least once.
+    identified_users: set[int] = field(default_factory=set)
+
+    def rate(self, population: int) -> float:
+        """Fraction of the target population correctly identified."""
+        if population <= 0:
+            return 0.0
+        return len(self.identified_users) / population
+
+    @property
+    def precision(self) -> float:
+        """Fraction of claims that were correct."""
+        if not self.claims:
+            return 0.0
+        return self.correct / len(self.claims)
+
+
+class HomeIdentificationAttack:
+    """Phone-book re-identification over an SP request log."""
+
+    def __init__(
+        self,
+        homes: Mapping[int, Point],
+        claim_radius: float = 150.0,
+        min_home_requests: int = 2,
+        tracker: TrajectoryTracker | None = None,
+        anchor_grid: float = 50.0,
+    ) -> None:
+        if claim_radius <= 0:
+            raise ValueError(
+                f"claim_radius must be positive, got {claim_radius}"
+            )
+        self.homes = dict(homes)
+        self.claim_radius = claim_radius
+        self.min_home_requests = min_home_requests
+        self.tracker = tracker
+        self.anchor_grid = anchor_grid
+
+    def run(
+        self,
+        log: Sequence[SPRequest],
+        true_owner: Mapping[str, int],
+    ) -> ReidentificationResult:
+        """Attack a log; score claims with the ground-truth pseudonym map.
+
+        ``true_owner`` maps pseudonym → real user id and is used only for
+        scoring, never by the attack logic itself.
+        """
+        result = ReidentificationResult()
+        for key, group in self._groups(log).items():
+            claim = self._claim_for_group(key, group)
+            if claim is None:
+                continue
+            result.claims.append(claim)
+            truth = self._group_truth(group, true_owner)
+            if truth is not None and truth == claim.claimed_user:
+                result.correct += 1
+                result.identified_users.add(truth)
+        return result
+
+    def _groups(
+        self, log: Sequence[SPRequest]
+    ) -> dict[str, list[SPRequest]]:
+        """Partition the log into linkable units."""
+        groups: dict[str, list[SPRequest]] = {}
+        if self.tracker is not None:
+            self.tracker.run(list(log))
+            for request in log:
+                track = self.tracker.track_of(request.msgid)
+                groups.setdefault(f"track-{track}", []).append(request)
+        else:
+            for request in log:
+                groups.setdefault(request.pseudonym, []).append(request)
+        return groups
+
+    def _claim_for_group(
+        self, key: str, group: list[SPRequest]
+    ) -> Claim | None:
+        """Anchor the group at a dwelling and look it up, if possible."""
+        home_hour_centers = [
+            request.context.rect.center
+            for request in group
+            if _in_home_hours(request.context.interval.center)
+        ]
+        if len(home_hour_centers) < self.min_home_requests:
+            return None
+        anchor = self._modal_center(home_hour_centers)
+        claimed = self._nearest_home(anchor)
+        if claimed is None:
+            return None
+        return Claim(
+            group_key=key,
+            claimed_user=claimed,
+            anchor=anchor,
+            requests=len(group),
+        )
+
+    def _modal_center(self, centers: list[Point]) -> Point:
+        """Most revisited location, at ``anchor_grid`` resolution."""
+        cells = Counter(
+            (
+                round(center.x / self.anchor_grid),
+                round(center.y / self.anchor_grid),
+            )
+            for center in centers
+        )
+        (cx, cy), _count = cells.most_common(1)[0]
+        members = [
+            center
+            for center in centers
+            if round(center.x / self.anchor_grid) == cx
+            and round(center.y / self.anchor_grid) == cy
+        ]
+        return Point(
+            sum(p.x for p in members) / len(members),
+            sum(p.y for p in members) / len(members),
+        )
+
+    def _nearest_home(self, anchor: Point) -> int | None:
+        """Phone-book lookup: nearest home within the claim radius."""
+        best_user = None
+        best_distance = self.claim_radius
+        for user_id, home in self.homes.items():
+            distance = anchor.distance_to(home)
+            if distance <= best_distance:
+                best_user = user_id
+                best_distance = distance
+        return best_user
+
+    @staticmethod
+    def _group_truth(
+        group: list[SPRequest], true_owner: Mapping[str, int]
+    ) -> int | None:
+        """Majority true owner of a group (scoring only)."""
+        owners = Counter(
+            true_owner[request.pseudonym]
+            for request in group
+            if request.pseudonym in true_owner
+        )
+        if not owners:
+            return None
+        return owners.most_common(1)[0][0]

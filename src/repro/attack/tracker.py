@@ -1,0 +1,219 @@
+"""Multi-target tracking over the SP's request log.
+
+The paper's reference [12] (Gruteser & Hoh, *On the Anonymity of Periodic
+Location Samples*) showed that anonymous location samples can be linked
+into per-user trajectories with multi-target tracking.  This module
+implements the standard constant-velocity nearest-neighbour variant:
+
+* each live *track* carries its last observed position/time and a
+  velocity estimate from its last two observations; its predicted
+  position at the next observation time is linearly extrapolated;
+* observations are processed in time order; simultaneous observations
+  form a *scan* and are assigned to tracks one-to-one, cheapest
+  (distance-to-prediction) first — the greedy global-nearest-neighbour
+  data association of the tracking literature;
+* a pairing is *gated* out when the implied displacement exceeds what
+  ``max_speed`` allows, with slack for the spatial uncertainty of both
+  requests' cloaked areas; unassigned observations open new tracks and
+  tracks silent for ``track_timeout`` are retired.
+
+Two requests carrying the same pseudonym are trivially linkable
+(Section 5.2), so same-pseudonym requests are force-assigned to the
+pseudonym's current track; the interesting adversarial power is stitching
+tracks *across* pseudonym changes, which the prediction handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.requests import SPRequest
+from repro.geometry.point import Point
+
+
+@dataclass
+class Track:
+    """One hypothesized user trajectory in the attacker's state."""
+
+    track_id: int
+    requests: list[SPRequest] = field(default_factory=list)
+
+    @property
+    def last(self) -> SPRequest:
+        return self.requests[-1]
+
+    @property
+    def last_position(self) -> Point:
+        return self.last.context.rect.center
+
+    @property
+    def last_time(self) -> float:
+        return self.last.context.interval.center
+
+    @property
+    def pseudonyms(self) -> set[str]:
+        return {request.pseudonym for request in self.requests}
+
+    def velocity(self) -> tuple[float, float]:
+        """Estimated (vx, vy) in m/s from the last two observations."""
+        if len(self.requests) < 2:
+            return (0.0, 0.0)
+        a = self.requests[-2]
+        b = self.requests[-1]
+        dt = b.context.interval.center - a.context.interval.center
+        if dt <= 0:
+            return (0.0, 0.0)
+        pa = a.context.rect.center
+        pb = b.context.rect.center
+        return ((pb.x - pa.x) / dt, (pb.y - pa.y) / dt)
+
+    def predicted_position(self, t: float, max_speed: float) -> Point:
+        """Constant-velocity extrapolation to time ``t``, speed-capped."""
+        dt = t - self.last_time
+        vx, vy = self.velocity()
+        speed = (vx * vx + vy * vy) ** 0.5
+        if speed > max_speed > 0:
+            vx *= max_speed / speed
+            vy *= max_speed / speed
+        origin = self.last_position
+        return Point(origin.x + vx * dt, origin.y + vy * dt)
+
+
+class TrajectoryTracker:
+    """Greedy global-nearest-neighbour multi-target tracker.
+
+    ``max_speed`` (m/s) defines the reachability gate; ``track_timeout``
+    (s) retires stale tracks.  ``follow_pseudonyms`` enables the trivial
+    same-pseudonym linking; disable it to measure what movement
+    continuity alone reveals.
+    """
+
+    def __init__(
+        self,
+        max_speed: float = 15.0,
+        track_timeout: float = 1800.0,
+        follow_pseudonyms: bool = True,
+    ) -> None:
+        if max_speed <= 0:
+            raise ValueError(f"max_speed must be positive, got {max_speed}")
+        if track_timeout <= 0:
+            raise ValueError(
+                f"track_timeout must be positive, got {track_timeout}"
+            )
+        self.max_speed = max_speed
+        self.track_timeout = track_timeout
+        self.follow_pseudonyms = follow_pseudonyms
+        self.tracks: list[Track] = []
+        self.assignment: dict[int, int] = {}  # msgid -> track_id
+        self._live: list[Track] = []
+        self._pseudonym_track: dict[str, Track] = {}
+        self._next_track_id = 0
+
+    def run(self, requests: list[SPRequest]) -> list[Track]:
+        """Process a whole log (scan-batched, sorted by time)."""
+        ordered = sorted(requests, key=lambda r: r.context.interval.center)
+        scan: list[SPRequest] = []
+        for request in ordered:
+            now = request.context.interval.center
+            if scan and now != scan[0].context.interval.center:
+                self._process_scan(scan)
+                scan = []
+            scan.append(request)
+        if scan:
+            self._process_scan(scan)
+        return self.tracks
+
+    def observe(self, request: SPRequest) -> Track:
+        """Process one request immediately; returns its track.
+
+        Streaming entry point: no scan batching, so simultaneous
+        observations compete first-come-first-served.  Prefer
+        :meth:`run` for offline logs.
+        """
+        self._process_scan([request])
+        track_id = self.assignment[request.msgid]
+        return next(t for t in self.tracks if t.track_id == track_id)
+
+    # ------------------------------------------------------------------
+
+    def _process_scan(self, scan: list[SPRequest]) -> None:
+        now = scan[0].context.interval.center
+        self._live = [
+            track
+            for track in self._live
+            if now - track.last_time <= self.track_timeout
+        ]
+        remaining: list[SPRequest] = []
+        taken: set[int] = set()
+        # Pseudonym continuity first (trivially linkable, Section 5.2).
+        if self.follow_pseudonyms:
+            for request in scan:
+                track = self._pseudonym_track.get(request.pseudonym)
+                if track is not None and track.track_id not in taken:
+                    if track not in self._live:
+                        self._live.append(track)
+                    self._extend(track, request)
+                    taken.add(track.track_id)
+                else:
+                    remaining.append(request)
+        else:
+            remaining = list(scan)
+
+        # Global nearest neighbour over the gated (track, request) pairs.
+        candidates: list[tuple[float, int, int]] = []
+        for r_index, request in enumerate(remaining):
+            for t_index, track in enumerate(self._live):
+                score = self._pair_score(track, request, now)
+                if score is not None:
+                    candidates.append((score, r_index, t_index))
+        candidates.sort()
+        assigned_requests: set[int] = set()
+        for _score, r_index, t_index in candidates:
+            track = self._live[t_index]
+            if r_index in assigned_requests or track.track_id in taken:
+                continue
+            self._extend(track, remaining[r_index])
+            taken.add(track.track_id)
+            assigned_requests.add(r_index)
+
+        for r_index, request in enumerate(remaining):
+            if r_index not in assigned_requests:
+                self._open_track(request)
+
+    def _pair_score(
+        self, track: Track, request: SPRequest, now: float
+    ) -> float | None:
+        """Distance to the track's prediction, or None if gated out."""
+        dt = now - track.last_time
+        if dt <= 0:
+            return None
+        position = request.context.rect.center
+        slack = self._uncertainty(request) + self._uncertainty(track.last)
+        gate = self.max_speed * dt + slack
+        if position.distance_to(track.last_position) > gate:
+            return None
+        predicted = track.predicted_position(now, self.max_speed)
+        return position.distance_to(predicted)
+
+    def _extend(self, track: Track, request: SPRequest) -> None:
+        track.requests.append(request)
+        self.assignment[request.msgid] = track.track_id
+        self._pseudonym_track[request.pseudonym] = track
+
+    def _open_track(self, request: SPRequest) -> Track:
+        track = Track(track_id=self._next_track_id)
+        self._next_track_id += 1
+        self.tracks.append(track)
+        self._live.append(track)
+        self._extend(track, request)
+        return track
+
+    @staticmethod
+    def _uncertainty(request: SPRequest) -> float:
+        """Half-diagonal of the request's area: its positional slack."""
+        rect = request.context.rect
+        return (rect.width + rect.height) / 2.0
+
+    def track_of(self, msgid: int) -> int | None:
+        """Track id a message was assigned to, if processed."""
+        return self.assignment.get(msgid)

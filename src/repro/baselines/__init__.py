@@ -1,0 +1,27 @@
+"""Baselines the paper positions itself against (Section 2).
+
+* :mod:`repro.baselines.no_protection` — requests forwarded with exact
+  coordinates; the motivating-attack condition of Section 1.
+* :mod:`repro.baselines.interval_cloak` — Gruteser & Grunwald's spatial
+  and temporal cloaking (the paper's reference [11]): quadtree descent
+  until the user's quadrant holds at least k *potential senders*.
+* :mod:`repro.baselines.clique_cloak` — Gedik & Liu's customizable-k
+  model (the paper's reference [9]): a request is k-anonymous only when
+  k−1 *other requests* share the cloaked box, found by clique search over
+  pending requests.
+
+All baselines cloak one request at a time and are driven by the same
+simulation harness as the paper's strategy, so benchmark E6/E11 compare
+like for like.
+"""
+
+from repro.baselines.no_protection import NoProtection
+from repro.baselines.interval_cloak import IntervalCloak
+from repro.baselines.clique_cloak import CliqueCloak, CliqueRequest
+
+__all__ = [
+    "NoProtection",
+    "IntervalCloak",
+    "CliqueCloak",
+    "CliqueRequest",
+]

@@ -1,0 +1,20 @@
+"""The no-protection baseline: exact coordinates, stable pseudonym.
+
+This is the condition the paper's introduction attacks: pseudonymous
+requests carrying precise home coordinates, re-identified with a phone
+book.  It exists so benchmark E6 can show the attack actually works
+before measuring how much each defense blunts it.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import STPoint
+from repro.geometry.region import STBox
+
+
+class NoProtection:
+    """Pass-through cloaker: the context is the exact location."""
+
+    def cloak(self, user_id: int, location: STPoint) -> STBox:
+        """Return the degenerate box at the exact request point."""
+        return STBox.from_st_point(location)

@@ -1,0 +1,472 @@
+"""The Trusted Server's privacy-preservation strategy (Section 6.1).
+
+For every incoming request the TS:
+
+1. monitors the request against the user's LBQIDs (the Section 4 timed
+   automaton); when the request matches the first element of an LBQID, or
+   extends a partially matched pattern under the temporal constraints, its
+   exact ``⟨x, y, t⟩`` is **generalized** with Algorithm 1 so that the
+   forwarded context preserves Historical k-anonymity of the requests
+   matched so far;
+2. when generalization *fails* (the box needed for k users violates the
+   service's tolerance constraints), the TS tries to **unlink** future
+   requests by changing the user's pseudonym (Section 6.3); on success all
+   partially matched patterns under the old pseudonym are reset;
+3. when unlinking also fails, the user is **at risk of identification**
+   and is notified; depending on policy the request is suppressed or
+   forwarded anyway.
+
+Anonymity-set scope — an interpretive choice the sketched Algorithm 1
+leaves open (documented in DESIGN.md and measured in benchmark E5):
+
+* ``AnonymitySetScope.PER_LBQID`` (default): the k users are selected once
+  per (user, LBQID) — at the first generalized request — and reused for
+  *every* later request matching that LBQID until an unlinking reset.
+  This is the reading under which Theorem 1 holds for the full matched
+  request set, because one fixed set of PHLs stays LT-consistent with all
+  forwarded contexts.
+* ``AnonymitySetScope.PER_OBSERVATION``: the k users are reselected at
+  each sequence observation's first element (the literal reading of
+  Algorithm 1's input/output signature).  Contexts are smaller, but the
+  users consistent with the *union* of contexts may fall below k.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.generalization import (
+    GeneralizationResult,
+    SpatioTemporalGeneralizer,
+    ToleranceConstraint,
+    default_context,
+)
+from repro.core.lbqid import LBQID
+from repro.core.matching import LBQIDMonitor, MatchEvent, PartialMatch
+from repro.core.policy import PolicyTable, PrivacyProfile, RiskAction
+from repro.core.pseudonyms import PseudonymManager
+from repro.core.randomization import BoxRandomizer
+from repro.core.requests import Request, SPRequest
+from repro.core.unlinking import NeverUnlink, UnlinkingProvider
+from repro.geometry.point import STPoint
+from repro.mod.store import TrajectoryStore
+
+
+class Decision(enum.Enum):
+    """What the TS did with one request."""
+
+    #: No LBQID element matched; forwarded with the default context.
+    FORWARDED = "forwarded"
+    #: Matched an LBQID element; forwarded with an Algorithm 1 context
+    #: that preserved historical k-anonymity.
+    GENERALIZED = "generalized"
+    #: Generalization failed; unlinking succeeded before a complete LBQID
+    #: was matched.  The request is forwarded under the *old* pseudonym
+    #: (unlinking protects "future requests from the previous ones"),
+    #: which is then retired: the old pseudonym's request group is frozen
+    #: with the LBQID incomplete, so Theorem 1's premise can never hold
+    #: for it.
+    UNLINKED = "unlinked"
+    #: Generalization and unlinking both failed; user notified and the
+    #: request forwarded anyway (policy ``RiskAction.FORWARD``).
+    AT_RISK_FORWARDED = "at_risk_forwarded"
+    #: Generalization and unlinking both failed; user notified and the
+    #: request suppressed (policy ``RiskAction.SUPPRESS``).
+    SUPPRESSED = "suppressed"
+    #: Request fell inside the post-unlinking quiet period — the
+    #: Section 6.3 mix-zone mechanic of "temporarily disabling the use
+    #: of the service … for the time sufficient to confuse the SP".
+    QUIET = "quiet"
+
+
+class AnonymitySetScope(enum.Enum):
+    """When Algorithm 1 reselects the k anonymity users (see module doc)."""
+
+    PER_LBQID = "per_lbqid"
+    PER_OBSERVATION = "per_observation"
+
+
+@dataclass(frozen=True)
+class AnonymizerEvent:
+    """Audit record of one processed request (TS-side, ground truth).
+
+    ``request`` carries the final outgoing context and pseudonym (for a
+    suppressed request: the context that *would* have been sent).
+    ``hk_anonymity`` is Algorithm 1's boolean output, ``None`` when no
+    generalization ran.  ``lbqid_matched`` flags that the LBQID's
+    recurrence formula became satisfied at this request.
+    """
+
+    request: Request
+    decision: Decision
+    forwarded: bool
+    lbqid_name: str | None = None
+    hk_anonymity: bool | None = None
+    lbqid_matched: bool = False
+    generalization: GeneralizationResult | None = None
+    step: int | None = None
+    required_k: int | None = None
+    #: Whether this request triggered a pseudonym rotation (successful
+    #: unlinking), regardless of whether the request itself was forwarded.
+    pseudonym_rotated: bool = False
+
+
+@dataclass
+class _LBQIDState:
+    """Per-(user, LBQID) tracking state."""
+
+    monitor: LBQIDMonitor
+    #: Anonymity set selected at the first generalized request
+    #: (PER_LBQID scope); None until selected or after a reset.
+    anonymity_ids: tuple[int, ...] | None = None
+    #: Number of requests generalized for this LBQID since the last
+    #: reset; drives the k' schedule.
+    steps: int = 0
+
+
+class TrustedAnonymizer:
+    """The TS-side engine tying monitors, Algorithm 1 and unlinking together.
+
+    Typical use::
+
+        store = TrajectoryStore()
+        policy = PolicyTable(...)
+        ts = TrustedAnonymizer(store, policy, unlinker=AlwaysUnlink())
+        ts.register_lbqid(user_id, commute_lbqid(home, office))
+        ...
+        ts.report_location(user_id, point)       # location updates
+        event = ts.request(user_id, point, "poi")  # a service request
+
+    Ground-truth audit events accumulate in :attr:`events`; the
+    SP-visible stream is :meth:`sp_log`.
+    """
+
+    def __init__(
+        self,
+        store: TrajectoryStore,
+        policy: PolicyTable | None = None,
+        unlinker: UnlinkingProvider | None = None,
+        scope: AnonymitySetScope = AnonymitySetScope.PER_LBQID,
+        default_cloak: ToleranceConstraint | None = None,
+        randomizer: "BoxRandomizer | None" = None,
+        quiet_period: float = 0.0,
+    ) -> None:
+        if quiet_period < 0:
+            raise ValueError(
+                f"quiet_period must be non-negative, got {quiet_period}"
+            )
+        self.store = store
+        self.policy = policy or PolicyTable()
+        self.unlinker = unlinker or NeverUnlink()
+        self.scope = scope
+        self.default_cloak = default_cloak
+        #: Optional Section 7 randomization: certified contexts are
+        #: re-placed at random within the tolerance budget before
+        #: forwarding, defeating center-bias inference (bench E13).
+        self.randomizer = randomizer
+        #: Seconds of service silence after a pseudonym rotation — the
+        #: mix-zone "no service inside the zone" mechanic.  Requests in
+        #: the window are suppressed so the SP sees a gap, not a
+        #: continuous trajectory, across the rotation (bench E16).
+        self.quiet_period = quiet_period
+        self._quiet_until: dict[int, float] = {}
+        self.generalizer = SpatioTemporalGeneralizer(store)
+        self.pseudonyms = PseudonymManager()
+        self.events: list[AnonymizerEvent] = []
+        self._states: dict[int, list[_LBQIDState]] = {}
+        self._msgid = 0
+
+    # ------------------------------------------------------------------
+    # registration and location updates
+    # ------------------------------------------------------------------
+
+    def register_lbqid(self, user_id: int, lbqid: LBQID) -> None:
+        """Attach an LBQID specification for a user (Section 6.1 step 1)."""
+        self._states.setdefault(user_id, []).append(
+            _LBQIDState(monitor=LBQIDMonitor(lbqid))
+        )
+
+    def register_lbqids(
+        self, user_id: int, lbqids: Iterable[LBQID]
+    ) -> None:
+        """Attach several LBQIDs for a user."""
+        for lbqid in lbqids:
+            self.register_lbqid(user_id, lbqid)
+
+    def report_location(self, user_id: int, location: STPoint) -> None:
+        """Ingest a location update that is not a service request.
+
+        "A location update may be received by the TS even if the user did
+        not make a request when being at that location" — these updates
+        populate the PHLs that define everyone's anonymity sets.
+        """
+        self.store.add_point(user_id, location)
+
+    # ------------------------------------------------------------------
+    # request processing
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        user_id: int,
+        location: STPoint,
+        service: str = "default",
+        data: Mapping[str, object] | None = None,
+    ) -> AnonymizerEvent:
+        """Process one service request end to end.
+
+        Returns the audit event; the outgoing SP request (if forwarded)
+        is appended to the log returned by :meth:`sp_log`.
+        """
+        # Every request is also a location update: "for each request r_i
+        # there must be an element in the PHL of User(r_i)".
+        self.store.add_point(user_id, location)
+        self._msgid += 1
+        request = Request.issue(
+            msgid=self._msgid,
+            user_id=user_id,
+            pseudonym=self.pseudonyms.current(user_id),
+            location=location,
+            service=service,
+            data=data,
+        )
+        profile = self.policy.profile_for(user_id, service)
+        tolerance = self.policy.tolerance_for(service)
+
+        quiet_until = self._quiet_until.get(user_id)
+        if quiet_until is not None and location.t < quiet_until:
+            # Inside the post-rotation quiet window: the service is
+            # disabled so the SP cannot bridge the pseudonym change by
+            # movement continuity.  The location update was ingested;
+            # nothing crosses the trust boundary.
+            event = AnonymizerEvent(
+                request=request,
+                decision=Decision.QUIET,
+                forwarded=False,
+            )
+            self.events.append(event)
+            return event
+
+        state, match = self._feed_monitors(user_id, location)
+        if state is None or match is None:
+            context = default_context(location, self.default_cloak)
+            event = AnonymizerEvent(
+                request=request.with_context(context),
+                decision=Decision.FORWARDED,
+                forwarded=True,
+            )
+            self.events.append(event)
+            return event
+
+        step = state.steps
+        required_k = profile.required_k_at_step(step)
+        result = self._generalize(
+            user_id, state, match, location, profile, tolerance
+        )
+        state.steps += 1
+        lbqid_name = state.monitor.lbqid.name
+
+        if result.hk_anonymity:
+            context = result.box
+            if self.randomizer is not None:
+                context = self.randomizer.randomize(
+                    context, location, tolerance
+                )
+            event = AnonymizerEvent(
+                request=request.with_context(context),
+                decision=Decision.GENERALIZED,
+                forwarded=True,
+                lbqid_name=lbqid_name,
+                hk_anonymity=True,
+                lbqid_matched=match.lbqid_matched,
+                generalization=result,
+                step=step,
+                required_k=required_k,
+            )
+            self.events.append(event)
+            return event
+
+        # Generalization failed: try to unlink (Section 6.1 step 2).
+        # Unlinking only helps "before a complete LBQID is matched" — if
+        # the pattern is already complete (possibly completed by this very
+        # request), forwarding an under-generalized context would break
+        # Definition 8 for a matched, link-connected set, so the request
+        # falls through to the at-risk handling even when the pseudonym
+        # can still be rotated to protect the future.
+        outcome = self.unlinker.attempt_unlink(user_id, location)
+        too_late = state.monitor.matched
+        rotated = False
+        if outcome.success:
+            self.pseudonyms.rotate(user_id)
+            self._reset_user(user_id)
+            rotated = True
+            if self.quiet_period > 0:
+                self._quiet_until[user_id] = (
+                    location.t + self.quiet_period
+                )
+            if not too_late:
+                # Forward under the old pseudonym (already on `request`);
+                # that pseudonym is now retired with the LBQID incomplete.
+                event = AnonymizerEvent(
+                    request=request.with_context(result.box),
+                    decision=Decision.UNLINKED,
+                    forwarded=True,
+                    lbqid_name=lbqid_name,
+                    hk_anonymity=False,
+                    lbqid_matched=match.lbqid_matched,
+                    generalization=result,
+                    step=step,
+                    required_k=required_k,
+                    pseudonym_rotated=True,
+                )
+                self.events.append(event)
+                return event
+
+        # The user is at risk of identification: notify, then suppress or
+        # forward according to policy.
+        suppress = profile.on_risk is RiskAction.SUPPRESS
+        event = AnonymizerEvent(
+            request=request.with_context(result.box),
+            decision=(
+                Decision.SUPPRESSED
+                if suppress
+                else Decision.AT_RISK_FORWARDED
+            ),
+            forwarded=not suppress,
+            lbqid_name=lbqid_name,
+            hk_anonymity=False,
+            lbqid_matched=match.lbqid_matched,
+            generalization=result,
+            step=step,
+            required_k=required_k,
+            pseudonym_rotated=rotated,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _feed_monitors(
+        self, user_id: int, location: STPoint
+    ) -> tuple[_LBQIDState | None, MatchEvent | None]:
+        """Feed the location to every monitor of the user.
+
+        Returns the state whose monitor the request matched, per the
+        paper's simplifying assumption "each request can match an element
+        in only one of the LBQIDs defined for a certain user" — with
+        several candidates the most-advanced partial wins.
+        """
+        matched: list[tuple[int, _LBQIDState, MatchEvent]] = []
+        for state in self._states.get(user_id, ()):  # feed them all
+            event = state.monitor.feed(location)
+            if event.matched_any_element:
+                progress = max(
+                    (p.next_index for p in event.advanced), default=1
+                )
+                matched.append((progress, state, event))
+        if not matched:
+            return None, None
+        matched.sort(key=lambda item: item[0], reverse=True)
+        _progress, state, event = matched[0]
+        return state, event
+
+    def _generalize(
+        self,
+        user_id: int,
+        state: _LBQIDState,
+        match: MatchEvent,
+        location: STPoint,
+        profile: PrivacyProfile,
+        tolerance: ToleranceConstraint,
+    ) -> GeneralizationResult:
+        """Run the right Algorithm 1 branch for this match."""
+        step = state.steps
+        required_k = profile.required_k_at_step(step)
+        initial_k = profile.required_k_at_step(0)
+
+        if self.scope is AnonymitySetScope.PER_LBQID:
+            if state.anonymity_ids is None:
+                result = self.generalizer.generalize_initial(
+                    location, initial_k, tolerance, requester=user_id
+                )
+                if result.hk_anonymity:
+                    # Cache the set only when the selection succeeded, so
+                    # a failed attempt is retried from scratch next time
+                    # (new candidates may have appeared by then).
+                    state.anonymity_ids = result.selected_ids
+                return result
+            result = self.generalizer.generalize_subsequent(
+                location,
+                state.anonymity_ids,
+                tolerance,
+                required=max(required_k - 1, 0),
+            )
+            if result.hk_anonymity:
+                # k' schedule: permanently drop the users not kept at
+                # this step, so the per-step anonymity sets are *nested*
+                # and the survivors stay LT-consistent with every
+                # context of the trace ("decreasing its value at each
+                # point in the trace", Section 6.2).
+                state.anonymity_ids = result.selected_ids
+            return result
+
+        # PER_OBSERVATION scope: the id set lives on each partial match.
+        partial = self._advanced_partial(match)
+        if partial is not None and "anon_ids" in partial.payload:
+            result = self.generalizer.generalize_subsequent(
+                location,
+                partial.payload["anon_ids"],
+                tolerance,
+                required=max(required_k - 1, 0),
+            )
+            if result.hk_anonymity:
+                partial.payload["anon_ids"] = result.selected_ids
+            return result
+        result = self.generalizer.generalize_initial(
+            location, initial_k, tolerance, requester=user_id
+        )
+        if match.started is not None and result.hk_anonymity:
+            match.started.payload["anon_ids"] = result.selected_ids
+        return result
+
+    @staticmethod
+    def _advanced_partial(match: MatchEvent) -> PartialMatch | None:
+        """The most-progressed partial this request extended, if any."""
+        if not match.advanced:
+            return None
+        return max(match.advanced, key=lambda p: p.next_index)
+
+    def _reset_user(self, user_id: int) -> None:
+        """Reset all pattern state after a successful unlinking."""
+        for state in self._states.get(user_id, ()):  # Section 6.1 step 2
+            state.monitor.reset()
+            state.anonymity_ids = None
+            state.steps = 0
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+
+    def sp_log(self, service: str | None = None) -> list[SPRequest]:
+        """The requests a service provider actually received."""
+        return [
+            event.request.sp_view()
+            for event in self.events
+            if event.forwarded
+            and (service is None or event.request.service == service)
+        ]
+
+    def forwarded_requests(self) -> list[Request]:
+        """TS-side records of all forwarded requests (evaluation only)."""
+        return [event.request for event in self.events if event.forwarded]
+
+    def decision_counts(self) -> dict[Decision, int]:
+        """Histogram of decisions over all processed requests."""
+        counts = {decision: 0 for decision in Decision}
+        for event in self.events:
+            counts[event.decision] += 1
+        return counts

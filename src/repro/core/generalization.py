@@ -1,0 +1,212 @@
+"""The spatio-temporal generalization procedure (Algorithm 1).
+
+Algorithm 1 has two branches:
+
+* **initial element** (lines 5–6): compute the smallest spatio-temporal
+  box containing the request point and "crossed by k trajectories (each
+  one for a different user)", and remember those users' ids.  We count the
+  requester as one of the k (Definition 8 needs k−1 *other* LT-consistent
+  PHLs), so k−1 other users are selected — the ones whose nearest PHL
+  sample is closest to the request point.
+* **subsequent elements** (lines 2–3): for each remembered user, find the
+  PHL point closest to the new request point and bound the box around
+  those points (plus the request point itself).
+
+Lines 8–12 then test the service's *tolerance constraints*: if the box is
+too coarse for the service to remain useful it is "uniformly reduced to
+satisfy the tolerance constraints" around the true request location and
+``HK-anonymity := False`` is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.distance import st_distance
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.store import TrajectoryStore
+
+
+@dataclass(frozen=True)
+class ToleranceConstraint:
+    """Coarsest context a service still works with (Section 6.1).
+
+    "Each location-based service has some tolerance constraints that
+    define the coarsest spatial and temporal granularity for the service
+    to still be useful" — e.g. a few square miles and a few minutes for a
+    closest-hospital service, much coarser for localized news.
+    """
+
+    max_width: float
+    max_height: float
+    max_duration: float
+
+    def __post_init__(self) -> None:
+        if min(self.max_width, self.max_height, self.max_duration) < 0:
+            raise ValueError("tolerance bounds must be non-negative")
+
+    @classmethod
+    def square(cls, side: float, max_duration: float) -> (
+        "ToleranceConstraint"
+    ):
+        """Square spatial tolerance of the given side length."""
+        return cls(side, side, max_duration)
+
+    @classmethod
+    def unbounded(cls) -> "ToleranceConstraint":
+        """No constraint — any generalization is acceptable."""
+        inf = float("inf")
+        return cls(inf, inf, inf)
+
+    def satisfied_by(self, box: STBox) -> bool:
+        """Algorithm 1 line 8: does the box respect the constraints?"""
+        return (
+            box.rect.width <= self.max_width
+            and box.rect.height <= self.max_height
+            and box.interval.duration <= self.max_duration
+        )
+
+    def shrink(self, box: STBox, anchor: STPoint) -> STBox:
+        """Algorithm 1 line 12: uniformly reduce around the true location.
+
+        The result satisfies the constraints and still contains
+        ``anchor`` (the service must receive a context containing the
+        real request).
+        """
+        rect = box.rect.clamped_around(
+            anchor.point, self.max_width, self.max_height
+        )
+        interval = box.interval.clamped_around(anchor.t, self.max_duration)
+        return STBox(rect, interval)
+
+
+@dataclass(frozen=True)
+class GeneralizationResult:
+    """Output of one Algorithm 1 invocation.
+
+    ``hk_anonymity`` is the algorithm's boolean output: True when enough
+    distinct other users were found *and* the bounding box respected the
+    tolerance constraints.  ``anonymity_ids`` are the other users whose
+    selected PHL points lie inside the *final* box (after any shrinking),
+    i.e. the users LT-consistent with this context by construction.
+    ``selected_ids`` are the users chosen before the tolerance test — the
+    set Algorithm 1 line 6 stores for reuse at subsequent elements.
+    """
+
+    box: STBox
+    hk_anonymity: bool
+    anonymity_ids: tuple[int, ...]
+    selected_ids: tuple[int, ...]
+
+
+class SpatioTemporalGeneralizer:
+    """Algorithm 1 bound to a trajectory store."""
+
+    def __init__(self, store: TrajectoryStore) -> None:
+        self.store = store
+
+    def generalize_initial(
+        self,
+        location: STPoint,
+        k: int,
+        tolerance: ToleranceConstraint,
+        requester: int,
+    ) -> GeneralizationResult:
+        """Lines 5–6: fresh selection of the anonymity set.
+
+        ``k`` is the total anonymity level including the requester, so
+        ``k − 1`` other users are selected.  ``requester`` is excluded
+        from the candidate set.
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        neighbours = self.store.nearest_users(
+            location, k - 1, exclude={requester}
+        )
+        selected = {
+            user_id: point for user_id, point, _distance in neighbours
+        }
+        enough_users = len(selected) >= k - 1
+        return self._finish(location, selected, tolerance, enough_users)
+
+    def generalize_subsequent(
+        self,
+        location: STPoint,
+        user_ids: tuple[int, ...] | list[int],
+        tolerance: ToleranceConstraint,
+        required: int | None = None,
+    ) -> GeneralizationResult:
+        """Lines 2–3: reuse the anonymity set chosen at the first element.
+
+        ``required`` implements the Section 6.2 k′-decrement heuristic:
+        when fewer users than were originally stored are needed at this
+        step, only the ``required`` stored users whose closest PHL points
+        are nearest to the new request are bounded, keeping the box (and
+        the tolerance risk) small.  Defaults to all of ``user_ids``.
+        """
+        if required is None:
+            required = len(user_ids)
+        candidates: list[tuple[float, int, STPoint]] = []
+        for user_id in user_ids:
+            closest = self.store.closest_point(user_id, location)
+            if closest is not None:
+                distance = st_distance(
+                    closest, location, self.store.time_scale
+                )
+                candidates.append((distance, user_id, closest))
+        candidates.sort()
+        selected = {
+            user_id: point
+            for _distance, user_id, point in candidates[:required]
+        }
+        enough_users = len(selected) >= required
+        return self._finish(location, selected, tolerance, enough_users)
+
+    def _finish(
+        self,
+        location: STPoint,
+        selected: dict[int, STPoint],
+        tolerance: ToleranceConstraint,
+        enough_users: bool,
+    ) -> GeneralizationResult:
+        """Lines 3 and 8–12: bound, test tolerance, shrink on failure."""
+        box = STBox.bounding_st([location, *selected.values()])
+        within_tolerance = tolerance.satisfied_by(box)
+        if not within_tolerance:
+            box = tolerance.shrink(box, location)
+        anonymity_ids = tuple(
+            sorted(
+                user_id
+                for user_id, point in selected.items()
+                if box.contains(point)
+            )
+        )
+        return GeneralizationResult(
+            box=box,
+            hk_anonymity=within_tolerance and enough_users,
+            anonymity_ids=anonymity_ids,
+            selected_ids=tuple(sorted(selected)),
+        )
+
+
+def default_context(
+    location: STPoint, cloak: ToleranceConstraint | None = None
+) -> STBox:
+    """Context for requests not matching any LBQID element.
+
+    The Section 6.1 strategy only generalizes requests that advance an
+    LBQID; everything else is forwarded with its exact location (the
+    degenerate box) or, when ``cloak`` is given, with a fixed-size box at
+    the tolerance bound — a conservative deployment choice several
+    experiments compare against.
+    """
+    if cloak is None:
+        return STBox.from_st_point(location)
+    rect = Rect.from_center(
+        location.point,
+        cloak.max_width,
+        cloak.max_height,
+    )
+    half = cloak.max_duration / 2.0
+    return STBox(rect, Interval(location.t - half, location.t + half))

@@ -1,0 +1,105 @@
+"""Historical k-anonymity (Definition 8) and anonymity-set computation.
+
+Definition 8: a set ``R'`` of requests issued by user ``U`` satisfies
+Historical k-anonymity when there exist ``k − 1`` PHLs of users other than
+``U``, each LT-consistent with ``R'``.  Equivalently: from the service
+provider's perspective at least ``k`` users (the requester plus ``k − 1``
+others) "may have issued those requests".
+
+This module also provides the classic single-request anonymity set used by
+the [11]-style baselines: the users whose PHL places them inside one
+request's ``⟨Area, TimeInterval⟩``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.phl import PersonalHistory
+from repro.core.requests import Request
+from repro.geometry.region import STBox
+
+
+def historical_anonymity_set(
+    contexts: Sequence[STBox],
+    histories: Mapping[int, PersonalHistory],
+    exclude_user: int | None = None,
+) -> list[int]:
+    """Users whose PHL is LT-consistent with every context in ``contexts``.
+
+    ``exclude_user`` (normally the true requester) is omitted from the
+    result so the return value is directly comparable against ``k − 1``.
+    An empty ``contexts`` sequence is vacuously consistent with every
+    history.
+    """
+    return [
+        user_id
+        for user_id, history in histories.items()
+        if user_id != exclude_user
+        and history.lt_consistent_with(contexts)
+    ]
+
+
+def satisfies_historical_k(
+    requests: Sequence[Request],
+    histories: Mapping[int, PersonalHistory],
+    k: int,
+) -> bool:
+    """Definition 8 for a set of requests issued by one user.
+
+    All requests must share a single ``user_id`` (they are "a subset of
+    requests issued by the same user U"); a mixed set is a caller bug.
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if not requests:
+        return True
+    users = {r.user_id for r in requests}
+    if len(users) != 1:
+        raise ValueError(
+            "historical k-anonymity is defined for the requests of a "
+            f"single user; got requests from users {sorted(users)}"
+        )
+    user = users.pop()
+    contexts = [r.context for r in requests]
+    consistent = historical_anonymity_set(
+        contexts, histories, exclude_user=user
+    )
+    return len(consistent) >= k - 1
+
+
+def request_anonymity_set(
+    context: STBox,
+    histories: Mapping[int, PersonalHistory],
+) -> list[int]:
+    """Users whose PHL intersects a single request context.
+
+    This is the per-request anonymity set of the [11] model: everyone who
+    was in ``Area`` during ``TimeInterval`` and therefore "may have issued
+    the request".  The requester is included when their own PHL intersects
+    (it always does for contexts produced by Algorithm 1).
+    """
+    return [
+        user_id
+        for user_id, history in histories.items()
+        if history.visits_box(context)
+    ]
+
+
+def anonymity_entropy(set_sizes: Iterable[int]) -> float:
+    """Shannon entropy (bits) of a uniform anonymity set, averaged.
+
+    With ``m`` equally likely candidates the attacker's uncertainty is
+    ``log2(m)`` bits; the mean over a batch of requests is a standard
+    scalar summary used in the experiments.  Empty input yields 0.0, and
+    sets of size 0 (impossible contexts) contribute 0 bits.
+    """
+    sizes = [s for s in set_sizes]
+    if not sizes:
+        return 0.0
+    total = 0.0
+    for size in sizes:
+        if size > 0:
+            total += math.log2(size)
+    return total / len(sizes)

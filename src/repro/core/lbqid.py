@@ -1,0 +1,120 @@
+"""Location-Based Quasi-Identifiers (Definition 1).
+
+An LBQID is "a spatio-temporal pattern specified by a sequence of
+spatio-temporal constraints each one defining an area and a time span, and
+by a recurrence formula".  Each element is ``⟨Area, U-TimeInterval⟩``; the
+recurrence formula constrains how often the whole sequence must be
+observed (see :mod:`repro.granularity.recurrence`).
+
+The paper's Example 2 — the home/office commute pattern — is provided by
+:func:`commute_lbqid` and used throughout the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.granularity.recurrence import RecurrenceFormula
+from repro.granularity.unanchored import UnanchoredInterval
+
+
+@dataclass(frozen=True)
+class LBQIDElement:
+    """One ``⟨Area, U-TimeInterval⟩`` constraint of an LBQID.
+
+    ``area`` is a rectangle in the plane; ``window`` a daily-recurring
+    unanchored interval (Definition 1).
+    """
+
+    area: Rect
+    window: UnanchoredInterval
+    label: str = ""
+
+    def matches(self, location: STPoint) -> bool:
+        """Definition 2: whether an exact request location matches.
+
+        True when the area contains ``⟨x, y⟩`` and the instant ``t`` falls
+        in one of the intervals denoted by the unanchored window.
+        """
+        return self.area.contains(location.point) and self.window.contains(
+            location.t
+        )
+
+
+@dataclass(frozen=True)
+class LBQID:
+    """A Location-Based Quasi-Identifier.
+
+    ``elements`` must be non-empty; ``recurrence`` defaults to the empty
+    formula (equivalent to ``1.`` — a single occurrence of the sequence
+    already identifies, per Section 4).
+    """
+
+    name: str
+    elements: tuple[LBQIDElement, ...]
+    recurrence: RecurrenceFormula = RecurrenceFormula()
+
+    def __init__(
+        self,
+        name: str,
+        elements: Sequence[LBQIDElement],
+        recurrence: RecurrenceFormula | str = RecurrenceFormula(),
+    ) -> None:
+        if not elements:
+            raise ValueError("an LBQID needs at least one element")
+        if isinstance(recurrence, str):
+            recurrence = RecurrenceFormula.parse(recurrence)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "elements", tuple(elements))
+        object.__setattr__(self, "recurrence", recurrence.normalized())
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def element_matching(self, location: STPoint) -> int | None:
+        """Index of the first element the location matches, if any."""
+        for i, element in enumerate(self.elements):
+            if element.matches(location):
+                return i
+        return None
+
+    def __str__(self) -> str:
+        parts = " -> ".join(
+            element.label or f"E{i}" for i, element in enumerate(self.elements)
+        )
+        return f"LBQID {self.name!r}: {parts} @ {self.recurrence}"
+
+
+def commute_lbqid(
+    home: Rect,
+    office: Rect,
+    name: str = "home-office-commute",
+    recurrence: str = "3.Weekdays * 2.Weeks",
+) -> LBQID:
+    """The paper's Example 2 pattern for given home and office areas.
+
+    ``AreaCondominium [7am,8am] -> AreaOfficeBldg [8am,9am] ->
+    AreaOfficeBldg [4pm,6pm] -> AreaCondominium [5pm,7pm]`` with
+    recurrence ``3.Weekdays * 2.Weeks``.
+    """
+    return LBQID(
+        name,
+        [
+            LBQIDElement(
+                home, UnanchoredInterval.from_hours(7, 8), "home-morning"
+            ),
+            LBQIDElement(
+                office, UnanchoredInterval.from_hours(8, 9), "office-arrive"
+            ),
+            LBQIDElement(
+                office, UnanchoredInterval.from_hours(16, 18), "office-leave"
+            ),
+            LBQIDElement(
+                home, UnanchoredInterval.from_hours(17, 19), "home-evening"
+            ),
+        ],
+        recurrence,
+    )

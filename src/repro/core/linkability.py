@@ -1,0 +1,177 @@
+"""Service request linkability (Definitions 4–5).
+
+Definition 4 models linkability as a symmetric, reflexive partial function
+``Link: R × R → [0, 1]`` giving "the likelihood value of the two requests
+being issued by the same individual".  Definition 5 lifts it to sets: a
+request set is *link-connected with likelihood Θ* when every pair of
+requests is joined by a chain of links each of value ≥ Θ.
+
+:class:`LinkFunction` is the protocol; three reference implementations are
+provided:
+
+* :class:`PseudonymLink` — "any two requests with the same UserPseudonym
+  are clearly linkable" (Section 5.2): 1.0 on equal pseudonyms, 0.0
+  otherwise;
+* :class:`GroundTruthLink` — the *correct* link function of Section 5.2
+  (1.0 iff same real user), available only to evaluation code;
+* :class:`CompositeMaxLink` — combine several techniques by taking the
+  maximum likelihood, mirroring an attacker that applies every technique
+  it has.
+
+The tracking-based attacker's learned link function lives in
+:mod:`repro.attack.linker`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+from repro.core.requests import Request, SPRequest
+
+AnyRequest = Request | SPRequest
+
+
+class LinkFunction(Protocol):
+    """Protocol for Definition 4's ``Link()``.
+
+    Implementations must be symmetric and reflexive; ``is_link_connected``
+    relies on both properties.
+    """
+
+    def link(self, a: AnyRequest, b: AnyRequest) -> float:
+        """Likelihood in ``[0, 1]`` that ``a`` and ``b`` share an issuer."""
+        ...
+
+
+class PseudonymLink:
+    """Link requests that carry the same pseudonym."""
+
+    def link(self, a: AnyRequest, b: AnyRequest) -> float:
+        if a is b:
+            return 1.0
+        return 1.0 if a.pseudonym == b.pseudonym else 0.0
+
+
+class GroundTruthLink:
+    """The correct link function: 1.0 iff issued by the same user.
+
+    Requires TS-side :class:`~repro.core.requests.Request` objects; it is
+    used to validate attacker link estimates, never by attacker code.
+    """
+
+    def link(self, a: AnyRequest, b: AnyRequest) -> float:
+        if not isinstance(a, Request) or not isinstance(b, Request):
+            raise TypeError(
+                "GroundTruthLink needs TS-side requests with user ids"
+            )
+        return 1.0 if a.user_id == b.user_id else 0.0
+
+
+class CompositeMaxLink:
+    """Maximum over several link functions.
+
+    An attacker combining techniques links two requests as soon as any
+    one technique does, hence the max.
+    """
+
+    def __init__(self, parts: Sequence[LinkFunction]) -> None:
+        if not parts:
+            raise ValueError("CompositeMaxLink needs at least one part")
+        self._parts = list(parts)
+
+    def link(self, a: AnyRequest, b: AnyRequest) -> float:
+        return max(part.link(a, b) for part in self._parts)
+
+
+class _UnionFind:
+    """Minimal union–find over ``range(n)`` for connectivity queries."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        root = i
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[i] != root:
+            self._parent[i], i = root, self._parent[i]
+        return root
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self._parent[rj] = ri
+
+
+def _component_labels(
+    requests: Sequence[AnyRequest], link_fn: LinkFunction, theta: float
+) -> list[int]:
+    """Union-find roots after joining every pair with link ≥ theta."""
+    if not 0 <= theta <= 1:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+    uf = _UnionFind(len(requests))
+    for i in range(len(requests)):
+        for j in range(i + 1, len(requests)):
+            if link_fn.link(requests[i], requests[j]) >= theta:
+                uf.union(i, j)
+    return [uf.find(i) for i in range(len(requests))]
+
+
+def is_link_connected(
+    requests: Sequence[AnyRequest], link_fn: LinkFunction, theta: float
+) -> bool:
+    """Definition 5: is the set link-connected with likelihood ``theta``?
+
+    Vacuously true for empty and singleton sets (reflexivity).
+    """
+    labels = _component_labels(requests, link_fn, theta)
+    return len(set(labels)) <= 1
+
+
+def theta_components(
+    requests: Sequence[AnyRequest], link_fn: LinkFunction, theta: float
+) -> list[list[AnyRequest]]:
+    """Partition requests into maximal Θ-link-connected components.
+
+    These are the request groups an attacker applying ``link_fn`` at
+    confidence threshold ``theta`` would attribute to single users.
+    """
+    labels = _component_labels(requests, link_fn, theta)
+    groups: dict[int, list[AnyRequest]] = {}
+    for request, label in zip(requests, labels):
+        groups.setdefault(label, []).append(request)
+    return list(groups.values())
+
+
+def link_function_is_correct(
+    requests: Sequence[Request], link_fn: LinkFunction
+) -> bool:
+    """Section 5.2's correctness criterion for a link function.
+
+    "All the requests of R' belong to the same user if and only if R' is
+    link-connected with Θ = 1": we check it on every per-user subset and
+    on the maximal Θ=1 components of the whole set.
+    """
+    by_user: dict[int, list[Request]] = {}
+    for request in requests:
+        by_user.setdefault(request.user_id, []).append(request)
+    for subset in by_user.values():
+        if not is_link_connected(subset, link_fn, 1.0):
+            return False
+    for component in theta_components(list(requests), link_fn, 1.0):
+        users = {r.user_id for r in component if isinstance(r, Request)}
+        if len(users) > 1:
+            return False
+    return True
+
+
+def pairwise_links(
+    requests: Sequence[AnyRequest], link_fn: LinkFunction
+) -> Iterable[tuple[int, int, float]]:
+    """Yield ``(i, j, likelihood)`` for every unordered pair.
+
+    Handy for inspecting or plotting a link function's behaviour.
+    """
+    for i in range(len(requests)):
+        for j in range(i + 1, len(requests)):
+            yield i, j, link_fn.link(requests[i], requests[j])

@@ -1,0 +1,226 @@
+"""Matching requests against LBQIDs (Definitions 2–3, Section 4).
+
+The paper suggests the operational form directly: "a timed state automata
+may be used for each LBQID and each user, advancing the state of the
+automata when the actual location of the user at the request time is within
+the area specified by one of the current states, and the temporal
+constraints are satisfied".
+
+:class:`LBQIDMonitor` is that automaton, implemented non-deterministically:
+every request matching the first element starts a new *partial match*, and
+every live partial whose next expected element matches is advanced.  The
+temporal constraints between consecutive elements follow Definition 3(2):
+timestamps are non-decreasing and, when the recurrence formula is
+non-empty, the whole sequence stays within a single granule of its first
+granularity ``G1`` (the sequence-duration bound of Definition 1's
+semantics).  Completed sequences are accumulated as *observations* and fed
+to the recurrence formula; the LBQID is *matched* once the formula is
+satisfied.
+
+Partials carry a free-form ``payload`` dict so the anonymizer can attach
+the anonymity set chosen at the partial's first element (Algorithm 1
+line 6) and retrieve it at subsequent elements (line 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.geometry.point import STPoint
+from repro.core.lbqid import LBQID
+
+#: Upper bound on simultaneously tracked partial matches per monitor.
+#: Partials expire when the time leaves their G1 granule, so this cap is a
+#: safety valve against pathological workloads, not a tuning knob.
+MAX_PARTIALS = 32
+
+
+@dataclass
+class PartialMatch:
+    """State of one in-progress match of the element sequence.
+
+    ``next_index`` is the element the partial now expects; ``timestamps``
+    the request instants that matched elements ``0 .. next_index-1``.
+    ``granule`` is the G1 granule the sequence is confined to — ``None``
+    when the recurrence is empty (no confinement) *or* when the sequence
+    started inside a gap of G1, in which case the partial is *dead*: it
+    still records that the first element was matched (so the strategy
+    generalizes the request) but can never be extended into a valid
+    observation.
+    """
+
+    next_index: int
+    timestamps: list[float]
+    granule: int | None
+    dead: bool = False
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def started_at(self) -> float:
+        return self.timestamps[0]
+
+    @property
+    def is_initial(self) -> bool:
+        """Whether only the first element has been matched so far."""
+        return self.next_index == 1
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """Outcome of feeding one request location to a monitor.
+
+    ``started`` is the new partial created when the request matched the
+    first element; ``advanced`` lists existing partials the request
+    extended (already in their post-advance state, and no longer present
+    in the monitor if completed).  ``completed`` holds the timestamp
+    tuples of sequences completed by this request, ``lbqid_matched``
+    whether the recurrence formula is satisfied after this request.
+    """
+
+    started: PartialMatch | None
+    advanced: tuple[PartialMatch, ...]
+    completed: tuple[tuple[float, ...], ...]
+    lbqid_matched: bool
+
+    @property
+    def matched_any_element(self) -> bool:
+        """Whether the request matched an element per the Section 6.1 rule.
+
+        True exactly when the strategy's generalization condition holds:
+        the request matches the first element, or extends a partial whose
+        previous element was matched under the temporal constraints.
+        """
+        return self.started is not None or bool(self.advanced)
+
+
+class LBQIDMonitor:
+    """Timed-automaton monitor for one (user, LBQID) pair."""
+
+    def __init__(self, lbqid: LBQID) -> None:
+        self.lbqid = lbqid
+        self.partials: list[PartialMatch] = []
+        self.observations: list[tuple[float, ...]] = []
+        self._matched = False
+
+    @property
+    def matched(self) -> bool:
+        """Whether the LBQID has been fully matched (recurrence satisfied)."""
+        return self._matched
+
+    def reset(self) -> None:
+        """Forget all progress.
+
+        The Section 6.1 strategy resets "all partially matched patterns
+        based on old pseudonym" after a successful unlinking; completed
+        observations are discarded too, because they were made under the
+        old pseudonym and are no longer linkable to future requests.
+        """
+        self.partials.clear()
+        self.observations.clear()
+        self._matched = False
+
+    def _expire(self, t: float) -> None:
+        """Drop partials whose G1 granule can no longer contain ``t``."""
+        recurrence = self.lbqid.recurrence
+        if recurrence.is_empty:
+            return
+        g1 = recurrence.terms[0].granularity
+        current = g1.granule_containing(t)
+        self.partials = [p for p in self.partials if p.granule == current]
+
+    def feed(self, location: STPoint) -> MatchEvent:
+        """Process one exact request location, in timestamp order."""
+        self._expire(location.t)
+        elements = self.lbqid.elements
+        advanced: list[PartialMatch] = []
+        completed: list[tuple[float, ...]] = []
+        survivors: list[PartialMatch] = []
+        for partial in self.partials:
+            extendable = (
+                not partial.dead
+                and elements[partial.next_index].matches(location)
+                and location.t >= partial.timestamps[-1]
+            )
+            if not extendable:
+                survivors.append(partial)
+                continue
+            partial.timestamps.append(location.t)
+            partial.next_index += 1
+            advanced.append(partial)
+            if partial.next_index == len(elements):
+                observation = tuple(partial.timestamps)
+                completed.append(observation)
+                self.observations.append(observation)
+            else:
+                survivors.append(partial)
+        self.partials = survivors
+
+        started = None
+        if elements[0].matches(location):
+            started = self._start_partial(location)
+            if len(elements) == 1:
+                if not started.dead:
+                    observation = (location.t,)
+                    completed.append(observation)
+                    self.observations.append(observation)
+            elif not started.dead:
+                # Dead partials (started inside a G1 gap) can never be
+                # extended into a valid observation, so they are reported
+                # in the event but not tracked.
+                self.partials.append(started)
+                if len(self.partials) > MAX_PARTIALS:
+                    self.partials.pop(0)
+
+        if completed and not self._matched:
+            self._matched = self.lbqid.recurrence.satisfied_by(
+                self.observations
+            )
+        return MatchEvent(
+            started=started,
+            advanced=tuple(advanced),
+            completed=tuple(completed),
+            lbqid_matched=self._matched,
+        )
+
+    def _start_partial(self, location: STPoint) -> PartialMatch:
+        recurrence = self.lbqid.recurrence
+        if recurrence.is_empty:
+            return PartialMatch(1, [location.t], granule=None)
+        g1 = recurrence.terms[0].granularity
+        granule = g1.granule_containing(location.t)
+        return PartialMatch(
+            1, [location.t], granule=granule, dead=granule is None
+        )
+
+
+def request_set_matches(
+    lbqid: LBQID, locations: Iterable[STPoint]
+) -> bool:
+    """Definition 3, operationalized: does a request set match the LBQID?
+
+    ``locations`` are the exact locations/times of the requests as seen by
+    the TS; they are processed in timestamp order through a fresh monitor.
+    Returns True when the completed observations satisfy the recurrence
+    formula.
+    """
+    monitor = LBQIDMonitor(lbqid)
+    for location in sorted(locations, key=lambda p: p.t):
+        monitor.feed(location)
+    return monitor.matched
+
+
+def first_match_time(
+    lbqid: LBQID, locations: Sequence[STPoint]
+) -> float | None:
+    """Time at which the LBQID first becomes matched, or ``None``.
+
+    Convenience for experiments measuring how quickly an attacker
+    observing the full trace would see the quasi-identifier complete.
+    """
+    monitor = LBQIDMonitor(lbqid)
+    for location in sorted(locations, key=lambda p: p.t):
+        event = monitor.feed(location)
+        if event.lbqid_matched:
+            return location.t
+    return None

@@ -1,0 +1,163 @@
+"""Privacy policies: qualitative levels, profiles, and tolerance tables.
+
+Section 3: users "can turn on and off a privacy protecting system which
+has a simplified user interface with qualitative degrees of concern: low,
+medium, high", applied uniformly or per service, while "more expert users
+can have access to more involved rule-based policy specifications";
+"qualitative privacy preferences provided by each user are translated by
+the TS into specific parameters".
+
+The two quantitative parameters of the framework (Section 5.3) are ``k``
+(the anonymity value) and ``Θ`` (the linkability likelihood); the k′
+schedule implements the Section 6.2 heuristic of starting with a larger
+anonymity set and letting it shrink along the trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.generalization import ToleranceConstraint
+
+
+class PrivacyLevel(enum.Enum):
+    """The simplified three-level user interface of Section 3."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+class RiskAction(enum.Enum):
+    """What to do when a user is "at risk of identification" (Section 6.1).
+
+    The paper: the user is "notified about it so that he may refrain from
+    sending sensitive information, disrupt the service, or take other
+    actions" — modeled as either suppressing the request or forwarding it
+    anyway (with the notification recorded).
+    """
+
+    SUPPRESS = "suppress"
+    FORWARD = "forward"
+
+
+@dataclass(frozen=True)
+class PrivacyProfile:
+    """The TS-side quantitative parameters for one user (or one level).
+
+    ``k`` — required historical anonymity (Definition 8).
+    ``theta`` — linkability likelihood bound for unlinking (Section 6.3).
+    ``k_prime_initial`` / ``k_prime_decrement`` — the Section 6.2
+    schedule: the anonymity requirement at the j-th generalized request of
+    a trace is ``max(k, k_prime_initial − j · k_prime_decrement)``.
+    """
+
+    k: int
+    theta: float = 0.5
+    k_prime_initial: int | None = None
+    k_prime_decrement: int = 1
+    on_risk: RiskAction = RiskAction.SUPPRESS
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be at least 1, got {self.k}")
+        if not 0 <= self.theta <= 1:
+            raise ValueError(f"theta must be in [0, 1], got {self.theta}")
+        if self.k_prime_initial is not None and self.k_prime_initial < self.k:
+            raise ValueError(
+                "k_prime_initial must be at least k "
+                f"({self.k}), got {self.k_prime_initial}"
+            )
+        if self.k_prime_decrement < 0:
+            raise ValueError("k_prime_decrement must be non-negative")
+
+    def required_k_at_step(self, step: int) -> int:
+        """Anonymity requirement at the ``step``-th generalized request.
+
+        Step 0 is the request that matched the first LBQID element.
+        Without a k′ schedule the requirement is a constant ``k``.
+        """
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        if self.k_prime_initial is None:
+            return self.k
+        return max(
+            self.k, self.k_prime_initial - step * self.k_prime_decrement
+        )
+
+    @classmethod
+    def from_level(cls, level: PrivacyLevel) -> "PrivacyProfile":
+        """Translate a qualitative degree of concern into parameters.
+
+        The mapping is the library default (the paper leaves it to the
+        TS): low → k=2, medium → k=5 with a mild k′ schedule, high → k=10
+        with a steep one and a strict Θ.
+        """
+        if level is PrivacyLevel.LOW:
+            return cls(k=2, theta=0.8)
+        if level is PrivacyLevel.MEDIUM:
+            return cls(k=5, theta=0.5, k_prime_initial=8)
+        return cls(k=10, theta=0.2, k_prime_initial=16, k_prime_decrement=2)
+
+
+#: A rule maps (user_id, service) to a profile override, or None to pass.
+PolicyRule = Callable[[int, str], PrivacyProfile | None]
+
+
+class PolicyTable:
+    """The TS's policy state: profiles per user, tolerances per service.
+
+    Resolution order for a user's profile: rule-based overrides (first
+    match wins), then the per-user profile, then the table default.
+    """
+
+    def __init__(
+        self,
+        default_profile: PrivacyProfile | None = None,
+        default_tolerance: ToleranceConstraint | None = None,
+    ) -> None:
+        self.default_profile = default_profile or PrivacyProfile.from_level(
+            PrivacyLevel.MEDIUM
+        )
+        self.default_tolerance = (
+            default_tolerance or ToleranceConstraint.unbounded()
+        )
+        self._user_profiles: dict[int, PrivacyProfile] = {}
+        self._service_tolerances: dict[str, ToleranceConstraint] = {}
+        self._rules: list[PolicyRule] = []
+
+    def set_user_profile(
+        self, user_id: int, profile: PrivacyProfile | PrivacyLevel
+    ) -> None:
+        """Register a user's preference (profile or qualitative level)."""
+        if isinstance(profile, PrivacyLevel):
+            profile = PrivacyProfile.from_level(profile)
+        self._user_profiles[user_id] = profile
+
+    def set_service_tolerance(
+        self, service: str, tolerance: ToleranceConstraint
+    ) -> None:
+        """Register a service's coarsest acceptable context."""
+        self._service_tolerances[service] = tolerance
+
+    def add_rule(self, rule: PolicyRule) -> None:
+        """Append a rule-based override (evaluated before profiles)."""
+        self._rules.append(rule)
+
+    def profile_for(self, user_id: int, service: str) -> PrivacyProfile:
+        """Resolve the profile governing one request."""
+        for rule in self._rules:
+            override = rule(user_id, service)
+            if override is not None:
+                return override
+        return self._user_profiles.get(user_id, self.default_profile)
+
+    def tolerance_for(self, service: str) -> ToleranceConstraint:
+        """Resolve the tolerance constraint of a service."""
+        return self._service_tolerances.get(service, self.default_tolerance)
+
+    def services(self) -> Sequence[str]:
+        """Services with explicit tolerance entries."""
+        return tuple(self._service_tolerances)

@@ -1,0 +1,57 @@
+"""Pseudonym lifecycle management.
+
+Section 3: "UserPseudonym is used to hide the user identity while allowing
+the SP to authenticate the user" and to connect multiple requests from the
+same user; Section 6 changes pseudonyms to *unlink* request histories.
+
+Pseudonyms are opaque strings drawn from a global counter; they carry no
+information about the user id, and "pseudonyms are not shared by different
+individuals" (Section 5.2) by construction.
+"""
+
+from __future__ import annotations
+
+
+class PseudonymManager:
+    """Issues and rotates per-user pseudonyms."""
+
+    def __init__(self, prefix: str = "p") -> None:
+        self._prefix = prefix
+        self._counter = 0
+        self._current: dict[int, str] = {}
+        self._issued_to: dict[str, int] = {}
+
+    def current(self, user_id: int) -> str:
+        """The user's active pseudonym, created on first use."""
+        pseudonym = self._current.get(user_id)
+        if pseudonym is None:
+            pseudonym = self._issue(user_id)
+        return pseudonym
+
+    def rotate(self, user_id: int) -> str:
+        """Replace the user's pseudonym (the unlinking action's step 1)."""
+        return self._issue(user_id)
+
+    def owner_of(self, pseudonym: str) -> int | None:
+        """Ground-truth owner of a pseudonym (TS/evaluation side only)."""
+        return self._issued_to.get(pseudonym)
+
+    def pseudonyms_of(self, user_id: int) -> list[str]:
+        """All pseudonyms ever issued to a user, in issue order."""
+        return [
+            pseudonym
+            for pseudonym, owner in self._issued_to.items()
+            if owner == user_id
+        ]
+
+    @property
+    def issued_count(self) -> int:
+        """Total pseudonyms issued across all users."""
+        return self._counter
+
+    def _issue(self, user_id: int) -> str:
+        pseudonym = f"{self._prefix}{self._counter:08d}"
+        self._counter += 1
+        self._current[user_id] = pseudonym
+        self._issued_to[pseudonym] = user_id
+        return pseudonym

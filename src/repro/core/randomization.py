@@ -1,0 +1,85 @@
+"""Randomized context placement (Section 7's open issue).
+
+"In addition, randomization should be used as part of the TS strategy to
+prevent inference attacks."
+
+The inference attack randomization defeats: Algorithm 1's box is the
+*bounding* box of the request point and the selected users' PHL points,
+and tolerance shrinking re-centers on the requester — so the requester's
+exact location sits at a statistically predictable position inside the
+forwarded ``⟨Area, TimeInterval⟩`` (near the center after a shrink, on
+the boundary otherwise).  An SP estimating "user = box center" recovers
+much of the precision generalization was supposed to destroy.
+
+:class:`BoxRandomizer` expands a certified box by random, independently
+split margins so the requester's relative position inside the final
+context is uniform.  Expansion only ever *grows* the box, so every
+selected user's PHL point stays inside — LT-consistency and therefore
+Historical k-anonymity are preserved by construction — and the expansion
+budget is capped by the service's tolerance constraint, so QoS bounds
+still hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.generalization import ToleranceConstraint
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+
+class BoxRandomizer:
+    """Randomly re-place a generalized context within its tolerance.
+
+    ``slack`` in [0, 1] is the fraction of the remaining tolerance
+    budget (per axis) the randomizer may consume; 1.0 uses the whole
+    budget, 0.0 disables expansion.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, slack: float = 1.0
+    ) -> None:
+        if not 0 <= slack <= 1:
+            raise ValueError(f"slack must be in [0, 1], got {slack}")
+        self._rng = rng
+        self.slack = slack
+
+    def randomize(
+        self,
+        box: STBox,
+        anchor: STPoint,
+        tolerance: ToleranceConstraint,
+    ) -> STBox:
+        """Expand ``box`` by random margins within the tolerance budget.
+
+        ``anchor`` (the exact request point) is contained before and
+        after; each axis draws a total extra extent uniformly from the
+        available budget and splits it uniformly between the two sides,
+        which makes the anchor's relative position uniform when the
+        original box is small relative to the budget.
+        """
+        if not box.contains(anchor):
+            raise ValueError("anchor must lie inside the box")
+        x_min, x_max = self._expand_axis(
+            box.rect.x_min, box.rect.x_max, tolerance.max_width
+        )
+        y_min, y_max = self._expand_axis(
+            box.rect.y_min, box.rect.y_max, tolerance.max_height
+        )
+        t_min, t_max = self._expand_axis(
+            box.interval.start, box.interval.end, tolerance.max_duration
+        )
+        return STBox(
+            Rect(x_min, y_min, x_max, y_max), Interval(t_min, t_max)
+        )
+
+    def _expand_axis(
+        self, lo: float, hi: float, max_extent: float
+    ) -> tuple[float, float]:
+        budget = max_extent - (hi - lo)
+        if budget <= 0 or not np.isfinite(budget):
+            return lo, hi
+        extra = self._rng.uniform(0.0, self.slack * budget)
+        left = self._rng.uniform(0.0, extra)
+        return lo - left, hi + (extra - left)

@@ -1,0 +1,130 @@
+"""Service requests.
+
+Section 3 of the paper: service providers receive requests of the form
+``(msgid, UserPseudonym, Area, TimeInterval, Data)`` while the Trusted
+Server additionally knows "the exact point and exact time when the user
+issued the request".
+
+:class:`Request` is the TS-side record carrying both views; ground-truth
+fields (``user_id``, ``location``) must never be read by attacker or
+service-provider code.  :meth:`Request.sp_view` produces the
+:class:`SPRequest` projection containing only what crosses the trust
+boundary, and all adversary modules in :mod:`repro.attack` operate on
+:class:`SPRequest` exclusively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.geometry.point import STPoint
+from repro.geometry.region import STBox
+
+_EMPTY_DATA: Mapping[str, object] = MappingProxyType({})
+
+
+@dataclass(frozen=True)
+class SPRequest:
+    """A request as observed by a service provider.
+
+    This is everything an attacker sitting at (or colluding with) the SP
+    can see: an opaque message id, the pseudonym, the generalized
+    spatio-temporal context, the service name, and the request payload.
+    """
+
+    msgid: int
+    pseudonym: str
+    context: STBox
+    service: str = "default"
+    data: Mapping[str, object] = field(default_factory=lambda: _EMPTY_DATA)
+
+
+@dataclass(frozen=True)
+class Request:
+    """The Trusted Server's full record of one service request.
+
+    ``location`` is the exact ``⟨x, y, t⟩`` of the user at request time;
+    ``context`` is the (possibly generalized) box forwarded to the SP.  A
+    freshly issued request starts with a degenerate context equal to its
+    exact location; the anonymizer replaces it before forwarding.
+    """
+
+    msgid: int
+    user_id: int
+    pseudonym: str
+    location: STPoint
+    context: STBox
+    service: str = "default"
+    data: Mapping[str, object] = field(default_factory=lambda: _EMPTY_DATA)
+
+    @classmethod
+    def issue(
+        cls,
+        msgid: int,
+        user_id: int,
+        pseudonym: str,
+        location: STPoint,
+        service: str = "default",
+        data: Mapping[str, object] | None = None,
+    ) -> "Request":
+        """Create a request whose context is its exact location."""
+        return cls(
+            msgid=msgid,
+            user_id=user_id,
+            pseudonym=pseudonym,
+            location=location,
+            context=STBox.from_st_point(location),
+            service=service,
+            data=_EMPTY_DATA if data is None else data,
+        )
+
+    @property
+    def t(self) -> float:
+        """Exact issue time of the request."""
+        return self.location.t
+
+    def with_context(self, context: STBox) -> "Request":
+        """Copy of this request carrying a generalized context.
+
+        The exact location must lie inside the new context; Algorithm 1
+        always produces boxes containing the request point, and this guard
+        catches any caller that would break that invariant.
+        """
+        if not context.contains(self.location):
+            raise ValueError(
+                "generalized context does not contain the exact request "
+                f"location {self.location}"
+            )
+        return Request(
+            msgid=self.msgid,
+            user_id=self.user_id,
+            pseudonym=self.pseudonym,
+            location=self.location,
+            context=context,
+            service=self.service,
+            data=self.data,
+        )
+
+    def with_pseudonym(self, pseudonym: str) -> "Request":
+        """Copy of this request under a different pseudonym."""
+        return Request(
+            msgid=self.msgid,
+            user_id=self.user_id,
+            pseudonym=pseudonym,
+            location=self.location,
+            context=self.context,
+            service=self.service,
+            data=self.data,
+        )
+
+    def sp_view(self) -> SPRequest:
+        """Project away ground truth, leaving what the SP observes."""
+        return SPRequest(
+            msgid=self.msgid,
+            pseudonym=self.pseudonym,
+            context=self.context,
+            service=self.service,
+            data=self.data,
+        )

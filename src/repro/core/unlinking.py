@@ -1,0 +1,100 @@
+"""The abstract Unlinking action (Section 6.3).
+
+The paper abstracts pseudonym-change-in-a-mix-zone "into an action called
+Unlinking with a likelihood parameter Θ": when it succeeds, requests made
+under the old and new pseudonyms have ``Link(r1, r2) < Θ``.
+
+:class:`UnlinkingProvider` is the protocol; this module ships the three
+analytical providers (always / never / coin-flip succeed) used to study
+the strategy — ``AlwaysUnlink`` is exactly Theorem 1's assumption that
+"we can always perform Unlinking for a certain likelihood parameter Θ".
+The geometric providers that derive success from actual mix-zone
+conditions live in :mod:`repro.mixzone`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.geometry.point import STPoint
+
+
+@dataclass(frozen=True)
+class UnlinkOutcome:
+    """Result of one unlinking attempt.
+
+    ``theta`` is the guaranteed linkability bound: after a successful
+    unlink, any pair of old/new-pseudonym requests links with likelihood
+    below ``theta``.  It is meaningful only when ``success`` is True.
+    """
+
+    success: bool
+    theta: float = 1.0
+
+
+class UnlinkingProvider(Protocol):
+    """Protocol for Section 6.3's Unlinking action."""
+
+    def attempt_unlink(self, user_id: int, location: STPoint) -> (
+        UnlinkOutcome
+    ):
+        """Try to unlink the user's future requests at this point."""
+        ...
+
+
+class AlwaysUnlink:
+    """Theorem 1's hypothesis: unlinking always succeeds with bound Θ."""
+
+    def __init__(self, theta: float = 0.0) -> None:
+        if not 0 <= theta <= 1:
+            raise ValueError(f"theta must be in [0, 1], got {theta}")
+        self.theta = theta
+
+    def attempt_unlink(self, user_id: int, location: STPoint) -> (
+        UnlinkOutcome
+    ):
+        return UnlinkOutcome(success=True, theta=self.theta)
+
+
+class NeverUnlink:
+    """Unlinking never available — isolates the generalization step."""
+
+    def attempt_unlink(self, user_id: int, location: STPoint) -> (
+        UnlinkOutcome
+    ):
+        return UnlinkOutcome(success=False)
+
+
+class ProbabilisticUnlink:
+    """Unlinking succeeds with a fixed probability.
+
+    Models an environment where a suitable mix-zone is only sometimes
+    reachable, without committing to a geometry; used in the trade-off
+    sweeps of benchmark E4.
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        rng: np.random.Generator,
+        theta: float = 0.0,
+    ) -> None:
+        if not 0 <= probability <= 1:
+            raise ValueError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        if not 0 <= theta <= 1:
+            raise ValueError(f"theta must be in [0, 1], got {theta}")
+        self.probability = probability
+        self.theta = theta
+        self._rng = rng
+
+    def attempt_unlink(self, user_id: int, location: STPoint) -> (
+        UnlinkOutcome
+    ):
+        if self._rng.random() < self.probability:
+            return UnlinkOutcome(success=True, theta=self.theta)
+        return UnlinkOutcome(success=False)

@@ -1,0 +1,21 @@
+"""Experiment harness: table formatting, sweeps, canonical workloads.
+
+The benchmark modules under ``benchmarks/`` are thin: each builds a
+workload from :mod:`repro.experiments.workloads`, runs a sweep with
+:mod:`repro.experiments.harness`, and prints the table recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.harness import Table
+from repro.experiments.workloads import (
+    default_city,
+    small_city,
+    run_protected,
+)
+
+__all__ = [
+    "Table",
+    "default_city",
+    "small_city",
+    "run_protected",
+]

@@ -1,0 +1,81 @@
+"""Result tables for the benchmark harness.
+
+Every experiment prints a :class:`Table`; the rendering is deliberately
+plain fixed-width text so the output in ``bench_output.txt`` diffs
+cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """A fixed-width result table.
+
+    >>> t = Table("demo", ["k", "rate"])
+    >>> t.add_row([2, 0.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(
+        self, title: str, columns: Sequence[str], precision: int = 3
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.precision = precision
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row; floats are rounded to the table precision."""
+        row = [self._format(value) for value in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def _format(self, value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if value in (float("inf"), float("-inf")):
+                return "inf" if value > 0 else "-inf"
+            return f"{value:.{self.precision}f}"
+        return str(value)
+
+    def render(self) -> str:
+        """The table as fixed-width text."""
+        widths = [
+            max(
+                len(self.columns[i]),
+                *(len(row[i]) for row in self.rows),
+            )
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(
+            name.rjust(width) for name, width in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    cell.rjust(width) for cell, width in zip(row, widths)
+                )
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout with surrounding blank lines."""
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,39 @@
+"""Planar and spatio-temporal geometry primitives.
+
+Every spatial object in the framework lives in a two-dimensional plane with
+coordinates measured in meters, and every temporal value is a number of
+seconds on the simulation timeline (``t = 0`` is midnight starting Monday of
+week zero; see :mod:`repro.granularity`).
+
+The central types are:
+
+* :class:`Point` — a 2D location.
+* :class:`STPoint` — a location plus a time instant; the 3D points that make
+  up a Personal History of Locations (paper Definition 6).
+* :class:`Rect` — an axis-aligned rectangle, the ``Area`` of a request.
+* :class:`Interval` — a closed time interval, the ``TimeInterval`` of a
+  request.
+* :class:`STBox` — a rectangle plus an interval: the generalized
+  spatio-temporal context ``⟨Area, TimeInterval⟩`` that the Trusted Server
+  sends to a service provider (paper Section 3) and that Algorithm 1
+  computes.
+"""
+
+from repro.geometry.point import Point, STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.geometry.distance import (
+    euclidean,
+    point_to_rect_distance,
+    st_distance,
+)
+
+__all__ = [
+    "Point",
+    "STPoint",
+    "Rect",
+    "Interval",
+    "STBox",
+    "euclidean",
+    "point_to_rect_distance",
+    "st_distance",
+]

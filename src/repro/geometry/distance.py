@@ -1,0 +1,47 @@
+"""Distance functions used by Algorithm 1 and the tracking attacker.
+
+Algorithm 1 needs, for each candidate user, "the 3D point in its PHL closest
+to ⟨x, y, t⟩" (line 2).  Space is measured in meters and time in seconds, so
+a combined distance needs a conversion rate between the two axes.  We follow
+the usual convention for moving-object data and scale time by a *reference
+speed* (meters per second): a gap of ``s`` seconds counts as much as a gap
+of ``s * time_scale`` meters.  The default of 1.5 m/s approximates walking
+speed; callers tune it to the population being modeled.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.point import Point, STPoint
+from repro.geometry.region import Rect
+
+#: Default conversion rate between the temporal and spatial axes, in m/s.
+DEFAULT_TIME_SCALE = 1.5
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two planar points, in meters."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def st_distance(
+    a: STPoint, b: STPoint, time_scale: float = DEFAULT_TIME_SCALE
+) -> float:
+    """Combined spatio-temporal distance between two 3D points.
+
+    ``time_scale`` converts seconds into equivalent meters so the three
+    axes are commensurable.
+    """
+    dt = (a.t - b.t) * time_scale
+    return math.sqrt((a.x - b.x) ** 2 + (a.y - b.y) ** 2 + dt * dt)
+
+
+def point_to_rect_distance(p: Point, rect: Rect) -> float:
+    """Distance from a point to the closest point of a rectangle.
+
+    Zero when the point lies inside the (closed) rectangle.
+    """
+    dx = max(rect.x_min - p.x, 0.0, p.x - rect.x_max)
+    dy = max(rect.y_min - p.y, 0.0, p.y - rect.y_max)
+    return math.hypot(dx, dy)

@@ -1,0 +1,60 @@
+"""Points in the plane and in space-time."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A location in the 2D plane, coordinates in meters.
+
+    Instances are immutable and hashable so they can be used as dictionary
+    keys (e.g. home/work anchors in the mobility models).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the point halfway between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class STPoint:
+    """A spatio-temporal point ``⟨x, y, t⟩``.
+
+    These are the elements of a Personal History of Locations (paper
+    Definition 6): the position of a user at time instant ``t``.
+    """
+
+    x: float
+    y: float
+    t: float
+
+    @property
+    def point(self) -> Point:
+        """The spatial component as a :class:`Point`."""
+        return Point(self.x, self.y)
+
+    def spatial_distance_to(self, other: "STPoint") -> float:
+        """Euclidean distance between the spatial components, in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Return ``(x, y, t)``."""
+        return (self.x, self.y, self.t)

@@ -1,0 +1,321 @@
+"""Rectangles, time intervals, and spatio-temporal boxes.
+
+The paper represents a request's generalized context as
+``⟨Area, TimeInterval⟩`` where the area is "a set of points in bidimensional
+space (possibly by a pair of intervals [x1,x2][y1,y2])" (Definition 1).  We
+adopt exactly that representation: axis-aligned rectangles and closed time
+intervals, combined into :class:`STBox`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Point, STPoint
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``[start, end]`` on the simulation timeline.
+
+    Degenerate intervals (``start == end``) are allowed; they model an exact
+    instant.  Construction validates ``start <= end``.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(
+                f"interval start {self.start} exceeds end {self.end}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the interval."""
+        return (self.start + self.end) / 2.0
+
+    def contains(self, t: float) -> bool:
+        """Whether instant ``t`` lies in the closed interval."""
+        return self.start <= t <= self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether ``other`` lies entirely within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two closed intervals share at least one instant."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping sub-interval, or ``None`` if disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Interval(max(self.start, other.start), min(self.end, other.end))
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both intervals."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def expanded(self, margin: float) -> "Interval":
+        """Interval widened by ``margin`` seconds on each side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return Interval(self.start - margin, self.end + margin)
+
+    def clamped_around(self, anchor: float, max_duration: float) -> "Interval":
+        """Shrink to at most ``max_duration``, keeping ``anchor`` inside.
+
+        This implements the temporal half of Algorithm 1 line 12: when a
+        generalized interval violates the service tolerance constraint it is
+        "uniformly reduced" around the true request instant.
+        """
+        if max_duration < 0:
+            raise ValueError("max_duration must be non-negative")
+        if self.duration <= max_duration:
+            return self
+        half = max_duration / 2.0
+        start = anchor - half
+        end = anchor + half
+        # Slide the window so it stays within the original interval when
+        # the anchor is near an edge.
+        if start < self.start:
+            start, end = self.start, self.start + max_duration
+        elif end > self.end:
+            start, end = self.end - max_duration, self.end
+        return Interval(start, end)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[x_min, x_max] × [y_min, y_max]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed; they model
+    exact locations.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(
+                "rectangle min corner must not exceed max corner: "
+                f"({self.x_min}, {self.y_min}) vs ({self.x_max}, {self.y_max})"
+            )
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Rectangle of the given size centered on ``center``."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            center.x + width / 2.0,
+            center.y + height / 2.0,
+        )
+
+    @classmethod
+    def from_point(cls, point: Point) -> "Rect":
+        """Degenerate rectangle holding a single point."""
+        return cls(point.x, point.y, point.x, point.y)
+
+    @classmethod
+    def bounding(cls, points: Iterable[Point]) -> "Rect":
+        """Smallest rectangle containing all ``points``.
+
+        Raises :class:`ValueError` on an empty iterable.
+        """
+        xs: list[float] = []
+        ys: list[float] = []
+        for p in points:
+            xs.append(p.x)
+            ys.append(p.y)
+        if not xs:
+            raise ValueError("cannot bound an empty set of points")
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        """Area in square meters."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(
+            (self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0
+        )
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies in the closed rectangle."""
+        return (
+            self.x_min <= point.x <= self.x_max
+            and self.y_min <= point.y <= self.y_max
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely within this rectangle."""
+        return (
+            self.x_min <= other.x_min
+            and self.y_min <= other.y_min
+            and other.x_max <= self.x_max
+            and other.y_max <= self.y_max
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether the two closed rectangles share at least one point."""
+        return (
+            self.x_min <= other.x_max
+            and other.x_min <= self.x_max
+            and self.y_min <= other.y_max
+            and other.y_min <= self.y_max
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping sub-rectangle, or ``None`` if disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Rect(
+            max(self.x_min, other.x_min),
+            max(self.y_min, other.y_min),
+            min(self.x_max, other.x_max),
+            min(self.y_max, other.y_max),
+        )
+
+    def union_hull(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both rectangles."""
+        return Rect(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` meters on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return Rect(
+            self.x_min - margin,
+            self.y_min - margin,
+            self.x_max + margin,
+            self.y_max + margin,
+        )
+
+    def clamped_around(
+        self, anchor: Point, max_width: float, max_height: float
+    ) -> "Rect":
+        """Shrink to at most ``max_width × max_height`` keeping ``anchor``.
+
+        The spatial half of Algorithm 1 line 12: a too-large generalized
+        area is "uniformly reduced" to the tolerance constraint while still
+        containing the true request location.
+        """
+        if max_width < 0 or max_height < 0:
+            raise ValueError("maximum dimensions must be non-negative")
+        x_min, x_max = _clamp_axis(
+            self.x_min, self.x_max, anchor.x, max_width
+        )
+        y_min, y_max = _clamp_axis(
+            self.y_min, self.y_max, anchor.y, max_height
+        )
+        return Rect(x_min, y_min, x_max, y_max)
+
+
+def _clamp_axis(
+    lo: float, hi: float, anchor: float, max_extent: float
+) -> tuple[float, float]:
+    """Shrink ``[lo, hi]`` to ``max_extent`` keeping ``anchor`` inside."""
+    if hi - lo <= max_extent:
+        return lo, hi
+    half = max_extent / 2.0
+    new_lo = anchor - half
+    new_hi = anchor + half
+    if new_lo < lo:
+        return lo, lo + max_extent
+    if new_hi > hi:
+        return hi - max_extent, hi
+    return new_lo, new_hi
+
+
+@dataclass(frozen=True, slots=True)
+class STBox:
+    """A spatio-temporal box: a :class:`Rect` plus an :class:`Interval`.
+
+    This is the "smallest 3D space (2D area + time)" that Algorithm 1
+    computes and the generalized ``⟨Area, TimeInterval⟩`` sent to service
+    providers.
+    """
+
+    rect: Rect
+    interval: Interval
+
+    @classmethod
+    def from_st_point(cls, p: STPoint) -> "STBox":
+        """Degenerate box containing exactly one spatio-temporal point."""
+        return cls(Rect.from_point(p.point), Interval(p.t, p.t))
+
+    @classmethod
+    def bounding_st(cls, points: Iterable[STPoint]) -> "STBox":
+        """Smallest box containing all spatio-temporal ``points``."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty set of points")
+        rect = Rect.bounding(p.point for p in pts)
+        ts = [p.t for p in pts]
+        return cls(rect, Interval(min(ts), max(ts)))
+
+    @property
+    def volume(self) -> float:
+        """Area × duration; the raw "uncertainty volume" of the box."""
+        return self.rect.area * self.interval.duration
+
+    def contains(self, p: STPoint) -> bool:
+        """Whether the box contains the spatio-temporal point ``p``."""
+        return self.rect.contains(p.point) and self.interval.contains(p.t)
+
+    def contains_box(self, other: "STBox") -> bool:
+        """Whether ``other`` lies entirely within this box."""
+        return self.rect.contains_rect(other.rect) and (
+            self.interval.contains_interval(other.interval)
+        )
+
+    def overlaps(self, other: "STBox") -> bool:
+        """Whether the two boxes share at least one spatio-temporal point."""
+        return self.rect.overlaps(other.rect) and self.interval.overlaps(
+            other.interval
+        )
+
+    def union_hull(self, other: "STBox") -> "STBox":
+        """Smallest box containing both boxes."""
+        return STBox(
+            self.rect.union_hull(other.rect),
+            self.interval.union_hull(other.interval),
+        )
+
+    def expanded(
+        self, spatial_margin: float, temporal_margin: float
+    ) -> "STBox":
+        """Box grown by the given spatial and temporal margins."""
+        return STBox(
+            self.rect.expanded(spatial_margin),
+            self.interval.expanded(temporal_margin),
+        )

@@ -1,0 +1,75 @@
+"""Time granularities, unanchored intervals, and recurrence formulas.
+
+This subpackage is the temporal substrate the paper builds LBQIDs on.  It
+implements the granularity model of Bettini, Jajodia & Wang, *Time
+Granularities in Databases, Data Mining, and Temporal Reasoning* (the
+paper's reference [3]) at the depth the framework needs:
+
+* a **timeline** of seconds where ``t = 0`` is midnight starting the Monday
+  of week zero (:mod:`repro.granularity.timeline`);
+* **granularities** — mappings from integer indices to *granules*, i.e.
+  sets of timeline instants (:mod:`repro.granularity.granularity`), with
+  the standard calendar instances (seconds … months, ``Weekdays``,
+  per-weekday granularities like ``Mondays``) in
+  :mod:`repro.granularity.calendar`;
+* **unanchored time intervals** like ``[7am, 9am]`` that denote one
+  interval per day (:mod:`repro.granularity.unanchored`);
+* **recurrence formulas** ``r1.G1 ▷ r2.G2 ▷ … ▷ rn.Gn`` with the
+  observation-counting semantics of Definition 1
+  (:mod:`repro.granularity.recurrence`).
+"""
+
+from repro.granularity.timeline import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    day_index,
+    day_of_week,
+    seconds_of_day,
+    time_at,
+    week_index,
+)
+from repro.granularity.granularity import (
+    FilteredDayGranularity,
+    Granularity,
+    UniformGranularity,
+)
+from repro.granularity.calendar import (
+    DAYS,
+    HOURS,
+    MINUTES,
+    MONTHS,
+    WEEKDAYS,
+    WEEKS,
+    granularity_by_name,
+    weekday_granularity,
+)
+from repro.granularity.unanchored import UnanchoredInterval
+from repro.granularity.recurrence import RecurrenceFormula, RecurrenceTerm
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "time_at",
+    "seconds_of_day",
+    "day_index",
+    "day_of_week",
+    "week_index",
+    "Granularity",
+    "UniformGranularity",
+    "FilteredDayGranularity",
+    "MINUTES",
+    "HOURS",
+    "DAYS",
+    "WEEKS",
+    "MONTHS",
+    "WEEKDAYS",
+    "weekday_granularity",
+    "granularity_by_name",
+    "UnanchoredInterval",
+    "RecurrenceFormula",
+    "RecurrenceTerm",
+]

@@ -1,0 +1,96 @@
+"""Standard calendar granularities.
+
+All the granularities the paper's examples use, plus a registry so
+recurrence formulas can be parsed from text (``"3.Weekdays * 2.Weeks"``).
+
+``MONTHS`` is a uniform 30-day pseudo-month: the simulation timeline has no
+leap years or variable month lengths, and nothing in the framework depends
+on exact civil months — only on the nesting of granules.
+"""
+
+from __future__ import annotations
+
+from repro.granularity.granularity import (
+    FilteredDayGranularity,
+    Granularity,
+    UniformGranularity,
+)
+from repro.granularity.timeline import (
+    DAY,
+    DAY_NAMES,
+    HOUR,
+    MINUTE,
+    WEEK,
+)
+
+SECONDS = UniformGranularity("Seconds", 1.0)
+MINUTES = UniformGranularity("Minutes", MINUTE)
+HOURS = UniformGranularity("Hours", HOUR)
+DAYS = UniformGranularity("Days", DAY)
+WEEKS = UniformGranularity("Weeks", WEEK)
+#: Uniform 30-day pseudo-months (see module docstring).
+MONTHS = UniformGranularity("Months", 30.0 * DAY)
+
+#: Weekdays: each Monday-through-Friday day is one granule; weekend
+#: instants fall in a gap.  This is the ``G1`` of the paper's Example 2.
+WEEKDAYS = FilteredDayGranularity("Weekdays", lambda dow: dow < 5)
+
+#: Weekend days as single-granule days, the complement of ``WEEKDAYS``.
+WEEKEND_DAYS = FilteredDayGranularity("WeekendDays", lambda dow: dow >= 5)
+
+
+def weekday_granularity(day_of_week: int) -> FilteredDayGranularity:
+    """Granularity whose granules are a single day of the week.
+
+    The paper (Section 4) suggests granularities like ``Mondays`` or
+    ``Tuesdays`` to express patterns such as "same weekday for at least 3
+    weeks"; this builds them.  ``day_of_week`` is 0 = Monday … 6 = Sunday.
+    """
+    if not 0 <= day_of_week <= 6:
+        raise ValueError(f"day of week must be in 0..6, got {day_of_week}")
+    name = DAY_NAMES[day_of_week] + "s"
+    return FilteredDayGranularity(name, lambda dow: dow == day_of_week)
+
+
+MONDAYS = weekday_granularity(0)
+TUESDAYS = weekday_granularity(1)
+WEDNESDAYS = weekday_granularity(2)
+THURSDAYS = weekday_granularity(3)
+FRIDAYS = weekday_granularity(4)
+SATURDAYS = weekday_granularity(5)
+SUNDAYS = weekday_granularity(6)
+
+_REGISTRY: dict[str, Granularity] = {
+    g.name.lower(): g
+    for g in (
+        SECONDS,
+        MINUTES,
+        HOURS,
+        DAYS,
+        WEEKS,
+        MONTHS,
+        WEEKDAYS,
+        WEEKEND_DAYS,
+        MONDAYS,
+        TUESDAYS,
+        WEDNESDAYS,
+        THURSDAYS,
+        FRIDAYS,
+        SATURDAYS,
+        SUNDAYS,
+    )
+}
+
+
+def granularity_by_name(name: str) -> Granularity:
+    """Look up a standard granularity by (case-insensitive) name.
+
+    Raises :class:`KeyError` with the list of known names when not found.
+    """
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown granularity {name!r}; known granularities: {known}"
+        ) from None

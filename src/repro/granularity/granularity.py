@@ -1,0 +1,117 @@
+"""Time granularities.
+
+Following the paper's reference [3], a *granularity* is a mapping from an
+integer index set to *granules* — non-overlapping sets of timeline instants
+that are ordered consistently with their indexes.  Two families cover every
+granularity the paper uses:
+
+* :class:`UniformGranularity` — granules are consecutive intervals of a
+  fixed period (seconds, minutes, hours, days, weeks, pseudo-months, and
+  user-defined granularities such as "2 contiguous days");
+* :class:`FilteredDayGranularity` — granules are single days selected by a
+  predicate on the day of the week (``Weekdays``, ``Mondays``, …).  These
+  granularities have *gaps*: instants falling on unselected days belong to
+  no granule, exactly as in [3].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.geometry.region import Interval
+from repro.granularity.timeline import DAY, day_index, day_of_week
+
+
+class Granularity(ABC):
+    """Abstract granularity: indexed, non-overlapping granules.
+
+    Concrete subclasses define which granule (if any) contains a timeline
+    instant and the extent of each granule.  Granule indexes are arbitrary
+    integers; equality of indexes means "same granule", which is all the
+    recurrence semantics needs.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abstractmethod
+    def granule_containing(self, t: float) -> int | None:
+        """Index of the granule containing instant ``t``.
+
+        Returns ``None`` when ``t`` falls in a gap of the granularity (for
+        example, a Saturday under ``Weekdays``).
+        """
+
+    @abstractmethod
+    def granule_interval(self, index: int) -> Interval:
+        """The timeline extent ``[start, end)`` of granule ``index``.
+
+        Returned as a closed :class:`Interval` whose ``end`` is the first
+        instant *not* in the granule; callers treat it as half-open.
+        """
+
+    def same_granule(self, t1: float, t2: float) -> bool:
+        """Whether two instants fall in the same (non-gap) granule."""
+        g1 = self.granule_containing(t1)
+        if g1 is None:
+            return False
+        return g1 == self.granule_containing(t2)
+
+    def covers(self, t: float) -> bool:
+        """Whether instant ``t`` belongs to some granule."""
+        return self.granule_containing(t) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class UniformGranularity(Granularity):
+    """Granules are consecutive half-open intervals of a fixed period.
+
+    Granule ``i`` spans ``[offset + i*period, offset + (i+1)*period)``.
+    """
+
+    def __init__(self, name: str, period: float, offset: float = 0.0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        super().__init__(name)
+        self.period = period
+        self.offset = offset
+
+    def granule_containing(self, t: float) -> int | None:
+        return int((t - self.offset) // self.period)
+
+    def granule_interval(self, index: int) -> Interval:
+        start = self.offset + index * self.period
+        return Interval(start, start + self.period)
+
+
+class FilteredDayGranularity(Granularity):
+    """Granules are single days whose day-of-week passes a predicate.
+
+    Instants on unselected days fall in a gap (``granule_containing``
+    returns ``None``).  The granule index is the day index itself, so two
+    instants are in the same granule exactly when they are in the same
+    selected day.
+    """
+
+    def __init__(
+        self, name: str, day_predicate: Callable[[int], bool]
+    ) -> None:
+        super().__init__(name)
+        self._day_predicate = day_predicate
+
+    def granule_containing(self, t: float) -> int | None:
+        day = day_index(t)
+        if self._day_predicate(day_of_week(t)):
+            return day
+        return None
+
+    def granule_interval(self, index: int) -> Interval:
+        if not self._day_predicate(index % 7):
+            raise ValueError(
+                f"day {index} is not a granule of granularity {self.name!r}"
+            )
+        start = index * DAY
+        return Interval(start, start + DAY)

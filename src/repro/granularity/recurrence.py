@@ -1,0 +1,248 @@
+"""Recurrence formulas ``r1.G1 ▷ r2.G2 ▷ … ▷ rn.Gn``.
+
+Definition 1 attaches a recurrence formula to each LBQID.  Its semantics
+(quoting the paper): "each sequence must be observed within a single granule
+of G1.  The value r1 denotes the minimum number of such observations.  All
+the r1 observations should be within one granule of G2, and there should be
+at least r2 occurrences of these observations.  The same semantics clearly
+extends to n granularities."
+
+An *observation* here is one complete match of the LBQID's element sequence,
+represented by the timestamps of its matching requests.  The paper adds the
+implicit condition "there are at least r_i granules of G_i, each containing
+at least r_{i-1} granules of G_{i-1}", which we read (as does Example 2:
+"3 observations in the same week" means three different weekdays) as:
+observations counted at level 1 must occupy *distinct* granules of G1, and
+in general level-i counting is over distinct satisfied G_i granules.
+
+Alignment assumption: each granule of ``G_i`` must lie within a single
+granule of ``G_{i+1}`` (the standard *groups-into* relation of the
+granularity literature); all calendar granularities used in formulas
+satisfy it.  Granules are assigned to the enclosing coarser granule by
+their start instant.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.granularity.calendar import granularity_by_name
+from repro.granularity.granularity import Granularity
+
+
+@dataclass(frozen=True)
+class RecurrenceTerm:
+    """One ``r.G`` factor of a recurrence formula."""
+
+    count: int
+    granularity: Granularity
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(
+                f"recurrence count must be at least 1, got {self.count}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.count}.{self.granularity.name}"
+
+
+class RecurrenceFormula:
+    """A parsed recurrence formula with its satisfaction semantics.
+
+    The empty formula is equivalent to ``1.`` (paper Section 4): it is
+    satisfied as soon as the element sequence has been observed once,
+    anywhere on the timeline.
+    """
+
+    def __init__(self, terms: Sequence[RecurrenceTerm] = ()) -> None:
+        self.terms = tuple(terms)
+
+    @classmethod
+    def parse(cls, text: str) -> "RecurrenceFormula":
+        """Parse ``"3.Weekdays * 2.Weeks"`` into a formula.
+
+        Terms are separated by ``*`` (as printed in the paper's Example 2)
+        or by whitespace.  An empty or blank string yields the empty
+        formula.
+        """
+        stripped = text.strip()
+        if not stripped:
+            return cls()
+        terms = []
+        for token in re.split(r"[*\s]+", stripped):
+            if not token:
+                continue
+            count_text, dot, name = token.partition(".")
+            if not dot or not name:
+                raise ValueError(
+                    f"malformed recurrence term {token!r}; expected 'r.G'"
+                )
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise ValueError(
+                    f"malformed recurrence count in term {token!r}"
+                ) from None
+            terms.append(RecurrenceTerm(count, granularity_by_name(name)))
+        return cls(terms)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this is the trivial ``1.`` formula."""
+        return not self.terms
+
+    @property
+    def minimum_observations(self) -> int:
+        """Lower bound on complete sequence observations needed to satisfy.
+
+        The product of all counts; 1 for the empty formula.
+        """
+        result = 1
+        for term in self.terms:
+            result *= term.count
+        return result
+
+    def normalized(self) -> "RecurrenceFormula":
+        """Drop a trailing ``1.Gn`` term, which the paper notes is implicit.
+
+        Only a single trailing term is dropped, and only when the formula
+        has more than one term (``1.G`` alone still constrains each
+        observation to fit within one granule of ``G``).
+        """
+        if len(self.terms) > 1 and self.terms[-1].count == 1:
+            return RecurrenceFormula(self.terms[:-1])
+        return self
+
+    def nesting_violations(
+        self, horizon_days: int = 90
+    ) -> list[tuple[str, str, int]]:
+        """Check the groups-into alignment assumption (module docstring).
+
+        The counting semantics assigns each granule of ``G_i`` to the
+        granule of ``G_{i+1}`` containing its *start*; that is exact
+        only when no ``G_i`` granule straddles a ``G_{i+1}`` boundary.
+        This scans the first ``horizon_days`` of the timeline and
+        returns one ``(fine_name, coarse_name, granule_index)`` entry
+        per straddling granule found — an empty list means the formula's
+        granularities nest cleanly (all standard calendar combinations
+        except e.g. Weeks-into-Months do).
+        """
+        from repro.granularity.timeline import DAY
+
+        violations = []
+        horizon = horizon_days * DAY
+        for fine_term, coarse_term in zip(self.terms, self.terms[1:]):
+            fine = fine_term.granularity
+            coarse = coarse_term.granularity
+            seen: set[int] = set()
+            t = 0.0
+            while t < horizon:
+                granule = fine.granule_containing(t)
+                if granule is not None and granule not in seen:
+                    seen.add(granule)
+                    interval = fine.granule_interval(granule)
+                    start_home = coarse.granule_containing(interval.start)
+                    # The last instant strictly inside the fine granule
+                    # must live in the same coarse granule.
+                    end_home = coarse.granule_containing(
+                        min(interval.end, horizon) - 1e-6
+                    )
+                    if start_home != end_home:
+                        violations.append(
+                            (fine.name, coarse.name, granule)
+                        )
+                t += DAY / 4.0
+        return violations
+
+    def observation_granule(self, timestamps: Iterable[float]) -> int | None:
+        """The G1 granule an observation falls in, or ``None`` if invalid.
+
+        An observation is valid at level 1 when all its timestamps lie in a
+        single granule of G1 (no gaps, no straddling).  With the empty
+        formula every non-empty observation is valid; granule 0 is used as
+        the single "whole timeline" granule.
+        """
+        ts = list(timestamps)
+        if not ts:
+            return None
+        if self.is_empty:
+            return 0
+        g1 = self.terms[0].granularity
+        granules = {g1.granule_containing(t) for t in ts}
+        if len(granules) != 1:
+            return None
+        granule = granules.pop()
+        return granule  # may be None when all timestamps sit in a gap
+
+    def satisfied_by(
+        self, observations: Iterable[Sequence[float]]
+    ) -> bool:
+        """Whether a set of sequence observations satisfies the formula.
+
+        ``observations`` is an iterable of timestamp collections, one per
+        complete match of the LBQID's element sequence.
+        """
+        if self.is_empty:
+            return any(
+                self.observation_granule(obs) is not None
+                for obs in observations
+            )
+        return self.satisfaction_level(observations) >= len(self.terms)
+
+    def satisfaction_level(
+        self, observations: Iterable[Sequence[float]]
+    ) -> int:
+        """How many leading terms of the formula are already satisfied.
+
+        Returns ``i`` when the counting condition holds through term ``i``
+        (so ``len(self.terms)`` means fully satisfied).  Useful both for
+        satisfaction checks and for progress reporting in the monitor.
+        """
+        if self.is_empty:
+            return 0
+        # Level 1: distinct G1 granules holding a valid observation.
+        current = {
+            granule
+            for granule in (
+                self.observation_granule(obs) for obs in observations
+            )
+            if granule is not None
+        }
+        level = 0
+        for i, term in enumerate(self.terms):
+            if len(current) < term.count:
+                break
+            level = i + 1
+            if i + 1 == len(self.terms):
+                break
+            # Group the satisfied G_i granules into G_{i+1} granules and
+            # keep those containing at least `term.count` of them.
+            coarser = self.terms[i + 1].granularity
+            counts: Counter[int] = Counter()
+            for granule in current:
+                start = term.granularity.granule_interval(granule).start
+                enclosing = coarser.granule_containing(start)
+                if enclosing is not None:
+                    counts[enclosing] += 1
+            current = {g for g, c in counts.items() if c >= term.count}
+        return level
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "1."
+        return " * ".join(str(term) for term in self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecurrenceFormula({self})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecurrenceFormula):
+            return NotImplemented
+        return self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(self.terms)

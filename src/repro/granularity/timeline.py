@@ -1,0 +1,91 @@
+"""The simulation timeline and calendar arithmetic.
+
+All temporal values in the library are floats measured in **seconds** on a
+single timeline whose origin ``t = 0`` is midnight at the start of the
+Monday of week zero.  Using an abstract timeline instead of wall-clock
+datetimes keeps the granularity algebra exact and the simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: One minute, in seconds.
+MINUTE = 60.0
+#: One hour, in seconds.
+HOUR = 60.0 * MINUTE
+#: One day, in seconds.
+DAY = 24.0 * HOUR
+#: One week, in seconds.  ``t = 0`` is the start of a Monday, so weeks run
+#: Monday through Sunday.
+WEEK = 7.0 * DAY
+
+#: Names of the days of the week, indexed by :func:`day_of_week`.
+DAY_NAMES = (
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+)
+
+
+def time_at(
+    week: int = 0,
+    day: int = 0,
+    hour: float = 0.0,
+    minute: float = 0.0,
+    second: float = 0.0,
+) -> float:
+    """Build a timeline instant from calendar components.
+
+    ``day`` is the day of the week, 0 = Monday … 6 = Sunday.
+
+    >>> time_at(week=1, day=2, hour=7, minute=30)  # Wed 07:30 of week 1
+    817800.0
+    """
+    if not 0 <= day <= 6:
+        raise ValueError(f"day of week must be in 0..6, got {day}")
+    return (
+        week * WEEK + day * DAY + hour * HOUR + minute * MINUTE + second
+    )
+
+
+def seconds_of_day(t: float) -> float:
+    """Offset of instant ``t`` within its day, in ``[0, DAY)``."""
+    return t % DAY
+
+
+def day_index(t: float) -> int:
+    """Index of the day containing ``t`` (day 0 starts at ``t = 0``)."""
+    return math.floor(t / DAY)
+
+
+def day_of_week(t: float) -> int:
+    """Day of the week containing ``t``: 0 = Monday … 6 = Sunday."""
+    return day_index(t) % 7
+
+
+def week_index(t: float) -> int:
+    """Index of the week containing ``t`` (week 0 starts at ``t = 0``)."""
+    return math.floor(t / WEEK)
+
+
+def format_time(t: float) -> str:
+    """Human-readable rendering, e.g. ``'week 1 Wednesday 07:30:00'``.
+
+    Intended for logs and experiment tables, not for parsing.
+    """
+    week = week_index(t)
+    dow = day_of_week(t)
+    rem = seconds_of_day(t)
+    hours = int(rem // HOUR)
+    minutes = int((rem % HOUR) // MINUTE)
+    seconds = rem % MINUTE
+    return (
+        f"week {week} {DAY_NAMES[dow]} "
+        f"{hours:02d}:{minutes:02d}:{seconds:05.2f}"
+    )

@@ -1,0 +1,89 @@
+"""Unanchored time intervals.
+
+Definition 1 attaches to each LBQID element a ``U-TimeInterval`` — an
+interval such as ``[7am, 9am]`` that "does not identify a specific time
+interval on the timeline, but an infinite set of intervals, one for each
+day".  :class:`UnanchoredInterval` models exactly that: a daily-recurring
+window given by offsets within the day.
+
+Windows may wrap past midnight (``[11pm, 1am]``), in which case an instant
+matches when it falls either after the start or before the end within its
+day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.region import Interval
+from repro.granularity.timeline import DAY, HOUR, day_index, seconds_of_day
+
+
+@dataclass(frozen=True, slots=True)
+class UnanchoredInterval:
+    """A daily-recurring time window ``[start_offset, end_offset]``.
+
+    Offsets are seconds from midnight, each in ``[0, DAY)``.  When
+    ``start_offset <= end_offset`` the window lies within one day; when
+    ``start_offset > end_offset`` it wraps past midnight and the anchored
+    occurrence starting on day ``d`` ends on day ``d + 1``.
+    """
+
+    start_offset: float
+    end_offset: float
+
+    def __post_init__(self) -> None:
+        for value, label in (
+            (self.start_offset, "start_offset"),
+            (self.end_offset, "end_offset"),
+        ):
+            if not 0 <= value < DAY:
+                raise ValueError(
+                    f"{label} must be in [0, DAY), got {value}"
+                )
+
+    @classmethod
+    def from_hours(cls, start_hour: float, end_hour: float) -> (
+        "UnanchoredInterval"
+    ):
+        """Build from hours-of-day, e.g. ``from_hours(7, 9)`` for 7am-9am.
+
+        ``from_hours(16, 18)`` is the paper's ``[4pm, 6pm]``.
+        """
+        return cls(start_hour * HOUR % DAY, end_hour * HOUR % DAY)
+
+    @property
+    def wraps_midnight(self) -> bool:
+        """Whether the window crosses midnight."""
+        return self.start_offset > self.end_offset
+
+    @property
+    def duration(self) -> float:
+        """Length of each anchored occurrence, in seconds."""
+        if self.wraps_midnight:
+            return DAY - self.start_offset + self.end_offset
+        return self.end_offset - self.start_offset
+
+    def contains(self, t: float) -> bool:
+        """Whether instant ``t`` falls in one of the denoted intervals."""
+        offset = seconds_of_day(t)
+        if self.wraps_midnight:
+            return offset >= self.start_offset or offset <= self.end_offset
+        return self.start_offset <= offset <= self.end_offset
+
+    def anchored_on_day(self, day: int) -> Interval:
+        """The concrete occurrence of this window starting on ``day``."""
+        start = day * DAY + self.start_offset
+        end = day * DAY + self.end_offset
+        if self.wraps_midnight:
+            end += DAY
+        return Interval(start, end)
+
+    def anchored_around(self, t: float) -> Interval | None:
+        """The concrete occurrence containing instant ``t``, if any."""
+        day = day_index(t)
+        for candidate_day in (day - 1, day):
+            occurrence = self.anchored_on_day(candidate_day)
+            if occurrence.contains(t):
+                return occurrence
+        return None

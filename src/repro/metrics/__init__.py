@@ -1,0 +1,34 @@
+"""Evaluation metrics for the Section 6.2 trade-offs.
+
+"The most relevant [issue] is the trade-off between quality of service
+(i.e., how strict tolerance constraints should be), degree of anonymity
+(i.e., choice of k), and frequency of unlinking (i.e., number of possible
+interruptions of the service)."  Each leg of that triangle gets a module:
+
+* :mod:`repro.metrics.qos` — generalization cost and service disruption;
+* :mod:`repro.metrics.anonymity` — achieved anonymity-set sizes and
+  entropy over a request log;
+* :mod:`repro.metrics.theorem` — Definition 8 verification of a run's
+  audit trail, i.e. Theorem 1 as an executable check.
+"""
+
+from repro.metrics.qos import QoSSummary, qos_summary
+from repro.metrics.anonymity import (
+    AnonymitySummary,
+    anonymity_summary,
+    historical_k_per_user,
+)
+from repro.metrics.theorem import Theorem1Report, verify_theorem1
+from repro.metrics.unlinking import UnlinkAudit, audit_unlinking
+
+__all__ = [
+    "UnlinkAudit",
+    "audit_unlinking",
+    "QoSSummary",
+    "qos_summary",
+    "AnonymitySummary",
+    "anonymity_summary",
+    "historical_k_per_user",
+    "Theorem1Report",
+    "verify_theorem1",
+]

@@ -1,0 +1,35 @@
+"""LBQID derivation from movement histories (Section 4's open problem).
+
+"The derivation of a specific pattern or a set of patterns acting as
+LBQIDs for a specific individual is an independent problem … the
+derivation process will have to be based on statistical analysis of the
+data about users movement history: If a certain pattern turns out to be
+very common for many users, it is unlikely to be useful for identifying
+any one of them.  … Since in our model it is the TS which stores …
+historical trajectory data, it is probably a good candidate to offer
+tools for LBQID definition."
+
+This subpackage is that TS-side tool:
+
+* :mod:`repro.mining.anchors` — find a user's *anchor places* (recurring
+  dwell locations with characteristic daily time windows) from their
+  PHL;
+* :mod:`repro.mining.patterns` — assemble anchors into candidate LBQIDs
+  (recurring anchor-visit sequences with estimated recurrence formulas);
+* :mod:`repro.mining.scoring` — score a candidate's *distinctiveness*
+  against the whole population: a pattern matched by many users' PHLs is
+  a poor quasi-identifier and is filtered out.
+"""
+
+from repro.mining.anchors import Anchor, find_anchors
+from repro.mining.patterns import MinedLBQID, mine_commute_lbqid
+from repro.mining.scoring import distinctiveness, score_candidates
+
+__all__ = [
+    "Anchor",
+    "find_anchors",
+    "MinedLBQID",
+    "mine_commute_lbqid",
+    "distinctiveness",
+    "score_candidates",
+]

@@ -1,0 +1,146 @@
+"""Anchor-place detection from a Personal History of Locations.
+
+An *anchor* is a place a user returns to on many different days within a
+consistent daily time window — a home, a workplace, a gym.  Anchors are
+the building blocks of LBQIDs: each LBQID element's Area is an anchor's
+spatial footprint and its U-TimeInterval the anchor's characteristic
+window.
+
+Detection is deliberately simple and transparent (a TS tool a user must
+be able to audit): samples are snapped to a uniform grid; for every
+(cell, day) the dwell time is accumulated; a cell visited on at least
+``min_days`` distinct days with enough total dwell becomes an anchor,
+whose window is the interquantile envelope of its daily visit times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.point import Point
+from repro.geometry.region import Rect
+from repro.granularity.timeline import DAY, day_index, seconds_of_day
+
+Cell = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """A recurring dwell place with a characteristic daily window."""
+
+    center: Point
+    area: Rect
+    #: Hours-of-day envelope of visits, e.g. (7.1, 8.3).
+    window_hours: tuple[float, float]
+    #: Distinct days on which the anchor was visited.
+    days_observed: int
+    #: Total samples attributed to the anchor.
+    samples: int
+
+    @property
+    def daily_presence_hours(self) -> float:
+        """Width of the characteristic window, in hours."""
+        return self.window_hours[1] - self.window_hours[0]
+
+
+def _quantile(ordered: list[float], fraction: float) -> float:
+    if not ordered:
+        raise ValueError("empty data")
+    index = min(
+        len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1)
+    )
+    return ordered[index]
+
+
+def find_anchors(
+    history: PersonalHistory,
+    cell_size: float = 150.0,
+    min_days: int = 3,
+    min_samples: int = 6,
+    window_quantiles: tuple[float, float] = (0.1, 0.9),
+    margin: float = 60.0,
+) -> list[Anchor]:
+    """Detect a user's anchor places.
+
+    Returns anchors sorted by sample count (most-lived-in first).
+    ``margin`` pads the grid cell into the anchor's Area so boundary
+    jitter (GPS noise, curb-side sampling) stays inside.
+    """
+    if cell_size <= 0:
+        raise ValueError(f"cell_size must be positive, got {cell_size}")
+    by_cell: dict[Cell, list] = {}
+    for point in history:
+        cell = (
+            math.floor(point.x / cell_size),
+            math.floor(point.y / cell_size),
+        )
+        by_cell.setdefault(cell, []).append(point)
+
+    anchors = []
+    for cell, points in by_cell.items():
+        days = {day_index(p.t) for p in points}
+        if len(days) < min_days or len(points) < min_samples:
+            continue
+        offsets = sorted(seconds_of_day(p.t) for p in points)
+        lo_q, hi_q = window_quantiles
+        window = (
+            _quantile(offsets, lo_q) / 3600.0,
+            _quantile(offsets, hi_q) / 3600.0,
+        )
+        center = Point(
+            sum(p.x for p in points) / len(points),
+            sum(p.y for p in points) / len(points),
+        )
+        area = Rect(
+            cell[0] * cell_size - margin,
+            cell[1] * cell_size - margin,
+            (cell[0] + 1) * cell_size + margin,
+            (cell[1] + 1) * cell_size + margin,
+        )
+        anchors.append(
+            Anchor(
+                center=center,
+                area=area,
+                window_hours=window,
+                days_observed=len(days),
+                samples=len(points),
+            )
+        )
+    anchors.sort(key=lambda a: a.samples, reverse=True)
+    return anchors
+
+
+def classify_home_work(
+    anchors: list[Anchor],
+) -> tuple[Anchor | None, Anchor | None]:
+    """Pick the home-like and work-like anchors, if present.
+
+    Home is the anchor whose window covers the night/evening side of
+    the day (earliest start or latest end); work is the most-visited
+    anchor whose window sits inside working hours.  Either may be
+    ``None`` when no anchor qualifies.
+    """
+    home = None
+    work = None
+    for anchor in anchors:
+        start, end = anchor.window_hours
+        looks_like_home = start <= 7.0 or end >= 19.0
+        looks_like_work = 7.0 <= start and end <= 19.0
+        if looks_like_home and home is None:
+            home = anchor
+        elif looks_like_work and work is None:
+            work = anchor
+        if home is not None and work is not None:
+            break
+    return home, work
+
+
+def span_days(history: PersonalHistory) -> int:
+    """Number of calendar days the history covers (at least 1)."""
+    if len(history) == 0:
+        return 0
+    first = history[0].t
+    last = history[len(history) - 1].t
+    return int(last // DAY) - int(first // DAY) + 1

@@ -1,0 +1,183 @@
+"""Candidate LBQID assembly from mined anchors.
+
+Builds the paper's canonical pattern shape — the Example 1/2 commute
+("the trip from the condominium where he lives to the building where he
+works every morning and the trip back in the afternoon") — from a
+history's home and work anchors, with windows derived from the observed
+daily transition times and a recurrence formula estimated from how often
+the full round trip actually occurred.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.lbqid import LBQID, LBQIDElement
+from repro.core.matching import LBQIDMonitor
+from repro.core.phl import PersonalHistory
+from repro.granularity.recurrence import RecurrenceFormula, RecurrenceTerm
+from repro.granularity.calendar import WEEKDAYS, WEEKS
+from repro.granularity.timeline import (
+    day_index,
+    day_of_week,
+    seconds_of_day,
+    week_index,
+)
+from repro.granularity.unanchored import UnanchoredInterval
+from repro.mining.anchors import Anchor, classify_home_work, find_anchors
+
+
+@dataclass(frozen=True)
+class MinedLBQID:
+    """A derived candidate quasi-identifier with its provenance."""
+
+    lbqid: LBQID
+    home: Anchor
+    work: Anchor
+    #: Complete round-trip observations found in the owner's history.
+    observations: int
+
+    @property
+    def supported(self) -> bool:
+        """Whether the owner's own history satisfies the recurrence."""
+        return self.lbqid.recurrence.minimum_observations <= self.observations
+
+
+def _window(
+    times_of_day: list[float], slack_hours: float = 0.25
+) -> UnanchoredInterval | None:
+    """Envelope of observed hours-of-day, padded by ``slack_hours``."""
+    if not times_of_day:
+        return None
+    ordered = sorted(times_of_day)
+
+    def quantile(fraction: float) -> float:
+        index = min(
+            len(ordered) - 1,
+            max(0, math.ceil(fraction * len(ordered)) - 1),
+        )
+        return ordered[index]
+
+    start = max(0.0, quantile(0.05) / 3600.0 - slack_hours)
+    end = min(23.99, quantile(0.95) / 3600.0 + slack_hours)
+    if end <= start:
+        return None
+    return UnanchoredInterval.from_hours(start, end)
+
+
+def _daily_transitions(
+    history: PersonalHistory, home: Anchor, work: Anchor
+) -> dict[str, list[float]]:
+    """Per-workday transition times (seconds of day) between anchors."""
+    per_day: dict[int, dict[str, float]] = {}
+    for point in history:
+        day = day_index(point.t)
+        if day_of_week(point.t) >= 5:
+            continue
+        offset = seconds_of_day(point.t)
+        record = per_day.setdefault(day, {})
+        if home.area.contains(point.point):
+            if offset < 12 * 3600:
+                record["home_am"] = max(
+                    record.get("home_am", 0.0), offset
+                )
+            else:
+                record.setdefault("home_pm", offset)
+                record["home_pm"] = min(record["home_pm"], offset)
+        elif work.area.contains(point.point):
+            record.setdefault("work_in", offset)
+            record["work_in"] = min(record["work_in"], offset)
+            record["work_out"] = max(
+                record.get("work_out", 0.0), offset
+            )
+    transitions: dict[str, list[float]] = {
+        "home_am": [],
+        "work_in": [],
+        "work_out": [],
+        "home_pm": [],
+    }
+    for record in per_day.values():
+        if {"home_am", "work_in", "work_out", "home_pm"} <= set(record):
+            for key in transitions:
+                transitions[key].append(record[key])
+    return transitions
+
+
+def _estimate_recurrence(
+    elements: list[LBQIDElement], history: PersonalHistory
+) -> tuple[RecurrenceFormula, int]:
+    """Count complete observations and fit ``r1.Weekdays * r2.Weeks``.
+
+    ``r1`` is the median number of observed round-trip weekdays per
+    active week (clamped to 1..5); ``r2`` the number of weeks achieving
+    at least ``r1``.
+    """
+    # Probe with ``1.Weekdays``: no repetition requirement, but the same
+    # single-weekday confinement the fitted formula will impose — so the
+    # observations counted here are exactly the ones the real matcher
+    # will see.
+    probe = LBQID(
+        "probe", elements, RecurrenceFormula([RecurrenceTerm(1, WEEKDAYS)])
+    )
+    monitor = LBQIDMonitor(probe)
+    for point in history:
+        monitor.feed(point)
+    observations = monitor.observations
+    if not observations:
+        return RecurrenceFormula(), 0
+    weekdays_per_week: dict[int, set[int]] = {}
+    for observation in observations:
+        start = observation[0]
+        weekdays_per_week.setdefault(week_index(start), set()).add(
+            day_index(start)
+        )
+    counts = sorted(len(days) for days in weekdays_per_week.values())
+    r1 = max(1, min(5, counts[len(counts) // 2]))
+    r2 = sum(1 for days in weekdays_per_week.values() if len(days) >= r1)
+    r2 = max(1, r2)
+    formula = RecurrenceFormula(
+        [RecurrenceTerm(r1, WEEKDAYS), RecurrenceTerm(r2, WEEKS)]
+    ).normalized()
+    return formula, len(observations)
+
+
+def mine_commute_lbqid(
+    history: PersonalHistory,
+    name: str | None = None,
+    cell_size: float = 150.0,
+    min_days: int = 3,
+) -> MinedLBQID | None:
+    """Derive the commute LBQID of one user from their PHL.
+
+    Returns ``None`` when the history has no home/work anchor pair or
+    no complete round trips — i.e. the user has no commute-shaped
+    quasi-identifier to protect.
+    """
+    anchors = find_anchors(history, cell_size=cell_size, min_days=min_days)
+    home, work = classify_home_work(anchors)
+    if home is None or work is None:
+        return None
+    transitions = _daily_transitions(history, home, work)
+    windows = {
+        key: _window(values) for key, values in transitions.items()
+    }
+    if any(window is None for window in windows.values()):
+        return None
+    elements = [
+        LBQIDElement(home.area, windows["home_am"], "home-morning"),
+        LBQIDElement(work.area, windows["work_in"], "work-arrive"),
+        LBQIDElement(work.area, windows["work_out"], "work-leave"),
+        LBQIDElement(home.area, windows["home_pm"], "home-evening"),
+    ]
+    recurrence, observations = _estimate_recurrence(elements, history)
+    if observations == 0:
+        return None
+    lbqid = LBQID(
+        name or f"mined-commute-u{history.user_id}",
+        elements,
+        recurrence,
+    )
+    return MinedLBQID(
+        lbqid=lbqid, home=home, work=work, observations=observations
+    )

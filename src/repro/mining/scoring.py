@@ -1,0 +1,82 @@
+"""Distinctiveness scoring for candidate LBQIDs.
+
+Section 4: "If a certain pattern turns out to be very common for many
+users, it is unlikely to be useful for identifying any one of them."  A
+candidate is a good quasi-identifier exactly when *few* users' histories
+match it — then observing it narrows the suspect set — so the TS scores
+each candidate by how many users in the population satisfy it and keeps
+only the distinctive ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lbqid import LBQID
+from repro.core.matching import request_set_matches
+from repro.mining.patterns import MinedLBQID
+from repro.mod.store import TrajectoryStore
+
+
+@dataclass(frozen=True)
+class DistinctivenessScore:
+    """How identifying a candidate pattern is within a population."""
+
+    lbqid_name: str
+    #: Users (including the owner) whose full history matches.
+    matching_users: int
+    population: int
+
+    @property
+    def matching_fraction(self) -> float:
+        if self.population == 0:
+            return 0.0
+        return self.matching_users / self.population
+
+    @property
+    def is_quasi_identifier(self) -> bool:
+        """A pattern shared by a single user pins that user down."""
+        return self.matching_users == 1
+
+
+def distinctiveness(
+    lbqid: LBQID, store: TrajectoryStore, owner: int | None = None
+) -> DistinctivenessScore:
+    """Count the users whose PHL satisfies the candidate.
+
+    ``owner`` is counted like everyone else (the attacker does not know
+    who the pattern came from); it is accepted only to assert, in
+    diagnostics, that at least the owner matches.
+    """
+    matching = 0
+    for user_id in store.user_ids():
+        if request_set_matches(lbqid, store.history(user_id).points):
+            matching += 1
+    return DistinctivenessScore(
+        lbqid_name=lbqid.name,
+        matching_users=matching,
+        population=len(store),
+    )
+
+
+def score_candidates(
+    candidates: list[MinedLBQID],
+    store: TrajectoryStore,
+    max_matching_fraction: float = 0.1,
+) -> list[tuple[MinedLBQID, DistinctivenessScore]]:
+    """Score candidates and keep the distinctive ones.
+
+    Candidates matched by more than ``max_matching_fraction`` of the
+    population are discarded — they are common behaviour, not
+    quasi-identifiers.  A candidate matching exactly one user is always
+    kept: a unique pattern identifies its owner however small the
+    population.  The result is sorted most-distinctive first.
+    """
+    threshold = max(1.0, max_matching_fraction * len(store))
+    kept = []
+    for candidate in candidates:
+        score = distinctiveness(candidate.lbqid, store)
+        if score.matching_users <= threshold:
+            kept.append((candidate, score))
+    kept.sort(key=lambda item: item[1].matching_users)
+    return kept

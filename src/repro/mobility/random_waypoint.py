@@ -1,0 +1,81 @@
+"""The random-waypoint mobility model.
+
+Background population for the experiments: each user repeatedly picks a
+uniform destination in the city rectangle, travels to it in a straight
+line at a uniformly drawn speed, pauses, and repeats.  Random-waypoint is
+the standard mobility baseline in the location-privacy literature (it is
+the model used to evaluate the paper's reference [11]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import Point, STPoint
+from repro.geometry.region import Rect
+
+
+def random_waypoint_trajectory(
+    bounds: Rect,
+    t_start: float,
+    t_end: float,
+    rng: np.random.Generator,
+    speed_range: tuple[float, float] = (1.0, 10.0),
+    pause_range: tuple[float, float] = (0.0, 600.0),
+    sample_period: float = 120.0,
+) -> list[STPoint]:
+    """Generate one user's samples over ``[t_start, t_end]``.
+
+    ``speed_range`` in m/s and ``pause_range`` in seconds are sampled
+    uniformly per leg.  Samples are emitted every ``sample_period``
+    seconds, in chronological order.
+    """
+    lo_speed, hi_speed = speed_range
+    if not 0 < lo_speed <= hi_speed:
+        raise ValueError(f"invalid speed range {speed_range}")
+    lo_pause, hi_pause = pause_range
+    if not 0 <= lo_pause <= hi_pause:
+        raise ValueError(f"invalid pause range {pause_range}")
+    if sample_period <= 0:
+        raise ValueError(
+            f"sample_period must be positive, got {sample_period}"
+        )
+
+    def random_point() -> Point:
+        return Point(
+            rng.uniform(bounds.x_min, bounds.x_max),
+            rng.uniform(bounds.y_min, bounds.y_max),
+        )
+
+    points: list[STPoint] = []
+    position = random_point()
+    t = t_start
+    next_sample = t_start
+    while t < t_end:
+        destination = random_point()
+        speed = rng.uniform(lo_speed, hi_speed)
+        distance = position.distance_to(destination)
+        leg_duration = distance / speed
+        leg_end = t + leg_duration
+        while next_sample <= min(leg_end, t_end):
+            if leg_duration == 0:
+                alpha = 0.0
+            else:
+                alpha = (next_sample - t) / leg_duration
+            points.append(
+                STPoint(
+                    position.x + alpha * (destination.x - position.x),
+                    position.y + alpha * (destination.y - position.y),
+                    next_sample,
+                )
+            )
+            next_sample += sample_period
+        position = destination
+        t = leg_end
+        pause = rng.uniform(lo_pause, hi_pause)
+        pause_end = t + pause
+        while next_sample <= min(pause_end, t_end):
+            points.append(STPoint(position.x, position.y, next_sample))
+            next_sample += sample_period
+        t = pause_end
+    return points

@@ -1,0 +1,31 @@
+"""Moving-object database: the Trusted Server's location store.
+
+Section 3 gives the TS "the usual functionalities of a location server
+(i.e., a moving object database storing precise data for all of its users
+and the capability to efficiently perform spatio-temporal queries)".  This
+subpackage provides it:
+
+* :class:`~repro.mod.store.TrajectoryStore` — all users' PHLs, with the
+  queries Algorithm 1 needs: per-user closest point and k-nearest users
+  around a spatio-temporal point;
+* :class:`~repro.mod.grid_index.GridIndex` — a uniform spatio-temporal
+  grid accelerating those queries (the paper notes "optimizations may be
+  inspired by the work on indexing moving objects"; benchmark E9 measures
+  the speed-up over the paper's brute-force O(k·n) bound);
+* :mod:`repro.mod.interpolation` — linear position interpolation between
+  samples;
+* :mod:`repro.mod.queries` — spatio-temporal range queries over the store.
+"""
+
+from repro.mod.store import TrajectoryStore
+from repro.mod.grid_index import GridIndex
+from repro.mod.interpolation import position_at
+from repro.mod.queries import count_users_in_box, users_in_box
+
+__all__ = [
+    "TrajectoryStore",
+    "GridIndex",
+    "position_at",
+    "users_in_box",
+    "count_users_in_box",
+]

@@ -1,0 +1,186 @@
+"""Uniform spatio-temporal grid index over PHL samples.
+
+Points are indexed in a *scaled* 3D space where the temporal axis has been
+multiplied by the store's time scale (meters per second), so a single cell
+edge length applies to all three axes and nearest-neighbour ring searches
+have a sound distance lower bound: every point outside Chebyshev cell ring
+``r`` is at Euclidean distance greater than ``(r − 1) · cell_size`` from
+any point in the center cell's neighbourhood.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.geometry.distance import DEFAULT_TIME_SCALE, st_distance
+from repro.geometry.point import STPoint
+from repro.geometry.region import STBox
+
+Cell = tuple[int, int, int]
+
+
+class GridIndex:
+    """Uniform grid over ``(x, y, t·time_scale)`` holding (user, point).
+
+    ``cell_size`` is in meters (and applies to the scaled temporal axis).
+    The index is append-only, matching how a location server ingests
+    updates.
+    """
+
+    def __init__(
+        self,
+        cell_size: float = 500.0,
+        time_scale: float = DEFAULT_TIME_SCALE,
+    ) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.cell_size = cell_size
+        self.time_scale = time_scale
+        self._cells: dict[Cell, list[tuple[int, STPoint]]] = defaultdict(list)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _cell_of(self, p: STPoint) -> Cell:
+        c = self.cell_size
+        return (
+            math.floor(p.x / c),
+            math.floor(p.y / c),
+            math.floor(p.t * self.time_scale / c),
+        )
+
+    def insert(self, user_id: int, point: STPoint) -> None:
+        """Index one PHL sample."""
+        self._cells[self._cell_of(point)].append((user_id, point))
+        self._count += 1
+
+    def _ring_cells(self, center: Cell, radius: int) -> list[Cell]:
+        """Cells at exactly Chebyshev distance ``radius`` from ``center``."""
+        cx, cy, ct = center
+        if radius == 0:
+            return [center]
+        cells = []
+        span = range(-radius, radius + 1)
+        for dx in span:
+            for dy in span:
+                for dt in span:
+                    if max(abs(dx), abs(dy), abs(dt)) == radius:
+                        cells.append((cx + dx, cy + dy, ct + dt))
+        return cells
+
+    def nearest_users(
+        self,
+        target: STPoint,
+        count: int,
+        exclude: frozenset[int] | set[int] = frozenset(),
+        max_radius_cells: int = 64,
+    ) -> list[tuple[int, STPoint, float]]:
+        """The ``count`` users whose nearest indexed point is closest.
+
+        Returns ``(user_id, closest_point, distance)`` sorted by distance.
+        This is the accelerated form of Algorithm 1 line 5: the search
+        expands cell rings outward from the target and stops as soon as
+        the ring's distance lower bound exceeds the current ``count``-th
+        best per-user distance.  Fewer than ``count`` tuples are returned
+        when the store does not contain enough distinct users within
+        ``max_radius_cells`` rings.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        center = self._cell_of(target)
+        best: dict[int, tuple[float, STPoint]] = {}
+        seen_points = 0
+
+        def visit(bucket: list[tuple[int, STPoint]]) -> None:
+            nonlocal seen_points
+            seen_points += len(bucket)
+            for user_id, point in bucket:
+                if user_id in exclude:
+                    continue
+                distance = st_distance(point, target, self.time_scale)
+                known = best.get(user_id)
+                if known is None or distance < known[0]:
+                    best[user_id] = (distance, point)
+
+        def done_at(radius: int) -> bool:
+            if len(best) < count:
+                return False
+            kth = sorted(d for d, _ in best.values())[count - 1]
+            return (radius - 1) * self.cell_size > kth
+
+        for radius in range(max_radius_cells + 1):
+            if done_at(radius) or seen_points >= self._count:
+                break
+            ring_size = 1 if radius == 0 else 24 * radius * radius + 2
+            if ring_size > len(self._cells):
+                # The ring would enumerate more (mostly empty) cells
+                # than the index holds — e.g. a query far from all
+                # data.  Switch to scanning the occupied cells, bucketed
+                # by their actual ring distance, with the same early
+                # stop.
+                remaining: dict[int, list[Cell]] = {}
+                for cell in self._cells:
+                    distance = max(
+                        abs(cell[0] - center[0]),
+                        abs(cell[1] - center[1]),
+                        abs(cell[2] - center[2]),
+                    )
+                    if distance >= radius:
+                        remaining.setdefault(distance, []).append(cell)
+                for distance in sorted(remaining):
+                    if done_at(distance):
+                        break
+                    for cell in remaining[distance]:
+                        visit(self._cells[cell])
+                break
+            for cell in self._ring_cells(center, radius):
+                bucket = self._cells.get(cell)
+                if bucket:
+                    visit(bucket)
+        ranked = sorted(
+            (distance, user_id, point)
+            for user_id, (distance, point) in best.items()
+        )
+        return [
+            (user_id, point, distance)
+            for distance, user_id, point in ranked[:count]
+        ]
+
+    def _cells_covering(self, box: STBox) -> list[Cell]:
+        c = self.cell_size
+        x_lo = math.floor(box.rect.x_min / c)
+        x_hi = math.floor(box.rect.x_max / c)
+        y_lo = math.floor(box.rect.y_min / c)
+        y_hi = math.floor(box.rect.y_max / c)
+        t_lo = math.floor(box.interval.start * self.time_scale / c)
+        t_hi = math.floor(box.interval.end * self.time_scale / c)
+        return [
+            (ix, iy, it)
+            for ix in range(x_lo, x_hi + 1)
+            for iy in range(y_lo, y_hi + 1)
+            for it in range(t_lo, t_hi + 1)
+        ]
+
+    def users_in_box(self, box: STBox) -> set[int]:
+        """Distinct users with at least one indexed sample inside ``box``."""
+        users: set[int] = set()
+        for cell in self._cells_covering(box):
+            for user_id, point in self._cells.get(cell, ()):
+                if user_id not in users and box.contains(point):
+                    users.add(user_id)
+        return users
+
+    def points_in_box(self, box: STBox) -> list[tuple[int, STPoint]]:
+        """All indexed ``(user, sample)`` pairs inside ``box``."""
+        return [
+            (user_id, point)
+            for cell in self._cells_covering(box)
+            for user_id, point in self._cells.get(cell, ())
+            if box.contains(point)
+        ]

@@ -1,0 +1,63 @@
+"""Linear interpolation of a user's position between PHL samples.
+
+Moving-object databases conventionally treat a trajectory as the piecewise
+linear curve through its samples; the tracking attacker and the mix-zone
+analysis both need positions at arbitrary instants.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.point import Point, STPoint
+
+
+def position_at(history: PersonalHistory, t: float) -> Point | None:
+    """Interpolated position of the user at instant ``t``.
+
+    Returns ``None`` when ``t`` falls outside the history's time span or
+    the history is empty.  Between two samples the position is linear in
+    time; at a sample it is the sample itself (coincident-timestamp
+    samples resolve to the later one, consistent with ``bisect_right``).
+    """
+    points = history.points
+    if not points:
+        return None
+    times = [p.t for p in points]
+    if t < times[0] or t > times[-1]:
+        return None
+    index = bisect.bisect_right(times, t)
+    if index == 0:
+        return points[0].point
+    if index == len(points):
+        return points[-1].point
+    before = points[index - 1]
+    after = points[index]
+    if after.t == before.t:
+        return after.point
+    alpha = (t - before.t) / (after.t - before.t)
+    return Point(
+        before.x + alpha * (after.x - before.x),
+        before.y + alpha * (after.y - before.y),
+    )
+
+
+def sampled_positions(
+    history: PersonalHistory, t_start: float, t_end: float, step: float
+) -> list[STPoint]:
+    """Resample a trajectory at a fixed period over ``[t_start, t_end]``.
+
+    Instants outside the history's span are skipped, so the result may be
+    shorter than the requested grid.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    samples = []
+    t = t_start
+    while t <= t_end:
+        position = position_at(history, t)
+        if position is not None:
+            samples.append(STPoint(position.x, position.y, t))
+        t += step
+    return samples

@@ -1,0 +1,32 @@
+"""Spatio-temporal range queries over the trajectory store.
+
+Thin, explicit wrappers used by the anonymity-set computations and the
+baselines; they exist so calling code reads as the paper's prose does
+("the set of users who were in that area in that time interval").
+"""
+
+from __future__ import annotations
+
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.store import TrajectoryStore
+
+
+def users_in_box(store: TrajectoryStore, box: STBox) -> set[int]:
+    """Users with at least one PHL sample inside the box."""
+    return store.users_in_box(box)
+
+
+def count_users_in_box(store: TrajectoryStore, box: STBox) -> int:
+    """Size of the single-context anonymity set for ``box``."""
+    return len(store.users_in_box(box))
+
+
+def users_in_area_during(
+    store: TrajectoryStore, area: Rect, interval: Interval
+) -> set[int]:
+    """Users present in ``area`` at some instant of ``interval``.
+
+    Presence is judged by recorded samples, matching Definition 7's
+    point-in-box test (no interpolation across the area boundary).
+    """
+    return store.users_in_box(STBox(area, interval))

@@ -1,0 +1,149 @@
+"""The Trusted Server's trajectory store (all users' PHLs).
+
+Provides exactly the queries Algorithm 1 needs:
+
+* line 2 — per selected user, "the 3D point in its PHL closest to
+  ⟨x, y, t⟩": :meth:`TrajectoryStore.closest_point`;
+* line 5 — "the smallest 3D space … crossed by k trajectories (each one
+  for a different user)": :meth:`TrajectoryStore.nearest_users`, which
+  returns the k users whose nearest PHL sample is closest to the request
+  point.  The paper gives the brute-force bound O(k·n) over all n stored
+  points; attaching a :class:`~repro.mod.grid_index.GridIndex` replaces
+  the scan with an expanding ring search (benchmark E9 quantifies the
+  gap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.distance import DEFAULT_TIME_SCALE, st_distance
+from repro.geometry.point import STPoint
+from repro.geometry.region import STBox
+from repro.mod.grid_index import GridIndex
+
+
+class TrajectoryStore:
+    """All users' Personal Histories of Locations, optionally indexed.
+
+    Pass ``index_cell_size`` to attach a :class:`GridIndex`; every
+    location update is then indexed on ingest.  ``time_scale`` is the
+    meters-per-second conversion used in all spatio-temporal distances.
+    """
+
+    def __init__(
+        self,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        index_cell_size: float | None = None,
+    ) -> None:
+        self.time_scale = time_scale
+        self._histories: dict[int, PersonalHistory] = {}
+        self.index: GridIndex | None = None
+        if index_cell_size is not None:
+            self.index = GridIndex(index_cell_size, time_scale)
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._histories
+
+    @property
+    def histories(self) -> Mapping[int, PersonalHistory]:
+        """Read-only mapping of user id to PHL."""
+        return self._histories
+
+    @property
+    def total_points(self) -> int:
+        """The ``n`` of the paper's O(k·n) bound: all stored samples."""
+        return sum(len(h) for h in self._histories.values())
+
+    def user_ids(self) -> Iterator[int]:
+        return iter(self._histories)
+
+    def history(self, user_id: int) -> PersonalHistory:
+        """The PHL of ``user_id``; created empty on first access."""
+        history = self._histories.get(user_id)
+        if history is None:
+            history = PersonalHistory(user_id)
+            self._histories[user_id] = history
+        return history
+
+    def add_point(self, user_id: int, point: STPoint) -> None:
+        """Ingest one location update."""
+        self.history(user_id).add(point)
+        if self.index is not None:
+            self.index.insert(user_id, point)
+
+    def add_trajectory(
+        self, user_id: int, points: Iterable[STPoint]
+    ) -> None:
+        """Ingest a batch of location updates for one user."""
+        for point in points:
+            self.add_point(user_id, point)
+
+    def closest_point(
+        self, user_id: int, target: STPoint
+    ) -> STPoint | None:
+        """Algorithm 1 line 2 for one user."""
+        history = self._histories.get(user_id)
+        if history is None:
+            return None
+        return history.closest_point_to(target, self.time_scale)
+
+    def nearest_users(
+        self,
+        target: STPoint,
+        count: int,
+        exclude: frozenset[int] | set[int] = frozenset(),
+    ) -> list[tuple[int, STPoint, float]]:
+        """The ``count`` users whose nearest PHL sample is closest.
+
+        Returns ``(user_id, closest_sample, distance)`` sorted by
+        distance; fewer tuples when not enough distinct users exist.
+        Dispatches to the grid index when attached, otherwise to the
+        paper's brute-force scan.
+        """
+        if self.index is not None:
+            return self.index.nearest_users(target, count, exclude=exclude)
+        return self.nearest_users_brute(target, count, exclude=exclude)
+
+    def nearest_users_brute(
+        self,
+        target: STPoint,
+        count: int,
+        exclude: frozenset[int] | set[int] = frozenset(),
+    ) -> list[tuple[int, STPoint, float]]:
+        """The paper's brute-force selection: scan every user's PHL.
+
+        "Simply considering the nearest neighbor in the PHL of each user
+        and then taking the closest k points", worst case O(k·n).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        candidates: list[tuple[float, int, STPoint]] = []
+        for user_id, history in self._histories.items():
+            if user_id in exclude:
+                continue
+            closest = history.closest_point_to(target, self.time_scale)
+            if closest is None:
+                continue
+            distance = st_distance(closest, target, self.time_scale)
+            candidates.append((distance, user_id, closest))
+        nearest = heapq.nsmallest(count, candidates)
+        return [
+            (user_id, point, distance)
+            for distance, user_id, point in nearest
+        ]
+
+    def users_in_box(self, box: STBox) -> set[int]:
+        """Distinct users with at least one sample inside ``box``."""
+        if self.index is not None:
+            return self.index.users_in_box(box)
+        return {
+            user_id
+            for user_id, history in self._histories.items()
+            if history.visits_box(box)
+        }

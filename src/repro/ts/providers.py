@@ -1,0 +1,61 @@
+"""Service providers.
+
+Section 3: "Service Providers (SP) receive from TS service requests of the
+form (msgid, UserPseudonym, Area, TimeInterval, Data) … Service providers
+fulfill the requests sending the service output to the user's device
+through the trusted server."
+
+A provider here answers every request it can parse and keeps the full log
+of what it received — the log is exactly the attacker's observation in the
+threat model ("by looking at the set of service requests issued to a
+service provider"), so :mod:`repro.attack` consumes
+:attr:`ServiceProvider.log` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.requests import SPRequest
+
+
+@dataclass(frozen=True)
+class ServiceAnswer:
+    """The output an SP returns through the TS for one request."""
+
+    msgid: int
+    payload: str
+
+
+class ServiceProvider:
+    """One location-based service (map, POI finder, localized news, …)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.log: list[SPRequest] = []
+
+    def receive(self, request: SPRequest) -> ServiceAnswer:
+        """Handle one request and produce an answer.
+
+        The answer payload summarizes the context actually served — a
+        stand-in for real service output whose *usefulness* degrades with
+        context size, which is what tolerance constraints bound.
+        """
+        self.log.append(request)
+        center = request.context.rect.center
+        return ServiceAnswer(
+            msgid=request.msgid,
+            payload=(
+                f"{self.name}: results near ({center.x:.0f}, {center.y:.0f}) "
+                f"within {request.context.rect.width:.0f}x"
+                f"{request.context.rect.height:.0f}m"
+            ),
+        )
+
+    @property
+    def request_count(self) -> int:
+        return len(self.log)
+
+    def pseudonyms_seen(self) -> set[str]:
+        """Distinct pseudonyms in this provider's log."""
+        return {request.pseudonym for request in self.log}

@@ -1,0 +1,165 @@
+"""End-to-end simulation of the Figure 1 service model.
+
+Replays a :class:`~repro.mobility.population.SyntheticCity` through a
+*fresh* Trusted Server in strict timestamp order — the online regime: the
+TS sees location updates and requests as they happen and Algorithm 1 can
+only use PHL points already ingested.  A configurable fraction of samples
+become service requests; commuter samples matching the user's own LBQID
+elements request with a higher probability (navigation queries at the
+commute anchors), which is what exercises the monitoring/generalization
+path.
+
+The resulting :class:`SimulationReport` carries the TS audit trail, the
+per-provider logs (the attacker's view), and the populated store (the
+ground truth for Definition 8 verification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.anonymizer import (
+    AnonymitySetScope,
+    AnonymizerEvent,
+    Decision,
+    TrustedAnonymizer,
+)
+from repro.core.generalization import ToleranceConstraint
+from repro.core.policy import PolicyTable
+from repro.core.randomization import BoxRandomizer
+from repro.core.unlinking import UnlinkingProvider
+from repro.geometry.point import STPoint
+from repro.mobility.population import SyntheticCity
+from repro.mod.store import TrajectoryStore
+from repro.ts.providers import ServiceProvider
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """How often users turn location samples into service requests.
+
+    ``anchor_request_probability`` applies to commuter samples matching
+    an element of the commuter's own LBQID; ``background_probability``
+    to every other sample.
+    """
+
+    background_probability: float = 0.02
+    anchor_request_probability: float = 0.9
+    service: str = "poi"
+
+    def __post_init__(self) -> None:
+        for value, label in (
+            (self.background_probability, "background_probability"),
+            (self.anchor_request_probability, "anchor_request_probability"),
+        ):
+            if not 0 <= value <= 1:
+                raise ValueError(f"{label} must be in [0, 1], got {value}")
+
+
+@dataclass
+class SimulationReport:
+    """Everything the experiments need from one simulation run."""
+
+    anonymizer: TrustedAnonymizer
+    providers: dict[str, ServiceProvider]
+    requests_issued: int = 0
+    location_updates: int = 0
+    events: list[AnonymizerEvent] = field(default_factory=list)
+
+    @property
+    def store(self) -> TrajectoryStore:
+        """The TS store populated during the run (ground truth)."""
+        return self.anonymizer.store
+
+    def decision_counts(self) -> dict[Decision, int]:
+        return self.anonymizer.decision_counts()
+
+    def generalized_events(self) -> list[AnonymizerEvent]:
+        """Events where Algorithm 1 ran (an LBQID element matched)."""
+        return [e for e in self.events if e.lbqid_name is not None]
+
+
+class LBSSimulation:
+    """Drives a city's samples through the anonymizing Trusted Server."""
+
+    def __init__(
+        self,
+        city: SyntheticCity,
+        policy: PolicyTable | None = None,
+        unlinker: UnlinkingProvider | None = None,
+        scope: AnonymitySetScope = AnonymitySetScope.PER_LBQID,
+        request_profile: RequestProfile | None = None,
+        default_cloak: ToleranceConstraint | None = None,
+        register_lbqids: bool = True,
+        register_home_lbqids: bool = False,
+        randomizer: "BoxRandomizer | None" = None,
+        quiet_period: float = 0.0,
+        seed: int = 97,
+    ) -> None:
+        self.city = city
+        self.request_profile = request_profile or RequestProfile()
+        self._rng = np.random.default_rng(seed)
+        self.anonymizer = TrustedAnonymizer(
+            store=TrajectoryStore(),
+            policy=policy,
+            unlinker=unlinker,
+            scope=scope,
+            default_cloak=default_cloak,
+            randomizer=randomizer,
+            quiet_period=quiet_period,
+        )
+        self._own_lbqids = {}
+        if register_lbqids:
+            for commuter in city.commuters:
+                lbqid = commuter.lbqid()
+                self.anonymizer.register_lbqid(commuter.user_id, lbqid)
+                self._own_lbqids[commuter.user_id] = lbqid
+        if register_home_lbqids:
+            # Declare the dwelling itself a quasi-identifier: every
+            # request issued from home is then generalized (see
+            # Commuter.home_lbqid and benchmark E6).
+            for commuter in city.commuters:
+                self.anonymizer.register_lbqid(
+                    commuter.user_id, commuter.home_lbqid()
+                )
+
+    def run(self) -> SimulationReport:
+        """Replay every sample in timestamp order; return the report."""
+        profile = self.request_profile
+        provider = ServiceProvider(profile.service)
+        report = SimulationReport(
+            anonymizer=self.anonymizer,
+            providers={profile.service: provider},
+        )
+        for user_id, sample in self._timeline():
+            if self._is_request(user_id, sample):
+                event = self.anonymizer.request(
+                    user_id, sample, service=profile.service
+                )
+                report.requests_issued += 1
+                if event.forwarded:
+                    provider.receive(event.request.sp_view())
+            else:
+                self.anonymizer.report_location(user_id, sample)
+                report.location_updates += 1
+        report.events = list(self.anonymizer.events)
+        return report
+
+    def _timeline(self) -> list[tuple[int, STPoint]]:
+        """All (user, sample) pairs of the city, sorted by time."""
+        events = [
+            (user_id, sample)
+            for user_id in self.city.store.user_ids()
+            for sample in self.city.store.history(user_id)
+        ]
+        events.sort(key=lambda item: item[1].t)
+        return events
+
+    def _is_request(self, user_id: int, sample: STPoint) -> bool:
+        profile = self.request_profile
+        lbqid = self._own_lbqids.get(user_id)
+        if lbqid is not None and lbqid.element_matching(sample) is not None:
+            return self._rng.random() < profile.anchor_request_probability
+        return self._rng.random() < profile.background_probability

@@ -1,0 +1,77 @@
+"""Unit tests for the center-bias inference attack."""
+
+import pytest
+
+from repro.attack.inference import (
+    center_guess_errors,
+    edge_fraction,
+    mean_relative_center_error,
+)
+from repro.core.requests import Request
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+
+def request_at(x, y, box):
+    return Request.issue(
+        1, 1, "p", STPoint(x, y, box.interval.center)
+    ).with_context(box)
+
+
+CENTERED_BOX = STBox(Rect(0, 0, 100, 100), Interval(0, 100))
+
+
+class TestCenterGuess:
+    def test_exact_center_zero_error(self):
+        request = request_at(50, 50, CENTERED_BOX)
+        assert center_guess_errors([request]) == [0.0]
+
+    def test_corner_error(self):
+        request = request_at(0, 0, CENTERED_BOX)
+        (error,) = center_guess_errors([request])
+        assert error == pytest.approx((50**2 + 50**2) ** 0.5)
+
+    def test_empty(self):
+        assert center_guess_errors([]) == []
+
+
+class TestEdgeFraction:
+    def test_on_edge(self):
+        request = request_at(0, 50, CENTERED_BOX)
+        assert edge_fraction([request]) == 1.0
+
+    def test_interior(self):
+        request = request_at(50, 50, CENTERED_BOX)
+        assert edge_fraction([request]) == 0.0
+
+    def test_margin_scales_with_box(self):
+        request = request_at(1, 50, CENTERED_BOX)  # 1% from edge
+        assert edge_fraction([request], relative_margin=0.02) == 1.0
+        assert edge_fraction([request], relative_margin=0.005) == 0.0
+
+    def test_mixture(self):
+        requests = [
+            request_at(0, 50, CENTERED_BOX),
+            request_at(50, 50, CENTERED_BOX),
+        ]
+        assert edge_fraction(requests) == 0.5
+
+    def test_empty(self):
+        assert edge_fraction([]) == 0.0
+
+
+class TestRelativeError:
+    def test_center_is_zero(self):
+        request = request_at(50, 50, CENTERED_BOX)
+        assert mean_relative_center_error([request]) == 0.0
+
+    def test_corner_is_one(self):
+        request = request_at(0, 0, CENTERED_BOX)
+        assert mean_relative_center_error([request]) == pytest.approx(1.0)
+
+    def test_degenerate_boxes_skipped(self):
+        degenerate = STBox(Rect(5, 5, 5, 5), Interval(0, 0))
+        request = Request.issue(1, 1, "p", STPoint(5, 5, 0)).with_context(
+            degenerate
+        )
+        assert mean_relative_center_error([request]) == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for tracker-induced link functions and their scoring."""
+
+import pytest
+
+from repro.attack.linker import TrackerLink, link_accuracy
+from repro.core.linkability import theta_components
+from repro.core.requests import Request
+from repro.geometry.point import STPoint
+
+
+def walk(user_id, pseudonym, start_msgid, x0, t0, steps=4):
+    """A slow straight walk: 60 m per minute step."""
+    return [
+        Request.issue(
+            start_msgid + i,
+            user_id,
+            pseudonym,
+            STPoint(x0 + 60.0 * i, 0.0, t0 + 60.0 * i),
+        )
+        for i in range(steps)
+    ]
+
+
+class TestTrackerLink:
+    def test_links_continuous_walk_across_pseudonym_change(self):
+        requests = walk(1, "a", 1, 0, 0) + walk(1, "b", 10, 240, 240)
+        link = TrackerLink.from_requests([r.sp_view() for r in requests])
+        assert link.link(requests[0].sp_view(), requests[-1].sp_view()) == 1.0
+
+    def test_separates_distant_users(self):
+        requests = walk(1, "a", 1, 0, 0) + walk(2, "b", 10, 50_000, 0)
+        link = TrackerLink.from_requests([r.sp_view() for r in requests])
+        assert link.link(requests[0].sp_view(), requests[-1].sp_view()) == 0.0
+
+    def test_reflexive(self):
+        requests = walk(1, "a", 1, 0, 0)
+        link = TrackerLink.from_requests([r.sp_view() for r in requests])
+        view = requests[0].sp_view()
+        assert link.link(view, view) == 1.0
+
+    def test_unseen_request_unlinked(self):
+        requests = walk(1, "a", 1, 0, 0)
+        link = TrackerLink.from_requests([r.sp_view() for r in requests])
+        stranger = Request.issue(99, 9, "z", STPoint(0, 0, 0)).sp_view()
+        assert link.link(requests[0].sp_view(), stranger) == 0.0
+
+    def test_induces_theta_components(self):
+        requests = walk(1, "a", 1, 0, 0) + walk(2, "b", 10, 50_000, 0)
+        link = TrackerLink.from_requests([r.sp_view() for r in requests])
+        views = [r.sp_view() for r in requests]
+        components = theta_components(views, link, 0.5)
+        assert len(components) == 2
+
+
+class TestLinkAccuracy:
+    def test_perfect_attacker(self):
+        requests = walk(1, "a", 1, 0, 0) + walk(2, "b", 10, 50_000, 0)
+        owners = {r.msgid: r.user_id for r in requests}
+
+        class Oracle:
+            def link(self, a, b):
+                return 1.0 if owners[a.msgid] == owners[b.msgid] else 0.0
+
+        accuracy = link_accuracy(requests, Oracle())
+        assert accuracy.precision == 1.0
+        assert accuracy.recall == 1.0
+        assert accuracy.f1 == 1.0
+
+    def test_tracker_attacker_on_easy_workload(self):
+        requests = walk(1, "a", 1, 0, 0) + walk(
+            1, "b", 10, 240, 240
+        ) + walk(2, "c", 20, 50_000, 0)
+        link = TrackerLink.from_requests([r.sp_view() for r in requests])
+        accuracy = link_accuracy(requests, link)
+        assert accuracy.recall == pytest.approx(1.0)
+        assert accuracy.precision == pytest.approx(1.0)
+
+    def test_blind_attacker_scores_zero(self):
+        class Blind:
+            def link(self, a, b):
+                return 0.0
+
+        requests = walk(1, "a", 1, 0, 0)
+        accuracy = link_accuracy(requests, Blind())
+        assert accuracy.recall == 0.0
+        assert accuracy.f1 == 0.0
+
+    def test_overlinking_hurts_precision(self):
+        class Paranoid:
+            def link(self, a, b):
+                return 1.0
+
+        requests = walk(1, "a", 1, 0, 0) + walk(2, "b", 10, 50_000, 0)
+        accuracy = link_accuracy(requests, Paranoid())
+        assert accuracy.recall == 1.0
+        assert accuracy.precision < 1.0

@@ -1,0 +1,149 @@
+"""Unit tests for the home-identification attack."""
+
+from repro.attack.reidentification import HomeIdentificationAttack
+from repro.core.requests import Request
+from repro.geometry.point import Point, STPoint
+from repro.granularity.timeline import time_at
+
+
+def make_requests(user_id, pseudonym, home_x, days=3, start_msgid=0):
+    """Morning and evening requests at home, noon requests elsewhere."""
+    requests = []
+    msgid = start_msgid
+    for day in range(days):
+        for hour, x in ((7.0, home_x), (12.0, 2000.0), (19.0, home_x)):
+            msgid += 1
+            requests.append(
+                Request.issue(
+                    msgid,
+                    user_id,
+                    pseudonym,
+                    STPoint(x, 0.0, time_at(day=day, hour=hour)),
+                )
+            )
+    return requests
+
+
+HOMES = {1: Point(0, 0), 2: Point(5000, 0)}
+
+
+class TestAttackSuccess:
+    def test_identifies_unprotected_user(self):
+        requests = make_requests(1, "p1", home_x=0.0)
+        attack = HomeIdentificationAttack(HOMES)
+        result = attack.run(
+            [r.sp_view() for r in requests], true_owner={"p1": 1}
+        )
+        assert result.identified_users == {1}
+        assert result.precision == 1.0
+
+    def test_rate_over_population(self):
+        requests = make_requests(1, "p1", home_x=0.0)
+        attack = HomeIdentificationAttack(HOMES)
+        result = attack.run(
+            [r.sp_view() for r in requests], true_owner={"p1": 1}
+        )
+        assert result.rate(population=2) == 0.5
+
+    def test_both_users_identified(self):
+        requests = make_requests(1, "p1", 0.0) + make_requests(
+            2, "p2", 5000.0, start_msgid=100
+        )
+        attack = HomeIdentificationAttack(HOMES)
+        result = attack.run(
+            [r.sp_view() for r in requests],
+            true_owner={"p1": 1, "p2": 2},
+        )
+        assert result.identified_users == {1, 2}
+
+
+class TestAttackLimits:
+    def test_far_anchor_yields_no_claim(self):
+        """A user whose home is not in the phone book is safe."""
+        requests = make_requests(3, "p3", home_x=9999.0)
+        attack = HomeIdentificationAttack(HOMES, claim_radius=100.0)
+        result = attack.run(
+            [r.sp_view() for r in requests], true_owner={"p3": 3}
+        )
+        assert not result.identified_users
+
+    def test_too_few_home_requests(self):
+        requests = make_requests(1, "p1", 0.0, days=1)[:1]
+        attack = HomeIdentificationAttack(HOMES, min_home_requests=2)
+        result = attack.run(
+            [r.sp_view() for r in requests], true_owner={"p1": 1}
+        )
+        assert not result.claims
+
+    def test_pseudonym_rotation_fragments_groups(self):
+        """Rotating pseudonyms with too few home hits per group defeats
+        the per-pseudonym attacker."""
+        requests = []
+        for day in range(4):
+            requests += make_requests(
+                1, f"p{day}", 0.0, days=1, start_msgid=10 * day
+            )
+            # shift each day's requests onto its own day of the timeline
+            requests[-3:] = [
+                Request.issue(
+                    r.msgid,
+                    r.user_id,
+                    r.pseudonym,
+                    STPoint(r.location.x, r.location.y,
+                            r.location.t + day * 86400.0),
+                )
+                for r in requests[-3:]
+            ]
+        attack = HomeIdentificationAttack(HOMES, min_home_requests=3)
+        result = attack.run(
+            [r.sp_view() for r in requests],
+            true_owner={f"p{day}": 1 for day in range(4)},
+        )
+        assert not result.identified_users
+
+    def test_tracker_grouping_stitches_rotated_pseudonyms(self):
+        """With a tracker, the attacker re-links a user who rotates
+        pseudonyms daily but moves continuously, and the home claim
+        comes back."""
+        from repro.attack.tracker import TrajectoryTracker
+
+        requests = []
+        msgid = 0
+        for day in range(4):
+            for r in make_requests(1, f"p{day}", 0.0, days=1):
+                msgid += 1
+                requests.append(
+                    Request.issue(
+                        msgid,
+                        r.user_id,
+                        r.pseudonym,
+                        STPoint(
+                            r.location.x,
+                            r.location.y,
+                            r.location.t + day * 86400.0,
+                        ),
+                    )
+                )
+        attack = HomeIdentificationAttack(
+            HOMES,
+            min_home_requests=3,
+            tracker=TrajectoryTracker(
+                max_speed=15.0, track_timeout=100_000.0
+            ),
+        )
+        result = attack.run(
+            [r.sp_view() for r in requests],
+            true_owner={f"p{day}": 1 for day in range(4)},
+        )
+        assert result.identified_users == {1}
+
+    def test_wrong_claims_counted(self):
+        """A user who overnights at someone else's home gets misclaimed."""
+        requests = make_requests(1, "p1", home_x=5000.0)  # user 2's home
+        attack = HomeIdentificationAttack(HOMES)
+        result = attack.run(
+            [r.sp_view() for r in requests], true_owner={"p1": 1}
+        )
+        assert result.claims
+        assert result.precision == 0.0
+        assert not result.identified_users

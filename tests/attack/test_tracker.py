@@ -1,0 +1,131 @@
+"""Unit tests for the multi-target tracker."""
+
+import pytest
+
+from repro.attack.tracker import TrajectoryTracker
+from repro.core.requests import Request
+from repro.geometry.point import STPoint
+
+
+def sp(msgid, pseudonym, x, y, t, user_id=0):
+    return Request.issue(
+        msgid, user_id, pseudonym, STPoint(x, y, t)
+    ).sp_view()
+
+
+class TestConstruction:
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            TrajectoryTracker(max_speed=0.0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            TrajectoryTracker(track_timeout=0.0)
+
+
+class TestPseudonymFollowing:
+    def test_same_pseudonym_same_track(self):
+        tracker = TrajectoryTracker()
+        a = tracker.observe(sp(1, "p", 0, 0, 0))
+        b = tracker.observe(sp(2, "p", 5000, 5000, 1))  # impossible jump
+        assert a.track_id == b.track_id
+
+    def test_disabled_following_splits_on_gate(self):
+        tracker = TrajectoryTracker(follow_pseudonyms=False)
+        a = tracker.observe(sp(1, "p", 0, 0, 0))
+        b = tracker.observe(sp(2, "p", 50000, 50000, 1))
+        assert a.track_id != b.track_id
+
+
+class TestGating:
+    def test_smooth_movement_linked_across_pseudonyms(self):
+        tracker = TrajectoryTracker(max_speed=15.0)
+        a = tracker.observe(sp(1, "p1", 0, 0, 0))
+        b = tracker.observe(sp(2, "p2", 100, 0, 60))  # 1.7 m/s
+        assert a.track_id == b.track_id
+
+    def test_unreachable_request_new_track(self):
+        tracker = TrajectoryTracker(max_speed=15.0)
+        a = tracker.observe(sp(1, "p1", 0, 0, 0))
+        b = tracker.observe(sp(2, "p2", 10000, 0, 60))  # 167 m/s
+        assert a.track_id != b.track_id
+
+    def test_nearest_track_wins(self):
+        tracker = TrajectoryTracker(max_speed=15.0)
+        near = tracker.observe(sp(1, "a", 0, 0, 0))
+        tracker.observe(sp(2, "b", 500, 0, 0))
+        joined = tracker.observe(sp(3, "c", 10, 0, 60))
+        assert joined.track_id == near.track_id
+
+    def test_track_timeout_breaks_continuity(self):
+        tracker = TrajectoryTracker(
+            max_speed=15.0, track_timeout=300.0, follow_pseudonyms=False
+        )
+        a = tracker.observe(sp(1, "p1", 0, 0, 0))
+        b = tracker.observe(sp(2, "p2", 10, 0, 10_000))
+        assert a.track_id != b.track_id
+
+
+class TestRun:
+    def test_sorts_by_time(self):
+        tracker = TrajectoryTracker(max_speed=15.0)
+        requests = [
+            sp(2, "p2", 100, 0, 60),
+            sp(1, "p1", 0, 0, 0),
+        ]
+        tracks = tracker.run(requests)
+        assert len(tracks) == 1
+
+    def test_assignment_recorded(self):
+        tracker = TrajectoryTracker()
+        tracker.run([sp(1, "p", 0, 0, 0)])
+        assert tracker.track_of(1) is not None
+        assert tracker.track_of(99) is None
+
+    def test_track_pseudonyms_collected(self):
+        tracker = TrajectoryTracker(max_speed=15.0)
+        tracker.run(
+            [sp(1, "p1", 0, 0, 0), sp(2, "p2", 100, 0, 60)]
+        )
+        assert tracker.tracks[0].pseudonyms == {"p1", "p2"}
+
+
+class TestUncertaintySlack:
+    def test_large_contexts_widen_the_gate(self):
+        """Cloaked (large-area) requests are harder to rule out."""
+        from repro.geometry.region import Interval, Rect, STBox
+        from repro.core.requests import SPRequest
+
+        big_box = STBox(Rect(0, 0, 2000, 2000), Interval(0, 0))
+        small_box = STBox(Rect(0, 0, 1, 1), Interval(0, 0))
+        tracker = TrajectoryTracker(max_speed=1.0)
+        tracker.observe(
+            SPRequest(msgid=1, pseudonym="a", context=big_box)
+        )
+        # Far in space, tiny dt: only reachable thanks to area slack
+        # (center-to-center distance ~1980 m < ~2002 m of gate).
+        joined = tracker.observe(
+            SPRequest(
+                msgid=2,
+                pseudonym="b",
+                context=STBox(
+                    Rect(2400, 2400, 2401, 2401), Interval(1, 1)
+                ),
+            )
+        )
+        assert joined.track_id == tracker.track_of(1)
+        # With a small context the same jump opens a new track.
+        tracker2 = TrajectoryTracker(max_speed=1.0)
+        tracker2.observe(
+            SPRequest(msgid=1, pseudonym="a", context=small_box)
+        )
+        split = tracker2.observe(
+            SPRequest(
+                msgid=2,
+                pseudonym="b",
+                context=STBox(
+                    Rect(2400, 2400, 2401, 2401), Interval(1, 1)
+                ),
+            )
+        )
+        assert split.track_id != tracker2.track_of(1)

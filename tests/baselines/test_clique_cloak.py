@@ -1,0 +1,111 @@
+"""Unit tests for the Gedik-Liu CliqueCloak engine."""
+
+import pytest
+
+from repro.baselines.clique_cloak import CliqueCloak, CliqueRequest
+from repro.geometry.point import STPoint
+
+
+def request(msgid, user_id, x, t, k=3, spatial=1000.0, temporal=600.0):
+    return CliqueRequest(
+        msgid=msgid,
+        user_id=user_id,
+        location=STPoint(x, 0.0, t),
+        k=k,
+        spatial_tolerance=spatial,
+        temporal_tolerance=temporal,
+    )
+
+
+class TestRequestValidation:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            request(1, 1, 0, 0, k=0)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            request(1, 1, 0, 0, spatial=-1.0)
+
+    def test_constraint_box_contains_location(self):
+        r = request(1, 1, 100, 50)
+        assert r.constraint_box().contains(r.location)
+
+
+class TestCliqueFormation:
+    def test_clique_of_three_releases(self):
+        engine = CliqueCloak()
+        assert engine.submit(request(1, 1, 0, 0)) is None
+        assert engine.submit(request(2, 2, 50, 10)) is None
+        batch = engine.submit(request(3, 3, 100, 20))
+        assert batch is not None
+        assert len(batch.members) == 3
+
+    def test_released_context_contains_members(self):
+        engine = CliqueCloak()
+        engine.submit(request(1, 1, 0, 0))
+        engine.submit(request(2, 2, 50, 10))
+        batch = engine.submit(request(3, 3, 100, 20))
+        for member in batch.members:
+            assert batch.context.contains(member.location)
+
+    def test_far_requests_do_not_form(self):
+        engine = CliqueCloak()
+        engine.submit(request(1, 1, 0, 0))
+        engine.submit(request(2, 2, 50_000, 10))
+        assert engine.submit(request(3, 3, 100_000, 20)) is None
+
+    def test_max_k_in_clique_governs(self):
+        """A member demanding k=4 cannot be served in a clique of 3; the
+        k=3 members are served without it and it keeps waiting."""
+        engine = CliqueCloak()
+        engine.submit(request(1, 1, 0, 0, k=4))
+        engine.submit(request(2, 2, 50, 10))
+        assert engine.submit(request(3, 3, 100, 20)) is None
+        batch = engine.submit(request(4, 4, 150, 30))
+        assert batch is not None
+        assert all(member.k <= len(batch.members) for member in
+                   batch.members)
+        assert 1 in {p.msgid for p in engine.pending}
+
+    def test_served_requests_leave_buffer(self):
+        engine = CliqueCloak()
+        engine.submit(request(1, 1, 0, 0))
+        engine.submit(request(2, 2, 50, 10))
+        engine.submit(request(3, 3, 100, 20))
+        assert engine.pending == []
+
+
+class TestExpiry:
+    def test_deadline_drop(self):
+        engine = CliqueCloak()
+        engine.submit(request(1, 1, 0, 0, temporal=100.0))
+        engine.submit(request(2, 2, 50, 500))  # past msgid 1's deadline
+        assert engine.stats.dropped == 1
+
+    def test_flush_drops_pending(self):
+        engine = CliqueCloak()
+        engine.submit(request(1, 1, 0, 0))
+        engine.flush()
+        assert engine.stats.dropped == 1
+        assert engine.pending == []
+
+
+class TestStats:
+    def test_drop_rate_and_delay(self):
+        engine = CliqueCloak()
+        engine.submit(request(1, 1, 0, 0))
+        engine.submit(request(2, 2, 50, 10))
+        engine.submit(request(3, 3, 100, 20))
+        engine.submit(request(4, 4, 90_000, 30))
+        engine.flush()
+        stats = engine.stats
+        assert stats.served == 3
+        assert stats.dropped == 1
+        assert stats.drop_rate == pytest.approx(0.25)
+        # Delays: released at t=20; members waited 20, 10, 0.
+        assert stats.mean_delay == pytest.approx(10.0)
+
+    def test_empty_engine_stats(self):
+        stats = CliqueCloak().stats
+        assert stats.drop_rate == 0.0
+        assert stats.mean_delay == 0.0

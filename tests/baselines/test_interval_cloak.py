@@ -1,0 +1,98 @@
+"""Unit tests for Gruteser-Grunwald interval cloaking."""
+
+import pytest
+
+from repro.baselines.interval_cloak import IntervalCloak
+from repro.baselines.no_protection import NoProtection
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.mod.store import TrajectoryStore
+
+AREA = Rect(0, 0, 1024, 1024)
+
+
+def store_with_cluster(n_users, x=100.0, y=100.0, t=1000.0):
+    store = TrajectoryStore()
+    for user_id in range(n_users):
+        store.add_point(user_id, STPoint(x + user_id, y, t))
+    return store
+
+
+class TestNoProtection:
+    def test_exact_context(self):
+        box = NoProtection().cloak(1, STPoint(5, 6, 7))
+        assert box.volume == 0.0
+        assert box.contains(STPoint(5, 6, 7))
+
+
+class TestIntervalCloakConstruction:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            IntervalCloak(TrajectoryStore(), AREA, k=0)
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            IntervalCloak(
+                TrajectoryStore(), AREA, window=600.0, max_window=300.0
+            )
+
+
+class TestSpatialCloaking:
+    def test_cloak_contains_request(self):
+        store = store_with_cluster(10)
+        cloak = IntervalCloak(store, AREA, k=5)
+        box = cloak.cloak(0, STPoint(100, 100, 1000))
+        assert box is not None
+        assert box.rect.contains(STPoint(100, 100, 1000).point)
+
+    def test_cloak_holds_k_users(self):
+        store = store_with_cluster(10)
+        cloak = IntervalCloak(store, AREA, k=5)
+        box = cloak.cloak(0, STPoint(100, 100, 1000))
+        assert len(store.users_in_box(box)) >= 5
+
+    def test_dense_cluster_gives_small_box(self):
+        store = store_with_cluster(20)
+        cloak = IntervalCloak(store, AREA, k=5, max_depth=12)
+        box = cloak.cloak(0, STPoint(100, 100, 1000))
+        assert box.rect.width <= AREA.width / 8
+
+    def test_sparse_population_gives_big_box(self):
+        store = TrajectoryStore()
+        # Five users spread to the four corners and the center.
+        spots = [(10, 10), (1000, 10), (10, 1000), (1000, 1000), (512, 512)]
+        for user_id, (x, y) in enumerate(spots):
+            store.add_point(user_id, STPoint(x, y, 1000))
+        cloak = IntervalCloak(store, AREA, k=5)
+        box = cloak.cloak(0, STPoint(10, 10, 1000))
+        assert box.rect == AREA
+
+    def test_anonymity_decreasing_in_k(self):
+        store = store_with_cluster(30)
+        widths = []
+        for k in (2, 5, 10, 20):
+            cloak = IntervalCloak(store, AREA, k=k)
+            box = cloak.cloak(0, STPoint(100, 100, 1000))
+            widths.append(box.rect.width)
+        assert widths == sorted(widths)
+
+
+class TestTemporalCloaking:
+    def test_window_widens_when_needed(self):
+        store = TrajectoryStore()
+        for user_id in range(5):
+            # Users present only 40 minutes before the request.
+            store.add_point(user_id, STPoint(100, 100, 1000.0))
+        cloak = IntervalCloak(
+            store, AREA, k=5, window=300.0, max_window=7200.0
+        )
+        box = cloak.cloak(0, STPoint(100, 100, 3400.0))
+        assert box is not None
+        assert box.interval.duration > 300.0
+
+    def test_gives_up_at_max_window(self):
+        store = store_with_cluster(2)
+        cloak = IntervalCloak(
+            store, AREA, k=5, window=300.0, max_window=600.0
+        )
+        assert cloak.cloak(0, STPoint(100, 100, 1000.0)) is None

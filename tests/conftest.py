@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+City generation is the expensive part of the suite, so the synthetic
+cities are session-scoped; tests must treat them as read-only (anything
+mutating a store builds its own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import small_city
+from repro.geometry.point import STPoint
+from repro.mod.store import TrajectoryStore
+
+
+@pytest.fixture(scope="session")
+def city():
+    """A read-only test city: 30 commuters, 10 wanderers, 14 days."""
+    return small_city(seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def uniform_store(rng):
+    """A small store: 20 users x 50 samples uniform over 1 km, 1 day."""
+    store = TrajectoryStore()
+    for user_id in range(20):
+        times = np.sort(rng.uniform(0.0, 86_400.0, size=50))
+        xs = rng.uniform(0.0, 1000.0, size=50)
+        ys = rng.uniform(0.0, 1000.0, size=50)
+        store.add_trajectory(
+            user_id,
+            [STPoint(float(x), float(y), float(t)) for x, y, t in
+             zip(xs, ys, times)],
+        )
+    return store

@@ -1,0 +1,137 @@
+"""Unit tests for multiple LBQIDs per user and randomized forwarding.
+
+The paper's Algorithm 1 is presented "for simplicity" under the
+assumption that "each request can match an element in only one of the
+LBQIDs defined for a certain user" and notes it "can be easily extended
+to consider multiple LBQIDs"; these tests pin down the extension's
+behaviour.
+"""
+
+import numpy as np
+
+from repro.core.anonymizer import Decision, TrustedAnonymizer
+from repro.core.generalization import ToleranceConstraint
+from repro.core.lbqid import LBQID, LBQIDElement, commute_lbqid
+from repro.core.policy import PolicyTable, PrivacyProfile
+from repro.core.randomization import BoxRandomizer
+from repro.core.unlinking import AlwaysUnlink
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.granularity.timeline import time_at
+from repro.granularity.unanchored import UnanchoredInterval
+from repro.mod.store import TrajectoryStore
+
+HOME = Rect(0, 0, 100, 100)
+OFFICE = Rect(900, 900, 1000, 1000)
+USER = 1
+LOOSE = ToleranceConstraint.square(5_000.0, 7_200.0)
+
+
+def make_ts(randomizer=None, tolerance=LOOSE):
+    policy = PolicyTable(
+        default_profile=PrivacyProfile(k=3),
+        default_tolerance=tolerance,
+    )
+    ts = TrustedAnonymizer(
+        TrajectoryStore(),
+        policy=policy,
+        unlinker=AlwaysUnlink(),
+        randomizer=randomizer,
+    )
+    # Neighbour presence around both anchors, repeated daily.
+    for day in range(5):
+        for user, jitter in ((2, 0.0), (3, 5.0), (4, 10.0)):
+            ts.report_location(
+                user, STPoint(40 + jitter, 40,
+                              time_at(day=day, hour=7.4))
+            )
+            ts.report_location(
+                user, STPoint(950 + jitter, 950,
+                              time_at(day=day, hour=8.4))
+            )
+    return ts
+
+
+def home_lbqid():
+    return LBQID(
+        "home-anytime",
+        [LBQIDElement(HOME, UnanchoredInterval(0.0, 86_399.0))],
+    )
+
+
+class TestMultipleLBQIDs:
+    def test_most_advanced_monitor_wins(self):
+        """A request matching an intermediate element of one LBQID and
+        the first element of another is attributed to the former."""
+        ts = make_ts()
+        ts.register_lbqid(USER, commute_lbqid(HOME, OFFICE, name="commute"))
+        office_first = LBQID(
+            "office-anytime",
+            [LBQIDElement(OFFICE, UnanchoredInterval(0.0, 86_399.0))],
+        )
+        ts.register_lbqid(USER, office_first)
+        ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        event = ts.request(USER, STPoint(950, 950, time_at(hour=8.5)))
+        assert event.decision is Decision.GENERALIZED
+        assert event.lbqid_name == "commute"
+
+    def test_each_lbqid_keeps_its_own_anonymity_set(self):
+        ts = make_ts()
+        ts.register_lbqid(USER, commute_lbqid(HOME, OFFICE, name="commute"))
+        ts.register_lbqid(USER, home_lbqid())
+        ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        states = ts._states[USER]
+        assert len(states) == 2
+        # Both matched (home-anytime + commute E0); both cached a set.
+        cached = [s.anonymity_ids for s in states]
+        assert any(ids is not None for ids in cached)
+
+    def test_unlink_resets_all_monitors(self):
+        ts = make_ts(tolerance=ToleranceConstraint.square(1.0, 1.0))
+        ts.register_lbqid(USER, commute_lbqid(HOME, OFFICE, name="commute"))
+        ts.register_lbqid(USER, home_lbqid())
+        event = ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        assert event.decision is Decision.UNLINKED
+        for state in ts._states[USER]:
+            assert not state.monitor.partials
+            assert state.anonymity_ids is None
+
+    def test_non_matching_other_users_unaffected(self):
+        ts = make_ts()
+        ts.register_lbqid(USER, home_lbqid())
+        event = ts.request(2, STPoint(50, 50, time_at(hour=7.5)))
+        assert event.decision is Decision.FORWARDED
+
+
+class TestRandomizedForwarding:
+    def test_randomized_context_contains_location(self):
+        ts = make_ts(
+            randomizer=BoxRandomizer(np.random.default_rng(0))
+        )
+        ts.register_lbqid(USER, home_lbqid())
+        event = ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        assert event.decision is Decision.GENERALIZED
+        assert event.request.context.contains(event.request.location)
+
+    def test_randomized_context_within_tolerance(self):
+        tolerance = ToleranceConstraint.square(2_000.0, 3_600.0)
+        ts = make_ts(
+            randomizer=BoxRandomizer(np.random.default_rng(0)),
+            tolerance=tolerance,
+        )
+        ts.register_lbqid(USER, home_lbqid())
+        for hour in (7.5, 9.5, 11.5):
+            event = ts.request(USER, STPoint(50, 50, time_at(hour=hour)))
+            if event.decision is Decision.GENERALIZED:
+                assert tolerance.satisfied_by(event.request.context)
+
+    def test_randomized_context_contains_algorithm_box(self):
+        ts = make_ts(
+            randomizer=BoxRandomizer(np.random.default_rng(0))
+        )
+        ts.register_lbqid(USER, home_lbqid())
+        event = ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        assert event.generalization is not None
+        assert event.request.context.contains_box(
+            event.generalization.box
+        )

@@ -1,0 +1,185 @@
+"""Unit tests for Algorithm 1 (spatio-temporal generalization)."""
+
+import pytest
+
+from repro.core.generalization import (
+    SpatioTemporalGeneralizer,
+    ToleranceConstraint,
+    default_context,
+)
+from repro.geometry.point import STPoint
+from repro.mod.store import TrajectoryStore
+
+
+def clustered_store():
+    """Users 1-5 near the origin at t~100; user 9 far away."""
+    store = TrajectoryStore()
+    for user_id in range(1, 6):
+        store.add_trajectory(
+            user_id,
+            [
+                STPoint(10.0 * user_id, 10.0 * user_id, 100.0),
+                STPoint(10.0 * user_id, 10.0 * user_id, 200.0),
+            ],
+        )
+    store.add_point(9, STPoint(5000.0, 5000.0, 100.0))
+    return store
+
+
+LOOSE = ToleranceConstraint.square(10_000.0, 10_000.0)
+TIGHT = ToleranceConstraint.square(25.0, 50.0)
+
+
+class TestToleranceConstraint:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ToleranceConstraint(-1, 1, 1)
+
+    def test_satisfied_by(self):
+        result = SpatioTemporalGeneralizer(
+            clustered_store()
+        ).generalize_initial(STPoint(0, 0, 100), 3, LOOSE, requester=0)
+        assert LOOSE.satisfied_by(result.box)
+
+    def test_unbounded_accepts_everything(self):
+        tol = ToleranceConstraint.unbounded()
+        result = SpatioTemporalGeneralizer(
+            clustered_store()
+        ).generalize_initial(STPoint(0, 0, 100), 6, tol, requester=0)
+        assert tol.satisfied_by(result.box)
+
+    def test_shrink_result_satisfies(self):
+        store = clustered_store()
+        generalizer = SpatioTemporalGeneralizer(store)
+        result = generalizer.generalize_initial(
+            STPoint(0, 0, 100), 5, TIGHT, requester=0
+        )
+        assert TIGHT.satisfied_by(result.box)
+        assert not result.hk_anonymity
+
+
+class TestInitialGeneralization:
+    def test_box_contains_request_point(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        location = STPoint(0, 0, 100)
+        result = generalizer.generalize_initial(
+            location, 4, LOOSE, requester=0
+        )
+        assert result.box.contains(location)
+
+    def test_selects_k_minus_one_distinct_users(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        result = generalizer.generalize_initial(
+            STPoint(0, 0, 100), 4, LOOSE, requester=0
+        )
+        assert len(result.selected_ids) == 3
+        assert len(set(result.selected_ids)) == 3
+
+    def test_selects_nearest_users(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        result = generalizer.generalize_initial(
+            STPoint(0, 0, 100), 4, LOOSE, requester=0
+        )
+        assert set(result.selected_ids) == {1, 2, 3}
+
+    def test_requester_excluded_from_selection(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        result = generalizer.generalize_initial(
+            STPoint(10, 10, 100), 3, LOOSE, requester=1
+        )
+        assert 1 not in result.selected_ids
+
+    def test_k_one_degenerates(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        location = STPoint(0, 0, 100)
+        result = generalizer.generalize_initial(
+            location, 1, LOOSE, requester=0
+        )
+        assert result.hk_anonymity
+        assert result.box.volume == 0.0
+
+    def test_not_enough_users_fails(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        result = generalizer.generalize_initial(
+            STPoint(0, 0, 100), 10, LOOSE, requester=0
+        )
+        assert not result.hk_anonymity
+
+    def test_rejects_bad_k(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        with pytest.raises(ValueError):
+            generalizer.generalize_initial(
+                STPoint(0, 0, 100), 0, LOOSE, requester=0
+            )
+
+    def test_anonymity_ids_points_inside_box(self):
+        store = clustered_store()
+        generalizer = SpatioTemporalGeneralizer(store)
+        location = STPoint(0, 0, 100)
+        result = generalizer.generalize_initial(
+            location, 4, LOOSE, requester=0
+        )
+        for user_id in result.anonymity_ids:
+            closest = store.closest_point(user_id, location)
+            assert result.box.contains(closest)
+
+
+class TestSubsequentGeneralization:
+    def test_reuses_given_users(self):
+        store = clustered_store()
+        generalizer = SpatioTemporalGeneralizer(store)
+        result = generalizer.generalize_subsequent(
+            STPoint(0, 0, 200), (1, 2, 3), LOOSE
+        )
+        assert result.hk_anonymity
+        assert set(result.anonymity_ids) == {1, 2, 3}
+
+    def test_missing_user_fails(self):
+        generalizer = SpatioTemporalGeneralizer(clustered_store())
+        result = generalizer.generalize_subsequent(
+            STPoint(0, 0, 200), (1, 2, 77), LOOSE
+        )
+        assert not result.hk_anonymity
+
+    def test_required_subsets_nearest(self):
+        """With required < len(ids), only the nearest stored users are
+        bounded (the k'-decrement heuristic)."""
+        store = clustered_store()
+        generalizer = SpatioTemporalGeneralizer(store)
+        result = generalizer.generalize_subsequent(
+            STPoint(0, 0, 200), (1, 2, 3, 4, 5), LOOSE, required=2
+        )
+        assert result.hk_anonymity
+        assert set(result.anonymity_ids) == {1, 2}
+        # The box is tighter than bounding all five users.
+        full = generalizer.generalize_subsequent(
+            STPoint(0, 0, 200), (1, 2, 3, 4, 5), LOOSE
+        )
+        assert result.box.rect.width <= full.box.rect.width
+
+    def test_box_contains_request_point_even_after_shrink(self):
+        store = clustered_store()
+        generalizer = SpatioTemporalGeneralizer(store)
+        location = STPoint(0, 0, 200)
+        result = generalizer.generalize_subsequent(
+            location, (1, 2, 3, 4, 5), TIGHT
+        )
+        assert result.box.contains(location)
+        assert TIGHT.satisfied_by(result.box)
+
+
+class TestDefaultContext:
+    def test_exact_by_default(self):
+        location = STPoint(3, 4, 5)
+        box = default_context(location)
+        assert box.volume == 0.0
+        assert box.contains(location)
+
+    def test_cloaked(self):
+        location = STPoint(100, 100, 1000)
+        box = default_context(
+            location, ToleranceConstraint.square(200.0, 60.0)
+        )
+        assert box.contains(location)
+        assert box.rect.width == pytest.approx(200.0)
+        assert box.interval.duration == pytest.approx(60.0)

@@ -1,0 +1,127 @@
+"""Unit tests for Historical k-anonymity (Definition 8)."""
+
+import pytest
+
+from repro.core.historical_k import (
+    anonymity_entropy,
+    historical_anonymity_set,
+    request_anonymity_set,
+    satisfies_historical_k,
+)
+from repro.core.phl import PersonalHistory
+from repro.core.requests import Request
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+
+def make_histories():
+    """Users 1-3 visit both boxes; user 4 only the first; user 5 neither."""
+    a = STBox(Rect(0, 0, 10, 10), Interval(0, 10))
+    b = STBox(Rect(90, 90, 110, 110), Interval(90, 110))
+    histories = {
+        1: PersonalHistory(1, [STPoint(5, 5, 5), STPoint(100, 100, 100)]),
+        2: PersonalHistory(2, [STPoint(6, 6, 6), STPoint(95, 95, 95)]),
+        3: PersonalHistory(3, [STPoint(4, 4, 4), STPoint(105, 105, 105)]),
+        4: PersonalHistory(4, [STPoint(5, 5, 5), STPoint(500, 500, 100)]),
+        5: PersonalHistory(5, [STPoint(500, 500, 5)]),
+    }
+    return histories, a, b
+
+
+class TestHistoricalAnonymitySet:
+    def test_consistent_users_found(self):
+        histories, a, b = make_histories()
+        got = historical_anonymity_set([a, b], histories, exclude_user=1)
+        assert sorted(got) == [2, 3]
+
+    def test_exclusion(self):
+        histories, a, b = make_histories()
+        got = historical_anonymity_set([a, b], histories, exclude_user=None)
+        assert sorted(got) == [1, 2, 3]
+
+    def test_empty_contexts_match_everyone(self):
+        histories, _a, _b = make_histories()
+        got = historical_anonymity_set([], histories, exclude_user=1)
+        assert len(got) == 4
+
+    def test_single_context(self):
+        histories, a, _b = make_histories()
+        got = historical_anonymity_set([a], histories, exclude_user=1)
+        assert sorted(got) == [2, 3, 4]
+
+
+class TestSatisfiesHistoricalK:
+    def make_requests(self, histories, a, b):
+        return [
+            Request.issue(1, 1, "p", STPoint(5, 5, 5)).with_context(a),
+            Request.issue(2, 1, "p", STPoint(100, 100, 100)).with_context(b),
+        ]
+
+    def test_satisfied_at_k3(self):
+        histories, a, b = make_histories()
+        requests = self.make_requests(histories, a, b)
+        assert satisfies_historical_k(requests, histories, k=3)
+
+    def test_not_satisfied_at_k4(self):
+        histories, a, b = make_histories()
+        requests = self.make_requests(histories, a, b)
+        assert not satisfies_historical_k(requests, histories, k=4)
+
+    def test_monotone_in_k(self):
+        histories, a, b = make_histories()
+        requests = self.make_requests(histories, a, b)
+        satisfied = [
+            satisfies_historical_k(requests, histories, k=k)
+            for k in range(1, 6)
+        ]
+        # Once false, stays false.
+        assert satisfied == sorted(satisfied, reverse=True)
+
+    def test_empty_request_set_vacuous(self):
+        histories, _a, _b = make_histories()
+        assert satisfies_historical_k([], histories, k=100)
+
+    def test_k_one_always_satisfied(self):
+        histories, a, b = make_histories()
+        requests = self.make_requests(histories, a, b)
+        assert satisfies_historical_k(requests, histories, k=1)
+
+    def test_rejects_mixed_users(self):
+        histories, a, b = make_histories()
+        mixed = [
+            Request.issue(1, 1, "p", STPoint(5, 5, 5)).with_context(a),
+            Request.issue(2, 2, "q", STPoint(100, 100, 100)).with_context(b),
+        ]
+        with pytest.raises(ValueError):
+            satisfies_historical_k(mixed, histories, k=2)
+
+    def test_rejects_bad_k(self):
+        histories, a, b = make_histories()
+        with pytest.raises(ValueError):
+            satisfies_historical_k([], histories, k=0)
+
+
+class TestRequestAnonymitySet:
+    def test_includes_all_present(self):
+        histories, a, _b = make_histories()
+        got = request_anonymity_set(a, histories)
+        assert sorted(got) == [1, 2, 3, 4]
+
+    def test_empty_region(self):
+        histories, _a, _b = make_histories()
+        box = STBox(Rect(900, 900, 910, 910), Interval(0, 10))
+        assert request_anonymity_set(box, histories) == []
+
+
+class TestEntropy:
+    def test_uniform_set(self):
+        assert anonymity_entropy([8]) == pytest.approx(3.0)
+
+    def test_mean_over_requests(self):
+        assert anonymity_entropy([2, 8]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert anonymity_entropy([]) == 0.0
+
+    def test_zero_size_contributes_nothing(self):
+        assert anonymity_entropy([0, 4]) == pytest.approx(1.0)

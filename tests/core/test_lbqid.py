@@ -1,0 +1,110 @@
+"""Unit tests for LBQIDs (Definitions 1–2)."""
+
+import pytest
+
+from repro.core.lbqid import LBQID, LBQIDElement, commute_lbqid
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.granularity.timeline import time_at
+from repro.granularity.unanchored import UnanchoredInterval
+
+HOME = Rect(0, 0, 100, 100)
+OFFICE = Rect(900, 900, 1000, 1000)
+
+
+class TestElementMatching:
+    element = LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 8))
+
+    def test_matches_inside_area_and_window(self):
+        assert self.element.matches(STPoint(50, 50, time_at(hour=7.5)))
+
+    def test_rejects_outside_area(self):
+        assert not self.element.matches(STPoint(500, 50, time_at(hour=7.5)))
+
+    def test_rejects_outside_window(self):
+        assert not self.element.matches(STPoint(50, 50, time_at(hour=9)))
+
+    def test_window_recurs_daily(self):
+        assert self.element.matches(
+            STPoint(50, 50, time_at(week=2, day=3, hour=7.5))
+        )
+
+    def test_area_boundary_inclusive(self):
+        assert self.element.matches(STPoint(100, 100, time_at(hour=7)))
+
+
+class TestLBQIDConstruction:
+    def test_requires_elements(self):
+        with pytest.raises(ValueError):
+            LBQID("empty", [])
+
+    def test_recurrence_from_string(self):
+        lbqid = LBQID(
+            "q",
+            [LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 8))],
+            "3.Weekdays * 2.Weeks",
+        )
+        assert lbqid.recurrence.terms[0].count == 3
+
+    def test_default_recurrence_is_empty(self):
+        lbqid = LBQID(
+            "q", [LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 8))]
+        )
+        assert lbqid.recurrence.is_empty
+
+    def test_trailing_one_term_normalized(self):
+        lbqid = LBQID(
+            "q",
+            [LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 8))],
+            "3.Weekdays * 1.Weeks",
+        )
+        assert len(lbqid.recurrence.terms) == 1
+
+    def test_len(self):
+        assert len(commute_lbqid(HOME, OFFICE)) == 4
+
+    def test_str_mentions_labels(self):
+        text = str(commute_lbqid(HOME, OFFICE))
+        assert "home-morning" in text
+        assert "3.Weekdays" in text
+
+
+class TestElementMatchingIndex:
+    lbqid = commute_lbqid(HOME, OFFICE)
+
+    def test_first_element(self):
+        index = self.lbqid.element_matching(
+            STPoint(50, 50, time_at(hour=7.5))
+        )
+        assert index == 0
+
+    def test_no_element(self):
+        assert self.lbqid.element_matching(
+            STPoint(500, 500, time_at(hour=12))
+        ) is None
+
+    def test_overlapping_windows_first_wins(self):
+        """At 5:30pm an office point matches office-leave (E2), the
+        earlier of the overlapping windows."""
+        index = self.lbqid.element_matching(
+            STPoint(950, 950, time_at(hour=17.5))
+        )
+        assert index == 2
+
+
+class TestCommuteFactory:
+    def test_example_2_shape(self):
+        lbqid = commute_lbqid(HOME, OFFICE)
+        labels = [e.label for e in lbqid.elements]
+        assert labels == [
+            "home-morning",
+            "office-arrive",
+            "office-leave",
+            "home-evening",
+        ]
+        assert lbqid.elements[0].area == HOME
+        assert lbqid.elements[1].area == OFFICE
+
+    def test_custom_recurrence(self):
+        lbqid = commute_lbqid(HOME, OFFICE, recurrence="2.Weekdays")
+        assert str(lbqid.recurrence) == "2.Weekdays"

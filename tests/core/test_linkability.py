@@ -1,0 +1,148 @@
+"""Unit tests for linkability (Definitions 4–5)."""
+
+import pytest
+
+from repro.core.linkability import (
+    CompositeMaxLink,
+    GroundTruthLink,
+    PseudonymLink,
+    is_link_connected,
+    link_function_is_correct,
+    pairwise_links,
+    theta_components,
+)
+from repro.core.requests import Request
+from repro.geometry.point import STPoint
+
+
+def request(msgid, user_id, pseudonym, t=0.0):
+    return Request.issue(
+        msgid=msgid,
+        user_id=user_id,
+        pseudonym=pseudonym,
+        location=STPoint(0, 0, t),
+    )
+
+
+R = [
+    request(1, 1, "a"),
+    request(2, 1, "a"),
+    request(3, 1, "b"),
+    request(4, 2, "c"),
+    request(5, 2, "c"),
+]
+
+
+class TestPseudonymLink:
+    link = PseudonymLink()
+
+    def test_same_pseudonym_links(self):
+        assert self.link.link(R[0], R[1]) == 1.0
+
+    def test_different_pseudonym_does_not(self):
+        assert self.link.link(R[0], R[2]) == 0.0
+
+    def test_reflexive(self):
+        assert self.link.link(R[0], R[0]) == 1.0
+
+    def test_symmetric(self):
+        assert self.link.link(R[0], R[3]) == self.link.link(R[3], R[0])
+
+
+class TestGroundTruthLink:
+    link = GroundTruthLink()
+
+    def test_same_user_across_pseudonyms(self):
+        assert self.link.link(R[1], R[2]) == 1.0
+
+    def test_different_users(self):
+        assert self.link.link(R[2], R[3]) == 0.0
+
+    def test_requires_ts_requests(self):
+        with pytest.raises(TypeError):
+            self.link.link(R[0].sp_view(), R[1].sp_view())
+
+
+class TestCompositeMaxLink:
+    def test_takes_maximum(self):
+        class Half:
+            def link(self, a, b):
+                return 0.5
+
+        combined = CompositeMaxLink([PseudonymLink(), Half()])
+        assert combined.link(R[0], R[2]) == 0.5
+        assert combined.link(R[0], R[1]) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeMaxLink([])
+
+
+class TestLinkConnected:
+    def test_empty_and_singleton_vacuously_connected(self):
+        assert is_link_connected([], PseudonymLink(), 0.5)
+        assert is_link_connected([R[0]], PseudonymLink(), 0.5)
+
+    def test_same_pseudonym_connected(self):
+        assert is_link_connected([R[0], R[1]], PseudonymLink(), 1.0)
+
+    def test_cross_pseudonym_not_connected(self):
+        assert not is_link_connected([R[0], R[2]], PseudonymLink(), 0.5)
+
+    def test_chain_connectivity(self):
+        """Connectivity is via chains, not direct links (Definition 5)."""
+
+        class ChainLink:
+            def link(self, a, b):
+                return 1.0 if abs(a.msgid - b.msgid) <= 1 else 0.0
+
+        assert is_link_connected([R[0], R[1], R[2]], ChainLink(), 1.0)
+
+    def test_theta_monotone(self):
+        """Raising theta can only disconnect, never connect."""
+
+        class Gradient:
+            def link(self, a, b):
+                return 0.6
+
+        requests = [R[0], R[2], R[3]]
+        assert is_link_connected(requests, Gradient(), 0.5)
+        assert not is_link_connected(requests, Gradient(), 0.7)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            is_link_connected(R, PseudonymLink(), 1.5)
+
+
+class TestComponents:
+    def test_partition_by_pseudonym(self):
+        components = theta_components(R, PseudonymLink(), 1.0)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 2]
+
+    def test_components_cover_all(self):
+        components = theta_components(R, PseudonymLink(), 1.0)
+        assert sum(len(c) for c in components) == len(R)
+
+    def test_theta_zero_single_component(self):
+        components = theta_components(R, PseudonymLink(), 0.0)
+        assert len(components) == 1
+
+
+class TestCorrectness:
+    def test_ground_truth_is_correct(self):
+        assert link_function_is_correct(R, GroundTruthLink())
+
+    def test_pseudonym_link_not_correct_after_rotation(self):
+        """The same user under two pseudonyms breaks the 'only if'."""
+        assert not link_function_is_correct(R, PseudonymLink())
+
+    def test_pseudonym_link_correct_without_rotation(self):
+        stable = [R[0], R[1], R[3], R[4]]
+        assert link_function_is_correct(stable, PseudonymLink())
+
+
+class TestPairwise:
+    def test_yields_all_pairs(self):
+        pairs = list(pairwise_links(R, PseudonymLink()))
+        assert len(pairs) == len(R) * (len(R) - 1) // 2

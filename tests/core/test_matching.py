@@ -1,0 +1,177 @@
+"""Unit tests for the LBQID monitor (Definitions 2–3, Section 4)."""
+
+from repro.core.lbqid import LBQID, LBQIDElement, commute_lbqid
+from repro.core.matching import (
+    LBQIDMonitor,
+    first_match_time,
+    request_set_matches,
+)
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.granularity.timeline import time_at
+from repro.granularity.unanchored import UnanchoredInterval
+
+HOME = Rect(0, 0, 100, 100)
+OFFICE = Rect(900, 900, 1000, 1000)
+COMMUTE = commute_lbqid(HOME, OFFICE)
+
+
+def home_at(week, day, hour):
+    return STPoint(50, 50, time_at(week=week, day=day, hour=hour))
+
+
+def office_at(week, day, hour):
+    return STPoint(950, 950, time_at(week=week, day=day, hour=hour))
+
+
+def full_day(week, day):
+    return [
+        home_at(week, day, 7.5),
+        office_at(week, day, 8.5),
+        office_at(week, day, 17.0),
+        home_at(week, day, 18.0),
+    ]
+
+
+class TestSequenceProgress:
+    def test_first_element_starts_partial(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        event = monitor.feed(home_at(0, 0, 7.5))
+        assert event.started is not None
+        assert event.started.is_initial
+        assert not event.advanced
+
+    def test_nonmatching_request_does_nothing(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        monitor.feed(home_at(0, 0, 7.5))
+        event = monitor.feed(STPoint(500, 500, time_at(hour=12)))
+        assert not event.matched_any_element
+        assert len(monitor.partials) == 1
+
+    def test_sequence_completes_within_day(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        events = [monitor.feed(p) for p in full_day(0, 0)]
+        assert events[-1].completed
+        assert len(monitor.observations) == 1
+
+    def test_partial_expires_across_days(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        monitor.feed(home_at(0, 0, 7.5))
+        monitor.feed(office_at(0, 0, 8.5))
+        # Next morning: the old partial is gone, a fresh one starts.
+        event = monitor.feed(home_at(0, 1, 7.5))
+        assert event.started is not None
+        assert all(p.is_initial for p in monitor.partials)
+
+    def test_out_of_order_element_does_not_advance(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        monitor.feed(home_at(0, 0, 7.5))
+        event = monitor.feed(office_at(0, 0, 17.0))  # expects E1, got E2
+        assert not event.advanced
+
+    def test_intermediate_element_without_prefix_ignored(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        event = monitor.feed(office_at(0, 0, 8.5))
+        assert not event.matched_any_element
+
+    def test_weekend_start_is_dead(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        event = monitor.feed(home_at(0, 5, 7.5))  # Saturday
+        assert event.started is not None
+        assert event.started.dead
+        assert not monitor.partials
+
+    def test_repeated_first_element_tracks_both(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        monitor.feed(home_at(0, 0, 7.2))
+        monitor.feed(home_at(0, 0, 7.8))
+        assert len(monitor.partials) == 2
+
+
+class TestRecurrenceIntegration:
+    def test_full_pattern_matches(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        matched = False
+        for week in range(2):
+            for day in range(3):
+                for point in full_day(week, day):
+                    matched = monitor.feed(point).lbqid_matched
+        assert matched
+        assert monitor.matched
+
+    def test_five_observations_do_not_match(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        days = [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]
+        for week, day in days:
+            for point in full_day(week, day):
+                monitor.feed(point)
+        assert not monitor.matched
+        assert len(monitor.observations) == 5
+
+    def test_matched_flag_is_sticky(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        for week in range(2):
+            for day in range(3):
+                for point in full_day(week, day):
+                    monitor.feed(point)
+        assert monitor.matched
+        monitor.feed(STPoint(500, 500, time_at(week=3, hour=12)))
+        assert monitor.matched
+
+    def test_reset_clears_everything(self):
+        monitor = LBQIDMonitor(COMMUTE)
+        for week in range(2):
+            for day in range(3):
+                for point in full_day(week, day):
+                    monitor.feed(point)
+        monitor.reset()
+        assert not monitor.matched
+        assert not monitor.observations
+        assert not monitor.partials
+
+
+class TestSingleElementLBQID:
+    lbqid = LBQID(
+        "home-once",
+        [LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 8))],
+    )
+
+    def test_single_request_matches(self):
+        monitor = LBQIDMonitor(self.lbqid)
+        event = monitor.feed(home_at(0, 0, 7.5))
+        assert event.completed
+        assert event.lbqid_matched
+
+    def test_with_recurrence(self):
+        lbqid = LBQID(
+            "home-daily",
+            [LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 8))],
+            "2.Days",
+        )
+        monitor = LBQIDMonitor(lbqid)
+        assert not monitor.feed(home_at(0, 0, 7.5)).lbqid_matched
+        assert not monitor.feed(home_at(0, 0, 7.9)).lbqid_matched
+        assert monitor.feed(home_at(0, 1, 7.5)).lbqid_matched
+
+
+class TestSetLevelAPI:
+    def test_request_set_matches_unordered_input(self):
+        points = []
+        for week in range(2):
+            for day in range(3):
+                points.extend(full_day(week, day))
+        assert request_set_matches(COMMUTE, reversed(points))
+
+    def test_request_set_too_small(self):
+        assert not request_set_matches(COMMUTE, full_day(0, 0))
+
+    def test_first_match_time(self):
+        points = []
+        for week in range(2):
+            for day in range(3):
+                points.extend(full_day(week, day))
+        t = first_match_time(COMMUTE, points)
+        assert t == points[-1].t
+
+    def test_first_match_time_none(self):
+        assert first_match_time(COMMUTE, full_day(0, 0)) is None

@@ -1,0 +1,120 @@
+"""Property-based tests for the LBQID monitor."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lbqid import LBQID, LBQIDElement, commute_lbqid
+from repro.core.matching import LBQIDMonitor
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.granularity.timeline import DAY, HOUR
+from repro.granularity.unanchored import UnanchoredInterval
+
+HOME = Rect(0, 0, 100, 100)
+OFFICE = Rect(900, 900, 1000, 1000)
+
+LBQIDS = st.sampled_from(
+    [
+        commute_lbqid(HOME, OFFICE, name="commute"),
+        commute_lbqid(HOME, OFFICE, name="weekly", recurrence="2.Weekdays"),
+        LBQID(
+            "home-once",
+            [LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 9))],
+        ),
+        LBQID(
+            "home-daily",
+            [LBQIDElement(HOME, UnanchoredInterval.from_hours(7, 9))],
+            "2.Days",
+        ),
+    ]
+)
+
+
+@st.composite
+def location_streams(draw):
+    """Time-ordered streams biased toward the anchor areas/windows."""
+    count = draw(st.integers(min_value=0, max_value=60))
+    events = []
+    for _ in range(count):
+        day = draw(st.integers(min_value=0, max_value=20))
+        hour = draw(
+            st.sampled_from([7.5, 8.5, 12.0, 17.0, 18.0, 21.0])
+        ) + draw(st.floats(min_value=0.0, max_value=0.4))
+        area = draw(st.sampled_from(["home", "office", "away"]))
+        if area == "home":
+            x, y = 50.0, 50.0
+        elif area == "office":
+            x, y = 950.0, 950.0
+        else:
+            x, y = 500.0, 500.0
+        events.append(STPoint(x, y, day * DAY + hour * HOUR))
+    events.sort(key=lambda p: p.t)
+    return events
+
+
+class TestMonitorProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(LBQIDS, location_streams())
+    def test_matched_is_monotone_in_prefix(self, lbqid, stream):
+        """Once matched, feeding more requests never unmatches."""
+        monitor = LBQIDMonitor(lbqid)
+        was_matched = False
+        for point in stream:
+            monitor.feed(point)
+            if was_matched:
+                assert monitor.matched
+            was_matched = monitor.matched
+
+    @settings(max_examples=80, deadline=None)
+    @given(LBQIDS, location_streams())
+    def test_observations_are_well_formed(self, lbqid, stream):
+        """Every recorded observation has one timestamp per element,
+        non-decreasing, drawn from the fed stream, and confined to a
+        single G1 granule when the recurrence demands it."""
+        monitor = LBQIDMonitor(lbqid)
+        fed_times = set()
+        for point in stream:
+            fed_times.add(point.t)
+            monitor.feed(point)
+        for observation in monitor.observations:
+            assert len(observation) == len(lbqid.elements)
+            assert list(observation) == sorted(observation)
+            assert set(observation) <= fed_times
+            if not lbqid.recurrence.is_empty:
+                g1 = lbqid.recurrence.terms[0].granularity
+                granules = {g1.granule_containing(t) for t in observation}
+                assert len(granules) == 1
+                assert None not in granules
+
+    @settings(max_examples=80, deadline=None)
+    @given(LBQIDS, location_streams())
+    def test_matched_iff_recurrence_satisfied(self, lbqid, stream):
+        monitor = LBQIDMonitor(lbqid)
+        for point in stream:
+            monitor.feed(point)
+        assert monitor.matched == lbqid.recurrence.satisfied_by(
+            monitor.observations
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(LBQIDS, location_streams())
+    def test_observation_timestamps_match_elements(self, lbqid, stream):
+        """Each observation timestamp falls inside the window of the
+        element at its position (the Definition 2 condition)."""
+        monitor = LBQIDMonitor(lbqid)
+        for point in stream:
+            monitor.feed(point)
+        for observation in monitor.observations:
+            for element, t in zip(lbqid.elements, observation):
+                assert element.window.contains(t)
+
+    @settings(max_examples=50, deadline=None)
+    @given(LBQIDS, location_streams())
+    def test_reset_restores_initial_state(self, lbqid, stream):
+        monitor = LBQIDMonitor(lbqid)
+        for point in stream:
+            monitor.feed(point)
+        monitor.reset()
+        fresh = LBQIDMonitor(lbqid)
+        assert monitor.matched == fresh.matched == False  # noqa: E712
+        assert monitor.partials == fresh.partials == []
+        assert monitor.observations == fresh.observations == []

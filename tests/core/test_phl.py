@@ -1,0 +1,137 @@
+"""Unit tests for Personal Histories of Locations (Definitions 6–7)."""
+
+import pytest
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+
+def history(points):
+    return PersonalHistory(1, points)
+
+
+class TestOrdering:
+    def test_sorted_on_construction(self):
+        h = history([STPoint(0, 0, 30), STPoint(0, 0, 10), STPoint(0, 0, 20)])
+        assert [p.t for p in h] == [10, 20, 30]
+
+    def test_add_keeps_order(self):
+        h = history([STPoint(0, 0, 10), STPoint(0, 0, 30)])
+        h.add(STPoint(0, 0, 20))
+        assert [p.t for p in h] == [10, 20, 30]
+
+    def test_extend(self):
+        h = history([])
+        h.extend([STPoint(0, 0, 5), STPoint(0, 0, 1)])
+        assert [p.t for p in h] == [1, 5]
+
+    def test_len_and_getitem(self):
+        h = history([STPoint(1, 2, 3)])
+        assert len(h) == 1
+        assert h[0] == STPoint(1, 2, 3)
+
+
+class TestWindows:
+    h = history([STPoint(i, i, 10.0 * i) for i in range(10)])
+
+    def test_points_between_inclusive(self):
+        got = self.h.points_between(20.0, 40.0)
+        assert [p.t for p in got] == [20.0, 30.0, 40.0]
+
+    def test_points_between_empty(self):
+        assert self.h.points_between(1000.0, 2000.0) == []
+
+    def test_points_in_box(self):
+        box = STBox(Rect(0, 0, 5, 5), Interval(0, 100))
+        got = self.h.points_in_box(box)
+        assert len(got) == 6  # points 0..5
+
+    def test_visits_box(self):
+        assert self.h.visits_box(
+            STBox(Rect(4, 4, 5, 5), Interval(40, 50))
+        )
+        assert not self.h.visits_box(
+            STBox(Rect(4, 4, 5, 5), Interval(60, 70))
+        )
+
+
+class TestLTConsistency:
+    h = history([STPoint(0, 0, 0), STPoint(100, 100, 100)])
+
+    def test_consistent_when_every_context_visited(self):
+        contexts = [
+            STBox(Rect(-1, -1, 1, 1), Interval(0, 10)),
+            STBox(Rect(99, 99, 101, 101), Interval(90, 110)),
+        ]
+        assert self.h.lt_consistent_with(contexts)
+
+    def test_one_unvisited_context_breaks_consistency(self):
+        contexts = [
+            STBox(Rect(-1, -1, 1, 1), Interval(0, 10)),
+            STBox(Rect(500, 500, 600, 600), Interval(0, 200)),
+        ]
+        assert not self.h.lt_consistent_with(contexts)
+
+    def test_vacuous_for_empty_context_set(self):
+        assert self.h.lt_consistent_with([])
+
+    def test_right_place_wrong_time(self):
+        contexts = [STBox(Rect(-1, -1, 1, 1), Interval(50, 60))]
+        assert not self.h.lt_consistent_with(contexts)
+
+
+class TestClosestPoint:
+    def test_empty_history(self):
+        assert history([]).closest_point_to(STPoint(0, 0, 0)) is None
+
+    def test_exact_hit(self):
+        h = history([STPoint(5, 5, 50)])
+        assert h.closest_point_to(STPoint(5, 5, 50)) == STPoint(5, 5, 50)
+
+    def test_prefers_spatio_temporal_proximity(self):
+        near_time_far_space = STPoint(1000, 0, 100)
+        near_space_far_time = STPoint(0, 0, 100000)
+        h = history([near_time_far_space, near_space_far_time])
+        target = STPoint(0, 0, 100)
+        assert h.closest_point_to(target, time_scale=1.0) == (
+            near_time_far_space
+        )
+
+    def test_time_scale_zero_is_pure_spatial(self):
+        near_time_far_space = STPoint(1000, 0, 100)
+        near_space_far_time = STPoint(0, 0, 100000)
+        h = history([near_time_far_space, near_space_far_time])
+        target = STPoint(0, 0, 100)
+        assert h.closest_point_to(target, time_scale=0.0) == (
+            near_space_far_time
+        )
+
+    def test_matches_brute_force(self):
+        import numpy as np
+
+        from repro.geometry.distance import st_distance
+
+        rng = np.random.default_rng(0)
+        points = [
+            STPoint(
+                float(rng.uniform(0, 1000)),
+                float(rng.uniform(0, 1000)),
+                float(rng.uniform(0, 86400)),
+            )
+            for _ in range(200)
+        ]
+        h = history(points)
+        for _ in range(20):
+            target = STPoint(
+                float(rng.uniform(0, 1000)),
+                float(rng.uniform(0, 1000)),
+                float(rng.uniform(0, 86400)),
+            )
+            expected = min(
+                points, key=lambda p: st_distance(p, target, 1.5)
+            )
+            got = h.closest_point_to(target, time_scale=1.5)
+            assert st_distance(got, target, 1.5) == pytest.approx(
+                st_distance(expected, target, 1.5)
+            )

@@ -1,0 +1,106 @@
+"""Unit tests for privacy policies, profiles, and tolerance tables."""
+
+import pytest
+
+from repro.core.generalization import ToleranceConstraint
+from repro.core.policy import (
+    PolicyTable,
+    PrivacyLevel,
+    PrivacyProfile,
+    RiskAction,
+)
+
+
+class TestPrivacyProfile:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            PrivacyProfile(k=0)
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            PrivacyProfile(k=2, theta=1.5)
+
+    def test_rejects_k_prime_below_k(self):
+        with pytest.raises(ValueError):
+            PrivacyProfile(k=5, k_prime_initial=3)
+
+    def test_constant_requirement_without_schedule(self):
+        profile = PrivacyProfile(k=5)
+        assert [profile.required_k_at_step(j) for j in range(4)] == [5] * 4
+
+    def test_schedule_decrements_to_k(self):
+        profile = PrivacyProfile(k=5, k_prime_initial=9, k_prime_decrement=2)
+        assert [profile.required_k_at_step(j) for j in range(5)] == [
+            9, 7, 5, 5, 5,
+        ]
+
+    def test_schedule_never_below_k(self):
+        profile = PrivacyProfile(k=5, k_prime_initial=6, k_prime_decrement=10)
+        assert profile.required_k_at_step(100) == 5
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            PrivacyProfile(k=2).required_k_at_step(-1)
+
+
+class TestLevels:
+    def test_levels_ordered_by_strength(self):
+        low = PrivacyProfile.from_level(PrivacyLevel.LOW)
+        medium = PrivacyProfile.from_level(PrivacyLevel.MEDIUM)
+        high = PrivacyProfile.from_level(PrivacyLevel.HIGH)
+        assert low.k < medium.k < high.k
+        assert low.theta > medium.theta > high.theta
+
+
+class TestPolicyTable:
+    def test_default_profile(self):
+        table = PolicyTable()
+        profile = table.profile_for(user_id=1, service="poi")
+        assert profile.k == PrivacyProfile.from_level(PrivacyLevel.MEDIUM).k
+
+    def test_user_profile_overrides_default(self):
+        table = PolicyTable()
+        table.set_user_profile(1, PrivacyProfile(k=12))
+        assert table.profile_for(1, "poi").k == 12
+        assert table.profile_for(2, "poi").k != 12
+
+    def test_level_shorthand(self):
+        table = PolicyTable()
+        table.set_user_profile(1, PrivacyLevel.HIGH)
+        assert table.profile_for(1, "poi").k == 10
+
+    def test_rule_wins_over_user_profile(self):
+        table = PolicyTable()
+        table.set_user_profile(1, PrivacyProfile(k=3))
+        table.add_rule(
+            lambda user, service: PrivacyProfile(k=20)
+            if service == "health"
+            else None
+        )
+        assert table.profile_for(1, "health").k == 20
+        assert table.profile_for(1, "poi").k == 3
+
+    def test_first_matching_rule_wins(self):
+        table = PolicyTable()
+        table.add_rule(lambda u, s: PrivacyProfile(k=7))
+        table.add_rule(lambda u, s: PrivacyProfile(k=9))
+        assert table.profile_for(1, "poi").k == 7
+
+    def test_service_tolerance(self):
+        table = PolicyTable()
+        tight = ToleranceConstraint.square(100.0, 60.0)
+        table.set_service_tolerance("hospital", tight)
+        assert table.tolerance_for("hospital") is tight
+        assert table.tolerance_for("news") is table.default_tolerance
+
+    def test_services_listing(self):
+        table = PolicyTable()
+        table.set_service_tolerance(
+            "a", ToleranceConstraint.unbounded()
+        )
+        assert table.services() == ("a",)
+
+
+class TestRiskAction:
+    def test_default_is_suppress(self):
+        assert PrivacyProfile(k=2).on_risk is RiskAction.SUPPRESS

@@ -1,0 +1,155 @@
+"""Property-based tests for the framework's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generalization import (
+    SpatioTemporalGeneralizer,
+    ToleranceConstraint,
+)
+from repro.core.historical_k import historical_anonymity_set
+from repro.core.phl import PersonalHistory
+from repro.geometry.point import STPoint
+from repro.geometry.region import STBox
+from repro.mod.store import TrajectoryStore
+
+coords = st.floats(
+    min_value=0.0, max_value=10_000.0, allow_nan=False, allow_infinity=False
+)
+times = st.floats(
+    min_value=0.0, max_value=86_400.0, allow_nan=False, allow_infinity=False
+)
+st_points = st.builds(STPoint, coords, coords, times)
+
+
+@st.composite
+def stores(draw):
+    """A store with 2-8 users, each with 1-12 samples."""
+    n_users = draw(st.integers(min_value=2, max_value=8))
+    store = TrajectoryStore()
+    for user_id in range(n_users):
+        samples = draw(
+            st.lists(st_points, min_size=1, max_size=12)
+        )
+        store.add_trajectory(user_id, samples)
+    return store
+
+
+tolerances = st.builds(
+    ToleranceConstraint.square,
+    st.floats(min_value=1.0, max_value=20_000.0),
+    st.floats(min_value=1.0, max_value=100_000.0),
+)
+
+
+class TestAlgorithm1Invariants:
+    @settings(max_examples=60, deadline=None)
+    @given(stores(), st_points, st.integers(min_value=1, max_value=6),
+           tolerances)
+    def test_box_always_contains_request(self, store, location, k, tol):
+        """The forwarded context always contains the exact request,
+        whether or not the tolerance forced a shrink."""
+        generalizer = SpatioTemporalGeneralizer(store)
+        result = generalizer.generalize_initial(
+            location, k, tol, requester=0
+        )
+        assert result.box.contains(location)
+
+    @settings(max_examples=60, deadline=None)
+    @given(stores(), st_points, st.integers(min_value=1, max_value=6),
+           tolerances)
+    def test_final_box_respects_tolerance(self, store, location, k, tol):
+        generalizer = SpatioTemporalGeneralizer(store)
+        result = generalizer.generalize_initial(
+            location, k, tol, requester=0
+        )
+        slack = 1e-6
+        assert result.box.rect.width <= tol.max_width + slack
+        assert result.box.rect.height <= tol.max_height + slack
+        assert result.box.interval.duration <= tol.max_duration + slack
+
+    @settings(max_examples=60, deadline=None)
+    @given(stores(), st_points, st.integers(min_value=1, max_value=6))
+    def test_success_box_contains_k_minus_one_other_users(
+        self, store, location, k
+    ):
+        """On success (unbounded tolerance) the box provably holds k-1
+        other users' PHL points: LT-consistency by construction."""
+        tol = ToleranceConstraint.unbounded()
+        generalizer = SpatioTemporalGeneralizer(store)
+        result = generalizer.generalize_initial(
+            location, k, tol, requester=0
+        )
+        if result.hk_anonymity:
+            others = {
+                user_id
+                for user_id in store.user_ids()
+                if user_id != 0
+                and store.history(user_id).visits_box(result.box)
+            }
+            assert len(others) >= k - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(stores(), st_points, st_points,
+           st.integers(min_value=2, max_value=5))
+    def test_subsequent_preserves_id_containment(
+        self, store, first, second, k
+    ):
+        """When the subsequent step succeeds, every reused id's chosen
+        point lies in the new box."""
+        tol = ToleranceConstraint.unbounded()
+        generalizer = SpatioTemporalGeneralizer(store)
+        initial = generalizer.generalize_initial(
+            first, k, tol, requester=0
+        )
+        if not initial.hk_anonymity:
+            return
+        result = generalizer.generalize_subsequent(
+            second, initial.selected_ids, tol
+        )
+        assert result.hk_anonymity
+        assert set(result.anonymity_ids) == set(initial.selected_ids)
+
+
+class TestLTConsistencyMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st_points, min_size=1, max_size=10),
+        st.lists(st_points, min_size=1, max_size=5),
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=3600.0),
+    )
+    def test_enlarging_contexts_preserves_consistency(
+        self, samples, request_points, margin, t_margin
+    ):
+        """Definition 7 is monotone: growing a context never breaks
+        LT-consistency — the soundness of generalization itself."""
+        history = PersonalHistory(1, samples)
+        contexts = [STBox.from_st_point(p) for p in samples[: len(
+            request_points)]]
+        if not contexts:
+            return
+        assert history.lt_consistent_with(contexts)
+        grown = [c.expanded(margin, t_margin) for c in contexts]
+        assert history.lt_consistent_with(grown)
+
+
+class TestHistoricalKMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(stores(), st.lists(st_points, min_size=1, max_size=4),
+           st.floats(min_value=1.0, max_value=2000.0))
+    def test_anonymity_set_shrinks_with_more_contexts(
+        self, store, centers, size
+    ):
+        """Adding a request context can only shrink the anonymity set."""
+        contexts = [
+            STBox.from_st_point(p).expanded(size, size) for p in centers
+        ]
+        histories = store.histories
+        previous = None
+        for i in range(1, len(contexts) + 1):
+            consistent = set(
+                historical_anonymity_set(contexts[:i], histories)
+            )
+            if previous is not None:
+                assert consistent <= previous
+            previous = consistent

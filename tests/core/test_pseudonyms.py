@@ -1,0 +1,59 @@
+"""Unit tests for pseudonym management."""
+
+from repro.core.pseudonyms import PseudonymManager
+
+
+class TestCurrent:
+    def test_stable_until_rotation(self):
+        manager = PseudonymManager()
+        assert manager.current(1) == manager.current(1)
+
+    def test_distinct_users_distinct_pseudonyms(self):
+        manager = PseudonymManager()
+        assert manager.current(1) != manager.current(2)
+
+    def test_opaque(self):
+        """The pseudonym string must not embed the user id."""
+        manager = PseudonymManager()
+        assert "42" not in manager.current(42)
+
+
+class TestRotate:
+    def test_rotation_changes_pseudonym(self):
+        manager = PseudonymManager()
+        old = manager.current(1)
+        new = manager.rotate(1)
+        assert new != old
+        assert manager.current(1) == new
+
+    def test_old_pseudonyms_never_reused(self):
+        manager = PseudonymManager()
+        seen = set()
+        for _ in range(50):
+            seen.add(manager.rotate(1))
+            seen.add(manager.rotate(2))
+        assert len(seen) == 100
+
+
+class TestGroundTruth:
+    def test_owner_of(self):
+        manager = PseudonymManager()
+        pseudonym = manager.current(7)
+        manager.rotate(7)
+        assert manager.owner_of(pseudonym) == 7
+
+    def test_owner_of_unknown(self):
+        assert PseudonymManager().owner_of("nope") is None
+
+    def test_pseudonyms_of_in_order(self):
+        manager = PseudonymManager()
+        first = manager.current(1)
+        second = manager.rotate(1)
+        assert manager.pseudonyms_of(1) == [first, second]
+
+    def test_issued_count(self):
+        manager = PseudonymManager()
+        manager.current(1)
+        manager.rotate(1)
+        manager.current(2)
+        assert manager.issued_count == 3

@@ -1,0 +1,112 @@
+"""Unit and property tests for randomized context placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generalization import ToleranceConstraint
+from repro.core.randomization import BoxRandomizer
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+BOX = STBox(Rect(100, 100, 300, 300), Interval(1000, 1600))
+ANCHOR = STPoint(150, 250, 1100)
+TOLERANCE = ToleranceConstraint.square(1000.0, 3600.0)
+
+
+def randomizer(seed=0, slack=1.0):
+    return BoxRandomizer(np.random.default_rng(seed), slack=slack)
+
+
+class TestValidation:
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ValueError):
+            BoxRandomizer(np.random.default_rng(0), slack=1.5)
+
+    def test_rejects_anchor_outside(self):
+        with pytest.raises(ValueError):
+            randomizer().randomize(
+                BOX, STPoint(0, 0, 0), TOLERANCE
+            )
+
+
+class TestInvariants:
+    def test_result_contains_original_box(self):
+        result = randomizer().randomize(BOX, ANCHOR, TOLERANCE)
+        assert result.contains_box(BOX)
+
+    def test_result_contains_anchor(self):
+        result = randomizer().randomize(BOX, ANCHOR, TOLERANCE)
+        assert result.contains(ANCHOR)
+
+    def test_result_within_tolerance(self):
+        for seed in range(20):
+            result = randomizer(seed).randomize(BOX, ANCHOR, TOLERANCE)
+            assert TOLERANCE.satisfied_by(result)
+
+    def test_zero_slack_is_identity(self):
+        result = randomizer(slack=0.0).randomize(BOX, ANCHOR, TOLERANCE)
+        assert result == BOX
+
+    def test_unbounded_tolerance_is_identity(self):
+        result = randomizer().randomize(
+            BOX, ANCHOR, ToleranceConstraint.unbounded()
+        )
+        assert result == BOX
+
+    def test_box_at_tolerance_is_identity(self):
+        tight = ToleranceConstraint(
+            BOX.rect.width, BOX.rect.height, BOX.interval.duration
+        )
+        result = randomizer().randomize(BOX, ANCHOR, tight)
+        assert result == BOX
+
+    def test_randomization_varies(self):
+        results = {
+            randomizer(seed).randomize(BOX, ANCHOR, TOLERANCE)
+            for seed in range(10)
+        }
+        assert len(results) > 5
+
+
+class TestDebiasing:
+    def test_anchor_position_spreads(self):
+        """Over many draws the anchor's relative x-position inside the
+        box covers a wide range, not a point mass."""
+        rng = np.random.default_rng(3)
+        r = BoxRandomizer(rng)
+        positions = []
+        for _ in range(300):
+            result = r.randomize(BOX, ANCHOR, TOLERANCE)
+            rect = result.rect
+            positions.append((ANCHOR.x - rect.x_min) / rect.width)
+        assert max(positions) - min(positions) > 0.5
+
+
+class TestProperties:
+    coords = st.floats(min_value=0, max_value=5000)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=1, max_value=500),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_preserves_lt_consistency_witnesses(
+        self, x, y, size, seed
+    ):
+        """Any point inside the original box stays inside the
+        randomized one — so generalization witnesses (the k-1 users'
+        PHL points) are never lost."""
+        box = STBox(
+            Rect(x, y, x + size, y + size), Interval(0, size)
+        )
+        anchor = STPoint(x + size / 2, y + size / 2, size / 2)
+        witness = STPoint(x + size * 0.9, y + size * 0.1, size * 0.3)
+        assert box.contains(witness)
+        result = BoxRandomizer(np.random.default_rng(seed)).randomize(
+            box, anchor, ToleranceConstraint.square(size * 3, size * 3)
+        )
+        assert result.contains(witness)
+        assert result.contains(anchor)

@@ -1,0 +1,78 @@
+"""Unit tests for request types and the trust boundary."""
+
+import pytest
+
+from repro.core.requests import Request
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+
+def make_request():
+    return Request.issue(
+        msgid=1,
+        user_id=42,
+        pseudonym="p001",
+        location=STPoint(10, 20, 300),
+        service="poi",
+        data={"query": "pharmacy"},
+    )
+
+
+class TestIssue:
+    def test_initial_context_is_exact(self):
+        request = make_request()
+        assert request.context.volume == 0.0
+        assert request.context.contains(request.location)
+
+    def test_t_property(self):
+        assert make_request().t == 300
+
+    def test_default_data_empty(self):
+        request = Request.issue(1, 1, "p", STPoint(0, 0, 0))
+        assert dict(request.data) == {}
+
+
+class TestWithContext:
+    def test_replaces_context(self):
+        request = make_request()
+        box = STBox(Rect(0, 0, 100, 100), Interval(200, 400))
+        widened = request.with_context(box)
+        assert widened.context == box
+        assert widened.location == request.location
+
+    def test_rejects_context_excluding_location(self):
+        request = make_request()
+        bad = STBox(Rect(500, 500, 600, 600), Interval(200, 400))
+        with pytest.raises(ValueError):
+            request.with_context(bad)
+
+    def test_rejects_context_excluding_time(self):
+        request = make_request()
+        bad = STBox(Rect(0, 0, 100, 100), Interval(400, 500))
+        with pytest.raises(ValueError):
+            request.with_context(bad)
+
+
+class TestWithPseudonym:
+    def test_changes_only_pseudonym(self):
+        request = make_request()
+        rotated = request.with_pseudonym("p002")
+        assert rotated.pseudonym == "p002"
+        assert rotated.user_id == request.user_id
+        assert rotated.context == request.context
+
+
+class TestSPView:
+    def test_ground_truth_stripped(self):
+        view = make_request().sp_view()
+        assert not hasattr(view, "user_id")
+        assert not hasattr(view, "location")
+
+    def test_observable_fields_preserved(self):
+        request = make_request()
+        view = request.sp_view()
+        assert view.msgid == request.msgid
+        assert view.pseudonym == request.pseudonym
+        assert view.context == request.context
+        assert view.service == request.service
+        assert view.data == request.data

@@ -1,0 +1,55 @@
+"""Unit tests for the abstract Unlinking providers."""
+
+import numpy as np
+import pytest
+
+from repro.core.unlinking import (
+    AlwaysUnlink,
+    NeverUnlink,
+    ProbabilisticUnlink,
+)
+from repro.geometry.point import STPoint
+
+HERE = STPoint(0, 0, 0)
+
+
+class TestAlwaysUnlink:
+    def test_succeeds(self):
+        outcome = AlwaysUnlink(theta=0.2).attempt_unlink(1, HERE)
+        assert outcome.success
+        assert outcome.theta == 0.2
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            AlwaysUnlink(theta=2.0)
+
+
+class TestNeverUnlink:
+    def test_fails(self):
+        assert not NeverUnlink().attempt_unlink(1, HERE).success
+
+
+class TestProbabilisticUnlink:
+    def test_extremes(self):
+        rng = np.random.default_rng(0)
+        always = ProbabilisticUnlink(1.0, rng)
+        never = ProbabilisticUnlink(0.0, rng)
+        assert always.attempt_unlink(1, HERE).success
+        assert not never.attempt_unlink(1, HERE).success
+
+    def test_rate_close_to_probability(self):
+        rng = np.random.default_rng(7)
+        provider = ProbabilisticUnlink(0.3, rng)
+        successes = sum(
+            provider.attempt_unlink(1, HERE).success for _ in range(2000)
+        )
+        assert 0.25 < successes / 2000 < 0.35
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ProbabilisticUnlink(1.5, np.random.default_rng(0))
+
+    def test_theta_reported_on_success(self):
+        rng = np.random.default_rng(0)
+        provider = ProbabilisticUnlink(1.0, rng, theta=0.1)
+        assert provider.attempt_unlink(1, HERE).theta == 0.1

@@ -1,0 +1,62 @@
+"""Unit tests for the experiment table harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import Table
+
+
+class TestTable:
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_rejects_wrong_width_row(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_precision(self):
+        table = Table("t", ["x"], precision=2)
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+        assert "3.142" not in table.render()
+
+    def test_bool_rendering(self):
+        table = Table("t", ["ok"])
+        table.add_row([True])
+        table.add_row([False])
+        rendered = table.render()
+        assert "yes" in rendered
+        assert "no" in rendered
+
+    def test_nan_and_inf(self):
+        table = Table("t", ["x"])
+        table.add_row([float("nan")])
+        table.add_row([math.inf])
+        rendered = table.render()
+        assert "nan" in rendered
+        assert "inf" in rendered
+
+    def test_alignment(self):
+        table = Table("t", ["name", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["longer", 100])
+        lines = table.render().splitlines()
+        data_lines = lines[3:]
+        assert len({len(line) for line in data_lines}) == 1
+
+    def test_title_in_output(self):
+        table = Table("my experiment", ["x"])
+        assert "my experiment" in table.render()
+
+    def test_empty_table_renders(self):
+        table = Table("t", ["col"])
+        assert "col" in table.render()
+
+    def test_print(self, capsys):
+        table = Table("t", ["x"])
+        table.add_row([1])
+        table.print()
+        assert "t" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Unit tests for the canonical workloads."""
+
+from repro.core.generalization import ToleranceConstraint
+from repro.experiments.workloads import (
+    DEFAULT_TOLERANCE,
+    make_policy,
+    run_protected,
+    small_city,
+)
+
+
+class TestSmallCity:
+    def test_cached(self):
+        assert small_city(seed=11) is small_city(seed=11)
+
+    def test_distinct_seeds_distinct_cities(self):
+        assert small_city(seed=11) is not small_city(seed=12)
+
+    def test_shape(self):
+        city = small_city(seed=11)
+        assert city.config.n_commuters == 30
+        assert city.config.days == 14
+
+
+class TestMakePolicy:
+    def test_defaults(self):
+        policy = make_policy(k=7)
+        assert policy.profile_for(1, "poi").k == 7
+        assert policy.tolerance_for("poi") is DEFAULT_TOLERANCE
+
+    def test_custom_tolerance(self):
+        tolerance = ToleranceConstraint.square(100.0, 60.0)
+        policy = make_policy(k=2, tolerance=tolerance)
+        assert policy.tolerance_for("poi") is tolerance
+
+    def test_k_prime_passthrough(self):
+        policy = make_policy(k=3, k_prime_initial=6, k_prime_decrement=2)
+        profile = policy.profile_for(1, "poi")
+        assert profile.required_k_at_step(0) == 6
+        assert profile.required_k_at_step(2) == 3
+
+
+class TestRunProtected:
+    def test_produces_events(self):
+        report = run_protected(small_city(seed=11), k=3, seed=5)
+        assert report.requests_issued == len(report.events)
+        assert report.generalized_events()
+
+    def test_home_lbqids_flag(self):
+        base = run_protected(small_city(seed=11), k=3, seed=5)
+        with_homes = run_protected(
+            small_city(seed=11), k=3, seed=5, register_home_lbqids=True
+        )
+        base_gen = len(base.generalized_events())
+        home_gen = len(with_homes.generalized_events())
+        assert home_gen > base_gen

@@ -1,0 +1,60 @@
+"""Unit tests for distance functions."""
+
+import math
+
+import pytest
+
+from repro.geometry.distance import (
+    euclidean,
+    point_to_rect_distance,
+    st_distance,
+)
+from repro.geometry.point import Point, STPoint
+from repro.geometry.region import Rect
+
+
+class TestEuclidean:
+    def test_basic(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert euclidean(Point(1, 1), Point(1, 1)) == 0.0
+
+
+class TestSTDistance:
+    def test_pure_spatial_when_synchronous(self):
+        a, b = STPoint(0, 0, 100), STPoint(3, 4, 100)
+        assert st_distance(a, b) == pytest.approx(5.0)
+
+    def test_time_scaled_into_meters(self):
+        a, b = STPoint(0, 0, 0), STPoint(0, 0, 10)
+        assert st_distance(a, b, time_scale=2.0) == pytest.approx(20.0)
+
+    def test_combined_is_3d_euclidean(self):
+        a, b = STPoint(0, 0, 0), STPoint(3, 0, 4)
+        assert st_distance(a, b, time_scale=1.0) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        a, b = STPoint(1, 2, 3), STPoint(-4, 0, 9)
+        assert st_distance(a, b) == pytest.approx(st_distance(b, a))
+
+    def test_zero_time_scale_ignores_time(self):
+        a, b = STPoint(0, 0, 0), STPoint(3, 4, 1e6)
+        assert st_distance(a, b, time_scale=0.0) == pytest.approx(5.0)
+
+
+class TestPointToRect:
+    def test_inside_is_zero(self):
+        assert point_to_rect_distance(Point(5, 5), Rect(0, 0, 10, 10)) == 0.0
+
+    def test_on_boundary_is_zero(self):
+        assert point_to_rect_distance(Point(0, 5), Rect(0, 0, 10, 10)) == 0.0
+
+    def test_outside_axis_aligned(self):
+        assert point_to_rect_distance(
+            Point(13, 5), Rect(0, 0, 10, 10)
+        ) == pytest.approx(3.0)
+
+    def test_outside_corner(self):
+        d = point_to_rect_distance(Point(13, 14), Rect(0, 0, 10, 10))
+        assert d == pytest.approx(math.hypot(3, 4))

@@ -1,0 +1,65 @@
+"""Unit tests for planar and spatio-temporal points."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, STPoint
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(7.5, -2.25)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1, 2), Point(-4, 9)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_translation_preserves_original(self):
+        p = Point(0, 0)
+        p.translated(5, 5)
+        assert p == Point(0, 0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_points_are_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5
+
+
+class TestSTPoint:
+    def test_spatial_component(self):
+        assert STPoint(3, 4, 100.0).point == Point(3, 4)
+
+    def test_spatial_distance_ignores_time(self):
+        a = STPoint(0, 0, 0.0)
+        b = STPoint(3, 4, 99999.0)
+        assert a.spatial_distance_to(b) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert STPoint(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_hashable(self):
+        assert len({STPoint(1, 2, 3), STPoint(1, 2, 3)}) == 1
+
+    def test_distinct_times_distinct_points(self):
+        assert STPoint(1, 2, 3) != STPoint(1, 2, 4)
+
+    def test_spatial_distance_is_finite_for_large_values(self):
+        a = STPoint(1e8, 1e8, 0)
+        b = STPoint(-1e8, -1e8, 0)
+        assert math.isfinite(a.spatial_distance_to(b))

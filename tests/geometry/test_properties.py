@@ -1,0 +1,132 @@
+"""Property-based tests for the geometry algebra."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.distance import st_distance
+from repro.geometry.point import Point, STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+times = st.floats(
+    min_value=0.0, max_value=1e8, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+st_points = st.builds(STPoint, coords, coords, times)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def intervals(draw):
+    t1, t2 = sorted((draw(times), draw(times)))
+    return Interval(t1, t2)
+
+
+@st.composite
+def boxes(draw):
+    return STBox(draw(rects()), draw(intervals()))
+
+
+class TestDistanceProperties:
+    @given(st_points, st_points)
+    def test_symmetry(self, a, b):
+        assert st_distance(a, b) == st_distance(b, a)
+
+    @given(st_points)
+    def test_identity(self, a):
+        assert st_distance(a, a) == 0.0
+
+    @given(st_points, st_points, st_points)
+    def test_triangle_inequality(self, a, b, c):
+        lhs = st_distance(a, c)
+        rhs = st_distance(a, b) + st_distance(b, c)
+        assert lhs <= rhs * (1 + 1e-9) + 1e-6
+
+
+class TestBoundingProperties:
+    @given(st.lists(points, min_size=1, max_size=10))
+    def test_bounding_contains_all(self, pts):
+        rect = Rect.bounding(pts)
+        assert all(rect.contains(p) for p in pts)
+
+    @given(st.lists(st_points, min_size=1, max_size=10))
+    def test_st_bounding_contains_all(self, pts):
+        box = STBox.bounding_st(pts)
+        assert all(box.contains(p) for p in pts)
+
+    @given(st.lists(points, min_size=1, max_size=10), rects())
+    def test_bounding_is_smallest(self, pts, candidate):
+        """Any rect containing all the points contains the bounding rect."""
+        bound = Rect.bounding(pts)
+        if all(candidate.contains(p) for p in pts):
+            assert candidate.contains_rect(bound)
+
+
+class TestHullProperties:
+    @given(rects(), rects())
+    def test_union_hull_contains_both(self, a, b):
+        hull = a.union_hull(b)
+        assert hull.contains_rect(a)
+        assert hull.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_union_hull_commutes(self, a, b):
+        assert a.union_hull(b) == b.union_hull(a)
+
+    @given(intervals(), intervals())
+    def test_interval_hull_contains_both(self, a, b):
+        hull = a.union_hull(b)
+        assert hull.contains_interval(a)
+        assert hull.contains_interval(b)
+
+
+class TestIntersectionProperties:
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects(), rects())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersection(b) is not None)
+
+
+class TestContainmentTransitivity:
+    @given(boxes(), boxes(), st_points)
+    def test_box_containment_transitive(self, outer, inner, p):
+        if outer.contains_box(inner) and inner.contains(p):
+            assert outer.contains(p)
+
+
+class TestClampProperties:
+    @given(rects(), points, st.floats(min_value=0.0, max_value=1e6))
+    def test_clamp_respects_limit_and_anchor(self, rect, anchor, limit):
+        if not rect.contains(anchor):
+            return
+        clamped = rect.clamped_around(anchor, limit, limit)
+        assert clamped.width <= limit * (1 + 1e-9) + 1e-9
+        assert clamped.height <= limit * (1 + 1e-9) + 1e-9
+        assert clamped.contains(anchor)
+        assert rect.contains_rect(clamped)
+
+    @given(intervals(), times, st.floats(min_value=0.0, max_value=1e8))
+    def test_interval_clamp(self, interval, anchor, limit):
+        if not interval.contains(anchor):
+            return
+        clamped = interval.clamped_around(anchor, limit)
+        assert clamped.duration <= limit * (1 + 1e-9) + 1e-6
+        assert clamped.contains(anchor) or math.isclose(
+            clamped.start, anchor
+        ) or math.isclose(clamped.end, anchor)
+        assert interval.contains_interval(clamped)

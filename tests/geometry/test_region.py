@@ -1,0 +1,184 @@
+"""Unit tests for intervals, rectangles, and spatio-temporal boxes."""
+
+import pytest
+
+from repro.geometry.point import Point, STPoint
+from repro.geometry.region import Interval, Rect, STBox
+
+
+class TestInterval:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 4.0)
+
+    def test_degenerate_allowed(self):
+        assert Interval(3.0, 3.0).duration == 0.0
+
+    def test_contains_endpoints(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(2.0)
+        assert not iv.contains(2.0001)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 8))
+        assert not Interval(0, 10).contains_interval(Interval(2, 11))
+
+    def test_overlap_shared_endpoint(self):
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_disjoint_intersection_is_none(self):
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+
+    def test_union_hull(self):
+        assert Interval(0, 1).union_hull(Interval(5, 6)) == Interval(0, 6)
+
+    def test_expanded(self):
+        assert Interval(2, 4).expanded(1) == Interval(1, 5)
+
+    def test_expanded_rejects_negative_margin(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).expanded(-0.5)
+
+    def test_center(self):
+        assert Interval(2, 6).center == 4.0
+
+
+class TestIntervalClamp:
+    def test_noop_when_within_limit(self):
+        iv = Interval(0, 10)
+        assert iv.clamped_around(5.0, 20.0) == iv
+
+    def test_clamps_to_max_duration(self):
+        clamped = Interval(0, 100).clamped_around(50.0, 10.0)
+        assert clamped.duration == pytest.approx(10.0)
+        assert clamped.contains(50.0)
+
+    def test_anchor_near_start_keeps_window_inside(self):
+        clamped = Interval(0, 100).clamped_around(1.0, 10.0)
+        assert clamped.start == 0.0
+        assert clamped.contains(1.0)
+
+    def test_anchor_near_end_keeps_window_inside(self):
+        clamped = Interval(0, 100).clamped_around(99.0, 10.0)
+        assert clamped.end == 100.0
+        assert clamped.contains(99.0)
+
+
+class TestRect:
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 5)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(10, 10), 4, 6)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (8, 7, 12, 13)
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point(Point(3, 4))
+        assert r.area == 0.0
+        assert r.contains(Point(3, 4))
+
+    def test_bounding(self):
+        r = Rect.bounding([Point(0, 5), Point(3, 1), Point(-2, 2)])
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (-2, 1, 3, 5)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(Point(0, 2))
+        assert not r.contains(Point(-0.001, 1))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_overlaps_touching_edges(self):
+        assert Rect(0, 0, 1, 1).overlaps(Rect(1, 0, 2, 1))
+
+    def test_disjoint_intersection_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_intersection(self):
+        r = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6))
+        assert r == Rect(2, 2, 4, 4)
+
+    def test_union_hull(self):
+        r = Rect(0, 0, 1, 1).union_hull(Rect(5, 5, 6, 6))
+        assert r == Rect(0, 0, 6, 6)
+
+    def test_area_and_dimensions(self):
+        r = Rect(0, 0, 3, 5)
+        assert r.width == 3
+        assert r.height == 5
+        assert r.area == 15
+
+    def test_expanded(self):
+        assert Rect(1, 1, 2, 2).expanded(1) == Rect(0, 0, 3, 3)
+
+    def test_clamped_around_keeps_anchor(self):
+        big = Rect(0, 0, 1000, 1000)
+        clamped = big.clamped_around(Point(990, 990), 100, 100)
+        assert clamped.width == pytest.approx(100)
+        assert clamped.height == pytest.approx(100)
+        assert clamped.contains(Point(990, 990))
+        assert big.contains_rect(clamped)
+
+
+class TestSTBox:
+    def test_from_st_point(self):
+        box = STBox.from_st_point(STPoint(1, 2, 3))
+        assert box.volume == 0.0
+        assert box.contains(STPoint(1, 2, 3))
+
+    def test_bounding_st(self):
+        box = STBox.bounding_st(
+            [STPoint(0, 0, 10), STPoint(4, 2, 30), STPoint(1, 5, 20)]
+        )
+        assert box.rect == Rect(0, 0, 4, 5)
+        assert box.interval == Interval(10, 30)
+
+    def test_bounding_st_empty_raises(self):
+        with pytest.raises(ValueError):
+            STBox.bounding_st([])
+
+    def test_contains_needs_both_axes(self):
+        box = STBox(Rect(0, 0, 10, 10), Interval(0, 100))
+        assert box.contains(STPoint(5, 5, 50))
+        assert not box.contains(STPoint(5, 5, 101))
+        assert not box.contains(STPoint(11, 5, 50))
+
+    def test_contains_box(self):
+        outer = STBox(Rect(0, 0, 10, 10), Interval(0, 100))
+        inner = STBox(Rect(1, 1, 9, 9), Interval(10, 90))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_overlaps(self):
+        a = STBox(Rect(0, 0, 10, 10), Interval(0, 10))
+        b = STBox(Rect(5, 5, 15, 15), Interval(5, 15))
+        c = STBox(Rect(5, 5, 15, 15), Interval(11, 15))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_union_hull(self):
+        a = STBox(Rect(0, 0, 1, 1), Interval(0, 1))
+        b = STBox(Rect(5, 5, 6, 6), Interval(9, 10))
+        hull = a.union_hull(b)
+        assert hull.rect == Rect(0, 0, 6, 6)
+        assert hull.interval == Interval(0, 10)
+
+    def test_expanded(self):
+        box = STBox(Rect(1, 1, 2, 2), Interval(10, 20)).expanded(1, 5)
+        assert box.rect == Rect(0, 0, 3, 3)
+        assert box.interval == Interval(5, 25)
+
+    def test_volume(self):
+        box = STBox(Rect(0, 0, 2, 3), Interval(0, 10))
+        assert box.volume == 60.0

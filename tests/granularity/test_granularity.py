@@ -1,0 +1,118 @@
+"""Unit tests for granularities and the standard calendar instances."""
+
+import pytest
+
+from repro.granularity.calendar import (
+    DAYS,
+    HOURS,
+    MONDAYS,
+    WEEKDAYS,
+    WEEKEND_DAYS,
+    WEEKS,
+    granularity_by_name,
+    weekday_granularity,
+)
+from repro.granularity.granularity import UniformGranularity
+from repro.granularity.timeline import DAY, time_at
+
+
+class TestUniformGranularity:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            UniformGranularity("bad", 0.0)
+
+    def test_granule_indexing(self):
+        g = UniformGranularity("tens", 10.0)
+        assert g.granule_containing(0.0) == 0
+        assert g.granule_containing(9.999) == 0
+        assert g.granule_containing(10.0) == 1
+        assert g.granule_containing(-0.5) == -1
+
+    def test_offset(self):
+        g = UniformGranularity("offset", 10.0, offset=5.0)
+        assert g.granule_containing(4.9) == -1
+        assert g.granule_containing(5.0) == 0
+
+    def test_granule_interval_roundtrip(self):
+        g = UniformGranularity("tens", 10.0)
+        interval = g.granule_interval(3)
+        assert interval.start == 30.0
+        assert g.granule_containing(interval.start) == 3
+
+    def test_same_granule(self):
+        assert DAYS.same_granule(time_at(hour=1), time_at(hour=23))
+        assert not DAYS.same_granule(time_at(hour=23), time_at(day=1))
+
+    def test_covers_everything(self):
+        assert HOURS.covers(12345.6)
+
+
+class TestWeekdays:
+    def test_weekday_covered(self):
+        assert WEEKDAYS.covers(time_at(day=0, hour=9))
+        assert WEEKDAYS.covers(time_at(day=4, hour=9))
+
+    def test_weekend_is_gap(self):
+        assert not WEEKDAYS.covers(time_at(day=5, hour=9))
+        assert not WEEKDAYS.covers(time_at(day=6, hour=9))
+
+    def test_same_granule_within_one_day(self):
+        assert WEEKDAYS.same_granule(
+            time_at(day=1, hour=8), time_at(day=1, hour=18)
+        )
+
+    def test_different_weekdays_different_granules(self):
+        assert not WEEKDAYS.same_granule(
+            time_at(day=1, hour=8), time_at(day=2, hour=8)
+        )
+
+    def test_gap_instant_never_shares_granule(self):
+        saturday = time_at(day=5, hour=9)
+        assert not WEEKDAYS.same_granule(saturday, saturday)
+
+    def test_granule_interval_is_the_day(self):
+        interval = WEEKDAYS.granule_interval(8)  # Tuesday of week 1
+        assert interval.start == 8 * DAY
+        assert interval.duration == DAY
+
+    def test_granule_interval_rejects_weekend_day(self):
+        with pytest.raises(ValueError):
+            WEEKDAYS.granule_interval(5)  # Saturday of week 0
+
+    def test_weekend_days_complement(self):
+        for day in range(7):
+            t = time_at(day=day, hour=12)
+            assert WEEKDAYS.covers(t) != WEEKEND_DAYS.covers(t)
+
+
+class TestWeekdayGranularity:
+    def test_mondays(self):
+        assert MONDAYS.covers(time_at(week=3, day=0, hour=1))
+        assert not MONDAYS.covers(time_at(week=3, day=1, hour=1))
+
+    def test_rejects_bad_day(self):
+        with pytest.raises(ValueError):
+            weekday_granularity(7)
+
+    def test_names(self):
+        assert weekday_granularity(3).name == "Thursdays"
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert granularity_by_name("weekdays") is WEEKDAYS
+        assert granularity_by_name("Weeks") is WEEKS
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            granularity_by_name("Fortnights")
+
+
+class TestNesting:
+    def test_weekday_granule_within_week_granule(self):
+        """Every weekday granule starts inside exactly one week granule."""
+        for day in (0, 1, 2, 3, 4, 7, 8, 11):
+            if not WEEKDAYS._day_predicate(day % 7):
+                continue
+            start = WEEKDAYS.granule_interval(day).start
+            assert WEEKS.granule_containing(start) == day // 7

@@ -1,0 +1,39 @@
+"""Unit tests for the recurrence nesting validator."""
+
+from repro.granularity.recurrence import RecurrenceFormula
+
+
+class TestNestingViolations:
+    def test_calendar_formulas_nest(self):
+        for text in (
+            "3.Weekdays * 2.Weeks",
+            "2.Days * 2.Weeks",
+            "1.Mondays * 3.Weeks",
+            "5.Days * 2.Months",
+        ):
+            formula = RecurrenceFormula.parse(text)
+            assert formula.nesting_violations() == [], text
+
+    def test_weeks_into_months_misaligned(self):
+        formula = RecurrenceFormula.parse("2.Weeks * 2.Months")
+        violations = formula.nesting_violations()
+        assert violations
+        assert all(
+            fine == "Weeks" and coarse == "Months"
+            for fine, coarse, _granule in violations
+        )
+
+    def test_empty_and_single_term_trivially_nest(self):
+        assert RecurrenceFormula().nesting_violations() == []
+        assert RecurrenceFormula.parse("3.Weekdays").nesting_violations() \
+            == []
+
+    def test_three_level_formula_checks_both_pairs(self):
+        formula = RecurrenceFormula.parse(
+            "2.Weekdays * 2.Weeks * 2.Months"
+        )
+        violations = formula.nesting_violations()
+        # Weekdays nest in Weeks; Weeks straddle Months.
+        pairs = {(fine, coarse) for fine, coarse, _g in violations}
+        assert ("Weekdays", "Weeks") not in pairs
+        assert ("Weeks", "Months") in pairs

@@ -1,0 +1,157 @@
+"""Unit tests for recurrence formulas (Definition 1 semantics)."""
+
+import pytest
+
+from repro.granularity.calendar import WEEKDAYS, WEEKS
+from repro.granularity.recurrence import RecurrenceFormula, RecurrenceTerm
+from repro.granularity.timeline import time_at
+
+
+def obs(week: int, day: int, hours=(7.5, 8.5, 17.0, 18.0)):
+    """One commute-shaped observation on a given day."""
+    return [time_at(week=week, day=day, hour=h) for h in hours]
+
+
+class TestParsing:
+    def test_example_2(self):
+        formula = RecurrenceFormula.parse("3.Weekdays * 2.Weeks")
+        assert len(formula.terms) == 2
+        assert formula.terms[0].count == 3
+        assert formula.terms[0].granularity is WEEKDAYS
+        assert formula.terms[1].count == 2
+        assert formula.terms[1].granularity is WEEKS
+
+    def test_whitespace_separator(self):
+        formula = RecurrenceFormula.parse("2.Days 3.Weeks")
+        assert [t.count for t in formula.terms] == [2, 3]
+
+    def test_empty_string(self):
+        assert RecurrenceFormula.parse("").is_empty
+        assert RecurrenceFormula.parse("   ").is_empty
+
+    def test_malformed_term(self):
+        with pytest.raises(ValueError):
+            RecurrenceFormula.parse("3Weekdays")
+
+    def test_malformed_count(self):
+        with pytest.raises(ValueError):
+            RecurrenceFormula.parse("x.Weekdays")
+
+    def test_unknown_granularity(self):
+        with pytest.raises(KeyError):
+            RecurrenceFormula.parse("3.Moons")
+
+    def test_str_round_trip(self):
+        text = "3.Weekdays * 2.Weeks"
+        assert str(RecurrenceFormula.parse(text)) == text
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            RecurrenceTerm(0, WEEKDAYS)
+
+
+class TestNormalization:
+    def test_trailing_one_dropped(self):
+        formula = RecurrenceFormula.parse("3.Weekdays * 1.Weeks")
+        assert len(formula.normalized().terms) == 1
+
+    def test_single_one_term_kept(self):
+        """``1.G`` alone still bounds observation duration."""
+        formula = RecurrenceFormula.parse("1.Weekdays")
+        assert len(formula.normalized().terms) == 1
+
+
+class TestEmptyFormula:
+    def test_single_observation_satisfies(self):
+        formula = RecurrenceFormula()
+        assert formula.satisfied_by([obs(0, 0)])
+
+    def test_no_observations_does_not(self):
+        assert not RecurrenceFormula().satisfied_by([])
+
+    def test_minimum_observations(self):
+        assert RecurrenceFormula().minimum_observations == 1
+
+
+class TestExample2Semantics:
+    formula = RecurrenceFormula.parse("3.Weekdays * 2.Weeks")
+
+    def test_minimum_observations(self):
+        assert self.formula.minimum_observations == 6
+
+    def test_canonical_satisfaction(self):
+        observations = [
+            obs(w, d) for w in range(2) for d in range(3)
+        ]
+        assert self.formula.satisfied_by(observations)
+
+    def test_one_week_insufficient(self):
+        observations = [obs(0, d) for d in range(5)]
+        assert not self.formula.satisfied_by(observations)
+
+    def test_two_days_per_week_insufficient(self):
+        observations = [obs(w, d) for w in range(3) for d in range(2)]
+        assert not self.formula.satisfied_by(observations)
+
+    def test_weeks_need_not_be_consecutive(self):
+        observations = [obs(0, d) for d in range(3)] + [
+            obs(5, d) for d in range(3)
+        ]
+        assert self.formula.satisfied_by(observations)
+
+    def test_weekend_observations_do_not_count(self):
+        observations = [
+            obs(w, d) for w in range(2) for d in (2, 5, 6)  # Wed, Sat, Sun
+        ]
+        assert not self.formula.satisfied_by(observations)
+
+    def test_same_day_duplicates_collapse(self):
+        """Two observations on the same weekday count once (distinct
+        granules are required at level 1)."""
+        observations = [o for w in range(2) for o in (
+            obs(w, 0), obs(w, 0, hours=(7.6, 8.6, 17.1, 18.1)),
+            obs(w, 1),
+        )]
+        assert not self.formula.satisfied_by(observations)
+
+    def test_observation_spanning_days_invalid(self):
+        spanning = [time_at(day=0, hour=23), time_at(day=1, hour=1)]
+        assert self.formula.observation_granule(spanning) is None
+
+    def test_satisfaction_level_progression(self):
+        observations = []
+        assert self.formula.satisfaction_level(observations) == 0
+        observations = [obs(0, d) for d in range(3)]
+        assert self.formula.satisfaction_level(observations) == 1
+        observations += [obs(1, d) for d in range(3)]
+        assert self.formula.satisfaction_level(observations) == 2
+
+
+class TestMondaysPattern:
+    """"Same weekday for at least 3 weeks" via the Mondays granularity."""
+
+    formula = RecurrenceFormula.parse("1.Mondays * 3.Weeks")
+
+    def test_three_mondays_satisfy(self):
+        observations = [obs(w, 0) for w in range(3)]
+        assert self.formula.satisfied_by(observations)
+
+    def test_tuesdays_do_not(self):
+        observations = [obs(w, 1) for w in range(3)]
+        assert not self.formula.satisfied_by(observations)
+
+    def test_two_mondays_insufficient(self):
+        observations = [obs(w, 0) for w in range(2)]
+        assert not self.formula.satisfied_by(observations)
+
+
+class TestDaysWeeks:
+    def test_two_days_per_week_pattern(self):
+        formula = RecurrenceFormula.parse("2.Days * 2.Weeks")
+        observations = [obs(w, d) for w in (0, 1) for d in (2, 5)]
+        assert formula.satisfied_by(observations)
+
+    def test_weekends_count_for_days(self):
+        formula = RecurrenceFormula.parse("2.Days * 1.Weeks")
+        observations = [obs(0, 5), obs(0, 6)]
+        assert formula.normalized().satisfied_by(observations)

@@ -1,0 +1,103 @@
+"""Property-based tests for recurrence satisfaction.
+
+The key invariant is monotonicity: adding observations can only move a
+formula toward satisfaction, never away from it; removing observations
+can never create satisfaction.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.granularity.recurrence import RecurrenceFormula
+from repro.granularity.timeline import DAY, HOUR
+
+formulas = st.sampled_from(
+    [
+        RecurrenceFormula.parse(""),
+        RecurrenceFormula.parse("2.Days"),
+        RecurrenceFormula.parse("3.Weekdays * 2.Weeks"),
+        RecurrenceFormula.parse("2.Days * 2.Weeks"),
+        RecurrenceFormula.parse("1.Mondays * 3.Weeks"),
+        RecurrenceFormula.parse("2.Weekdays * 2.Weeks * 2.Months"),
+    ]
+)
+
+
+@st.composite
+def observations(draw):
+    """Observation lists: each a small timestamp batch inside one day."""
+    count = draw(st.integers(min_value=0, max_value=30))
+    result = []
+    for _ in range(count):
+        day = draw(st.integers(min_value=0, max_value=80))
+        hours = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=23.9),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        result.append([day * DAY + h * HOUR for h in hours])
+    return result
+
+
+class TestMonotonicity:
+    @given(formulas, observations(), observations())
+    def test_adding_observations_preserves_satisfaction(
+        self, formula, base, extra
+    ):
+        if formula.satisfied_by(base):
+            assert formula.satisfied_by(base + extra)
+
+    @given(formulas, observations(), st.data())
+    def test_removing_observations_never_creates_satisfaction(
+        self, formula, base, data
+    ):
+        if not base:
+            return
+        keep = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(base) - 1),
+                unique=True,
+            )
+        )
+        subset = [base[i] for i in keep]
+        if formula.satisfied_by(subset):
+            assert formula.satisfied_by(base)
+
+    @given(formulas, observations())
+    def test_satisfaction_level_monotone_in_observations(
+        self, formula, base
+    ):
+        """The level over a growing prefix never decreases."""
+        if formula.is_empty:
+            return
+        previous = 0
+        for i in range(len(base) + 1):
+            level = formula.satisfaction_level(base[:i])
+            assert level >= previous
+            previous = level
+
+
+class TestLevelConsistency:
+    @given(formulas, observations())
+    def test_satisfied_iff_full_level(self, formula, base):
+        if formula.is_empty:
+            return
+        satisfied = formula.satisfied_by(base)
+        level = formula.satisfaction_level(base)
+        assert satisfied == (level >= len(formula.terms))
+
+    @given(formulas, observations())
+    def test_minimum_observations_is_a_lower_bound(self, formula, base):
+        valid = [
+            o
+            for o in base
+            if formula.observation_granule(o) is not None
+        ]
+        distinct = {
+            formula.observation_granule(o) for o in valid
+        }
+        if formula.satisfied_by(base):
+            assert len(distinct) >= (
+                formula.terms[0].count if formula.terms else 1
+            )

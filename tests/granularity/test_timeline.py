@@ -1,0 +1,71 @@
+"""Unit tests for the timeline and calendar arithmetic."""
+
+import pytest
+
+from repro.granularity.timeline import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    day_index,
+    day_of_week,
+    format_time,
+    seconds_of_day,
+    time_at,
+    week_index,
+)
+
+
+class TestConstants:
+    def test_nesting(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+
+class TestTimeAt:
+    def test_origin(self):
+        assert time_at() == 0.0
+
+    def test_composition(self):
+        t = time_at(week=1, day=2, hour=3, minute=4, second=5)
+        assert t == WEEK + 2 * DAY + 3 * HOUR + 4 * MINUTE + 5
+
+    def test_rejects_bad_day(self):
+        with pytest.raises(ValueError):
+            time_at(day=7)
+
+    def test_fractional_hours(self):
+        assert time_at(hour=7.5) == 7.5 * HOUR
+
+
+class TestCalendarQueries:
+    def test_origin_is_monday(self):
+        assert day_of_week(0.0) == 0
+
+    def test_sunday(self):
+        assert day_of_week(time_at(day=6, hour=12)) == 6
+
+    def test_week_wraps(self):
+        assert day_of_week(time_at(week=3, day=1)) == 1
+
+    def test_seconds_of_day(self):
+        assert seconds_of_day(time_at(week=2, day=3, hour=5)) == 5 * HOUR
+
+    def test_day_index(self):
+        assert day_index(time_at(week=1, day=2, hour=23)) == 9
+
+    def test_week_index(self):
+        assert week_index(time_at(week=4, day=6, hour=23)) == 4
+
+    def test_day_boundary_belongs_to_new_day(self):
+        assert day_index(DAY) == 1
+        assert seconds_of_day(DAY) == 0.0
+
+
+class TestFormatTime:
+    def test_renders_components(self):
+        text = format_time(time_at(week=1, day=2, hour=7, minute=30))
+        assert "week 1" in text
+        assert "Wednesday" in text
+        assert "07:30" in text

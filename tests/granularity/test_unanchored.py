@@ -1,0 +1,86 @@
+"""Unit tests for unanchored time intervals."""
+
+import pytest
+
+from repro.granularity.timeline import DAY, HOUR, time_at
+from repro.granularity.unanchored import UnanchoredInterval
+
+
+class TestConstruction:
+    def test_from_hours(self):
+        window = UnanchoredInterval.from_hours(7, 9)
+        assert window.start_offset == 7 * HOUR
+        assert window.end_offset == 9 * HOUR
+
+    def test_pm_hours(self):
+        window = UnanchoredInterval.from_hours(16, 18)
+        assert window.start_offset == 16 * HOUR
+
+    def test_rejects_out_of_range_offsets(self):
+        with pytest.raises(ValueError):
+            UnanchoredInterval(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            UnanchoredInterval(0.0, DAY)
+
+    def test_24_wraps_to_midnight(self):
+        window = UnanchoredInterval.from_hours(23, 24)
+        assert window.end_offset == 0.0
+        assert window.wraps_midnight
+
+
+class TestContains:
+    def test_recurs_daily(self):
+        window = UnanchoredInterval.from_hours(7, 9)
+        for day in range(10):
+            assert window.contains(time_at(day=day % 7, hour=8))
+
+    def test_excludes_outside(self):
+        window = UnanchoredInterval.from_hours(7, 9)
+        assert not window.contains(time_at(hour=6.99))
+        assert not window.contains(time_at(hour=9.01))
+
+    def test_boundaries_inclusive(self):
+        window = UnanchoredInterval.from_hours(7, 9)
+        assert window.contains(time_at(hour=7))
+        assert window.contains(time_at(hour=9))
+
+    def test_wrapping_window(self):
+        window = UnanchoredInterval.from_hours(23, 1)
+        assert window.contains(time_at(hour=23.5))
+        assert window.contains(time_at(day=1, hour=0.5))
+        assert not window.contains(time_at(hour=12))
+
+
+class TestDuration:
+    def test_simple(self):
+        assert UnanchoredInterval.from_hours(7, 9).duration == 2 * HOUR
+
+    def test_wrapping(self):
+        assert UnanchoredInterval.from_hours(23, 1).duration == 2 * HOUR
+
+
+class TestAnchoring:
+    def test_anchored_on_day(self):
+        window = UnanchoredInterval.from_hours(7, 9)
+        occurrence = window.anchored_on_day(3)
+        assert occurrence.start == 3 * DAY + 7 * HOUR
+        assert occurrence.duration == 2 * HOUR
+
+    def test_anchored_around_finds_occurrence(self):
+        window = UnanchoredInterval.from_hours(7, 9)
+        t = time_at(day=2, hour=8)
+        occurrence = window.anchored_around(t)
+        assert occurrence is not None
+        assert occurrence.contains(t)
+
+    def test_anchored_around_none_outside(self):
+        window = UnanchoredInterval.from_hours(7, 9)
+        assert window.anchored_around(time_at(hour=12)) is None
+
+    def test_anchored_around_wrapping_past_midnight(self):
+        window = UnanchoredInterval.from_hours(23, 1)
+        t = time_at(day=1, hour=0.5)  # belongs to day 0's occurrence
+        occurrence = window.anchored_around(t)
+        assert occurrence is not None
+        assert occurrence.contains(t)
+        assert occurrence.start == 23 * HOUR

@@ -1,0 +1,106 @@
+"""Unit tests for anchor-place detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.point import Point, STPoint
+from repro.granularity.timeline import time_at
+from repro.mining.anchors import (
+    classify_home_work,
+    find_anchors,
+    span_days,
+)
+
+
+def dwell(x, y, day, hours):
+    """Samples at (x, y) at the given hours-of-day."""
+    return [STPoint(x, y, time_at(day=day % 7, hour=h) + (day // 7) *
+                    7 * 86400.0) for h in hours]
+
+
+def commuter_history(days=10):
+    """Home (0,0) mornings/evenings, work (1000,1000) daytime."""
+    points = []
+    for day in range(days):
+        if day % 7 >= 5:
+            points += dwell(0, 0, day, [9.0, 12.0, 15.0, 20.0])
+            continue
+        points += dwell(0, 0, day, [6.0, 7.0, 7.5])
+        points += dwell(1000, 1000, day, [8.5, 10.0, 12.0, 14.0, 16.5])
+        points += dwell(0, 0, day, [18.0, 20.0, 22.0])
+    return PersonalHistory(1, points)
+
+
+class TestFindAnchors:
+    def test_finds_both_anchors(self):
+        anchors = find_anchors(commuter_history())
+        assert len(anchors) == 2
+
+    def test_most_visited_first(self):
+        anchors = find_anchors(commuter_history())
+        assert anchors[0].samples >= anchors[1].samples
+
+    def test_areas_contain_centers(self):
+        for anchor in find_anchors(commuter_history()):
+            assert anchor.area.contains(anchor.center)
+
+    def test_windows_reflect_presence(self):
+        anchors = find_anchors(commuter_history())
+        work = next(
+            a for a in anchors if a.area.contains(Point(1000, 1000))
+        )
+        start, end = work.window_hours
+        assert 8.0 <= start <= 10.5
+        assert 13.5 <= end <= 17.0
+
+    def test_min_days_filters_one_offs(self):
+        history = commuter_history()
+        history.extend(dwell(5000, 5000, 2, [13.0] * 7))
+        anchors = find_anchors(history, min_days=3)
+        assert not any(
+            a.area.contains(Point(5000, 5000)) for a in anchors
+        )
+
+    def test_empty_history(self):
+        assert find_anchors(PersonalHistory(1)) == []
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            find_anchors(commuter_history(), cell_size=0.0)
+
+    def test_noise_tolerated_by_margin(self):
+        rng = np.random.default_rng(0)
+        points = []
+        for day in range(6):
+            for h in (6.0, 7.0, 20.0, 22.0):
+                points.append(
+                    STPoint(
+                        float(rng.normal(0, 20)),
+                        float(rng.normal(0, 20)),
+                        time_at(day=day % 7, hour=h),
+                    )
+                )
+        anchors = find_anchors(PersonalHistory(1, points), cell_size=150.0)
+        assert anchors
+        assert anchors[0].area.expanded(50).contains(Point(0, 0))
+
+
+class TestClassifyHomeWork:
+    def test_classification(self):
+        anchors = find_anchors(commuter_history())
+        home, work = classify_home_work(anchors)
+        assert home is not None and work is not None
+        assert home.area.contains(Point(0, 0))
+        assert work.area.contains(Point(1000, 1000))
+
+    def test_no_anchors(self):
+        assert classify_home_work([]) == (None, None)
+
+
+class TestSpanDays:
+    def test_span(self):
+        assert span_days(commuter_history(days=10)) == 10
+
+    def test_empty(self):
+        assert span_days(PersonalHistory(1)) == 0

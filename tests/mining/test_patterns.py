@@ -1,0 +1,144 @@
+"""Unit tests for LBQID mining and distinctiveness scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import request_set_matches
+from repro.core.phl import PersonalHistory
+from repro.mining.patterns import mine_commute_lbqid
+from repro.mining.scoring import distinctiveness, score_candidates
+from repro.mobility.commuter import Commuter, CommuterSchedule
+from repro.mobility.network import RoadNetwork
+from repro.mod.store import TrajectoryStore
+
+
+@pytest.fixture(scope="module")
+def network():
+    return RoadNetwork(10, 10, block_size=200.0)
+
+
+def make_history(network, user_id, home, work, seed, days=14,
+                 skip=0.05):
+    commuter = Commuter(
+        user_id,
+        network,
+        home,
+        work,
+        schedule=CommuterSchedule(
+            skip_probability=skip, departure_std_hours=0.15
+        ),
+    )
+    return PersonalHistory(
+        user_id,
+        commuter.trajectory(days, np.random.default_rng(seed)),
+    )
+
+
+class TestMineCommuteLBQID:
+    def test_mined_pattern_matches_owner(self, network):
+        history = make_history(network, 1, (1, 1), (8, 8), seed=3)
+        mined = mine_commute_lbqid(history)
+        assert mined is not None
+        assert request_set_matches(mined.lbqid, history.points)
+
+    def test_anchors_identified(self, network):
+        history = make_history(network, 1, (1, 1), (8, 8), seed=3)
+        mined = mine_commute_lbqid(history)
+        assert mined.home.area.contains(
+            network.node_position((1, 1))
+        )
+        assert mined.work.area.contains(
+            network.node_position((8, 8))
+        )
+
+    def test_recurrence_is_weekday_weekly(self, network):
+        history = make_history(network, 1, (1, 1), (8, 8), seed=3)
+        mined = mine_commute_lbqid(history)
+        names = [t.granularity.name for t in mined.lbqid.recurrence.terms]
+        assert names[0] == "Weekdays"
+
+    def test_supported_flag(self, network):
+        history = make_history(network, 1, (1, 1), (8, 8), seed=3)
+        mined = mine_commute_lbqid(history)
+        assert mined.supported
+
+    def test_no_pattern_for_homebody(self, network):
+        """A user who never leaves home has no commute LBQID."""
+        home_point = network.node_position((2, 2))
+        points = [
+            # stationary pings, every day
+            *(
+                [home_point] * 0
+            ),
+        ]
+        from repro.geometry.point import STPoint
+        from repro.granularity.timeline import time_at
+
+        points = [
+            STPoint(home_point.x, home_point.y,
+                    time_at(day=d % 7, hour=h) + (d // 7) * 7 * 86400.0)
+            for d in range(10)
+            for h in (7.0, 12.0, 18.0, 22.0)
+        ]
+        mined = mine_commute_lbqid(PersonalHistory(1, points))
+        assert mined is None
+
+    def test_empty_history(self):
+        assert mine_commute_lbqid(PersonalHistory(1)) is None
+
+    def test_custom_name(self, network):
+        history = make_history(network, 1, (1, 1), (8, 8), seed=3)
+        mined = mine_commute_lbqid(history, name="alice")
+        assert mined.lbqid.name == "alice"
+
+
+class TestDistinctiveness:
+    def build_store(self, network):
+        store = TrajectoryStore()
+        layouts = [((1, 1), (8, 8)), ((9, 2), (3, 7)), ((5, 9), (0, 4))]
+        for user_id, (home, work) in enumerate(layouts):
+            history = make_history(
+                network, user_id, home, work, seed=10 + user_id
+            )
+            store.add_trajectory(user_id, history.points)
+        return store
+
+    def test_unique_pattern_identifies(self, network):
+        store = self.build_store(network)
+        mined = mine_commute_lbqid(store.history(0))
+        score = distinctiveness(mined.lbqid, store)
+        assert score.matching_users == 1
+        assert score.is_quasi_identifier
+
+    def test_shared_pattern_scores_high(self, network):
+        """Two users on an identical schedule share the pattern."""
+        store = TrajectoryStore()
+        for user_id in (0, 1):
+            history = make_history(
+                network, user_id, (1, 1), (8, 8), seed=20, skip=0.0
+            )
+            store.add_trajectory(user_id, history.points)
+        mined = mine_commute_lbqid(store.history(0))
+        score = distinctiveness(mined.lbqid, store)
+        assert score.matching_users == 2
+        assert not score.is_quasi_identifier
+
+    def test_score_candidates_filters_common(self, network):
+        store = TrajectoryStore()
+        for user_id in range(4):
+            history = make_history(
+                network, user_id, (1, 1), (8, 8), seed=20, skip=0.0
+            )
+            store.add_trajectory(user_id, history.points)
+        mined = mine_commute_lbqid(store.history(0))
+        kept = score_candidates(
+            [mined], store, max_matching_fraction=0.25
+        )
+        assert kept == []
+
+    def test_score_candidates_keeps_distinctive(self, network):
+        store = self.build_store(network)
+        mined = mine_commute_lbqid(store.history(0))
+        kept = score_candidates([mined], store)
+        assert len(kept) == 1
+        assert kept[0][1].matching_users == 1

@@ -1,0 +1,97 @@
+"""Unit tests for on-demand mix-zone formation."""
+
+import pytest
+
+from repro.geometry.point import STPoint
+from repro.mixzone.on_demand import OnDemandMixZone
+from repro.mod.store import TrajectoryStore
+
+
+def store_with_diverging_users(n=4, center=(500.0, 500.0), t=1000.0):
+    """Users converging on the center from the four compass directions
+    (so their recent headings diverge)."""
+    store = TrajectoryStore()
+    directions = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+    for user_id in range(n):
+        dx, dy = directions[user_id % 4]
+        store.add_point(
+            user_id,
+            STPoint(center[0] - 100 * dx, center[1] - 100 * dy, t - 60),
+        )
+        store.add_point(user_id, STPoint(center[0], center[1], t))
+    return store
+
+
+class TestConstruction:
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError):
+            OnDemandMixZone(TrajectoryStore(), k=1)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            OnDemandMixZone(TrajectoryStore(), radius=0.0)
+
+    def test_rejects_bad_sectors(self):
+        with pytest.raises(ValueError):
+            OnDemandMixZone(TrajectoryStore(), min_heading_sectors=5)
+
+
+class TestFormation:
+    def test_succeeds_with_diverging_crowd(self):
+        store = store_with_diverging_users()
+        zone = OnDemandMixZone(store, k=3, radius=250.0)
+        outcome = zone.attempt_unlink(99, STPoint(500, 500, 1000.0))
+        assert outcome.success
+        assert 0 < outcome.theta < 1
+        assert zone.formations
+
+    def test_theta_shrinks_with_more_candidates(self):
+        small = OnDemandMixZone(
+            store_with_diverging_users(3), k=3, radius=250.0
+        )
+        large = OnDemandMixZone(
+            store_with_diverging_users(8), k=3, radius=250.0
+        )
+        request = STPoint(500, 500, 1000.0)
+        theta_small = small.attempt_unlink(99, request).theta
+        theta_large = large.attempt_unlink(99, request).theta
+        assert theta_large < theta_small
+
+    def test_fails_when_too_few_users(self):
+        store = store_with_diverging_users(1)
+        zone = OnDemandMixZone(store, k=3, radius=250.0)
+        assert not zone.attempt_unlink(99, STPoint(500, 500, 1000.0)).success
+
+    def test_fails_when_users_far_away(self):
+        store = store_with_diverging_users()
+        zone = OnDemandMixZone(store, k=3, radius=250.0)
+        assert not zone.attempt_unlink(
+            99, STPoint(5000, 5000, 1000.0)
+        ).success
+
+    def test_fails_when_samples_stale(self):
+        store = store_with_diverging_users(t=1000.0)
+        zone = OnDemandMixZone(store, k=3, radius=250.0, staleness=300.0)
+        assert not zone.attempt_unlink(
+            99, STPoint(500, 500, 10_000.0)
+        ).success
+
+    def test_fails_without_heading_diversity(self):
+        """A crowd all marching east cannot mix."""
+        store = TrajectoryStore()
+        for user_id in range(5):
+            y = 480.0 + 10 * user_id
+            store.add_point(user_id, STPoint(400, y, 940.0))
+            store.add_point(user_id, STPoint(500, y, 1000.0))
+        zone = OnDemandMixZone(
+            store, k=3, radius=250.0, min_heading_sectors=2
+        )
+        assert not zone.attempt_unlink(
+            99, STPoint(500, 500, 1000.0)
+        ).success
+
+    def test_requester_not_counted_as_candidate(self):
+        store = store_with_diverging_users(3)
+        zone = OnDemandMixZone(store, k=4, radius=250.0)
+        # Requester is user 0: only users 1, 2 remain -> k=4 impossible.
+        assert not zone.attempt_unlink(0, STPoint(500, 500, 1000.0)).success

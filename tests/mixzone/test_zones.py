@@ -1,0 +1,138 @@
+"""Unit tests for static mix-zones and the re-association game."""
+
+import pytest
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.point import STPoint
+from repro.geometry.region import Rect
+from repro.mixzone.zones import (
+    Crossing,
+    MixZone,
+    batch_crossings_by_time,
+    reassociation_game,
+    zone_attack_accuracy,
+)
+
+ZONE = MixZone(Rect(400, 400, 600, 600))
+
+
+def crossing_history(user_id, t0, speed=10.0, y=500.0):
+    """A straight west-to-east traversal of the zone at height ``y``."""
+    points = [
+        STPoint(x, y, t0 + (x / speed)) for x in range(0, 1001, 100)
+    ]
+    return PersonalHistory(user_id, points)
+
+
+class TestCrossingDetection:
+    def test_single_traversal(self):
+        crossings = ZONE.crossings(crossing_history(1, 0.0))
+        assert len(crossings) == 1
+        crossing = crossings[0]
+        assert ZONE.contains(crossing.entry.point)
+        assert ZONE.contains(crossing.exit.point)
+        assert crossing.dwell_time > 0
+
+    def test_no_crossing_outside(self):
+        history = crossing_history(1, 0.0, y=50.0)
+        assert ZONE.crossings(history) == []
+
+    def test_still_inside_not_counted(self):
+        points = [STPoint(x, 500, x) for x in range(0, 501, 100)]
+        history = PersonalHistory(1, points)
+        assert ZONE.crossings(history) == []
+
+    def test_multiple_traversals(self):
+        out = [STPoint(x, 500, x / 10.0) for x in range(0, 1001, 100)]
+        back = [
+            STPoint(1000 - x, 500, 200 + x / 10.0)
+            for x in range(0, 1001, 100)
+        ]
+        history = PersonalHistory(1, out + back)
+        assert len(ZONE.crossings(history)) == 2
+
+
+class TestReassociationGame:
+    def test_empty(self):
+        result = reassociation_game([])
+        assert result.crossings == 0
+        assert result.accuracy == 0.0
+
+    def test_single_crossing_always_linked(self):
+        crossings = ZONE.crossings(crossing_history(1, 0.0))
+        result = reassociation_game(crossings, expected_speed=10.0)
+        assert result.accuracy == 1.0
+
+    def test_synchronized_crossings_confuse(self):
+        """Several users crossing together with identical dynamics give
+        the attacker no better than chance."""
+        crossings = []
+        for user_id in range(4):
+            crossings += ZONE.crossings(
+                crossing_history(user_id, 0.0, y=450.0 + 30 * user_id)
+            )
+        result = reassociation_game(crossings, expected_speed=10.0)
+        assert result.crossings == 4
+        # With identical timing the assignment is arbitrary; the attacker
+        # cannot be guaranteed more than one lucky hit on average.
+        assert result.effective_anonymity >= 1.0
+
+    def test_staggered_crossings_are_linkable(self):
+        """Crossings separated by hours are trivially re-associated."""
+        crossings = []
+        for user_id in range(3):
+            crossings += ZONE.crossings(
+                crossing_history(user_id, 7200.0 * user_id)
+            )
+        result = reassociation_game(crossings, expected_speed=10.0)
+        assert result.accuracy == 1.0
+
+    def test_impossible_pairings_forbidden(self):
+        """An exit occurring before an entry can never be matched to it."""
+        early = Crossing(
+            1, STPoint(450, 500, 100.0), STPoint(590, 500, 110.0)
+        )
+        late = Crossing(
+            2, STPoint(450, 500, 500.0), STPoint(590, 500, 510.0)
+        )
+        result = reassociation_game([early, late], expected_speed=10.0)
+        assert result.accuracy == 1.0
+
+
+class TestBatching:
+    def test_batches_by_window(self):
+        crossings = [
+            Crossing(i, STPoint(450, 500, t), STPoint(590, 500, t + 10))
+            for i, t in enumerate((0.0, 100.0, 5000.0))
+        ]
+        batches = batch_crossings_by_time(crossings, batch_window=900.0)
+        assert [len(b) for b in batches] == [2, 1]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            batch_crossings_by_time([], 0.0)
+
+
+class TestZoneAttackAccuracy:
+    def test_lonely_crossers_all_identified(self):
+        histories = [
+            crossing_history(user_id, 7200.0 * user_id)
+            for user_id in range(3)
+        ]
+        result = zone_attack_accuracy(ZONE, histories)
+        assert result.accuracy == 1.0
+
+    def test_crowded_zone_reduces_accuracy(self):
+        lonely = [
+            crossing_history(user_id, 7200.0 * user_id)
+            for user_id in range(6)
+        ]
+        crowded = [
+            crossing_history(
+                user_id, 3.0 * user_id, y=440.0 + 20 * user_id
+            )
+            for user_id in range(6)
+        ]
+        lonely_result = zone_attack_accuracy(ZONE, lonely)
+        crowded_result = zone_attack_accuracy(ZONE, crowded)
+        assert crowded_result.accuracy <= lonely_result.accuracy

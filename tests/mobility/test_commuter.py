@@ -1,0 +1,100 @@
+"""Unit tests for the commuter mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import request_set_matches
+from repro.granularity.timeline import DAY, day_of_week
+from repro.mobility.commuter import Commuter, CommuterSchedule
+from repro.mobility.network import RoadNetwork
+
+
+def make_commuter(skip_probability=0.0, departure_std_hours=0.05):
+    net = RoadNetwork(10, 10, block_size=200.0)
+    schedule = CommuterSchedule(
+        skip_probability=skip_probability,
+        departure_std_hours=departure_std_hours,
+    )
+    return Commuter(1, net, home=(1, 1), work=(8, 8), schedule=schedule)
+
+
+class TestSchedule:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            CommuterSchedule(skip_probability=1.5)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            CommuterSchedule(departure_std_hours=-0.1)
+
+
+class TestAnchors:
+    def test_home_area_contains_home(self):
+        commuter = make_commuter()
+        assert commuter.home_area().contains(commuter.home_point)
+
+    def test_work_area_contains_work(self):
+        commuter = make_commuter()
+        assert commuter.work_area().contains(commuter.work_point)
+
+    def test_lbqid_is_example_2_shaped(self):
+        lbqid = make_commuter().lbqid()
+        assert len(lbqid) == 4
+        assert str(lbqid.recurrence) == "3.Weekdays * 2.Weeks"
+
+
+class TestTrajectory:
+    def test_chronological(self):
+        commuter = make_commuter()
+        points = commuter.trajectory(7, np.random.default_rng(0))
+        times = [p.t for p in points]
+        assert times == sorted(times)
+
+    def test_weekend_stays_home(self):
+        commuter = make_commuter()
+        points = commuter.trajectory(7, np.random.default_rng(0))
+        for p in points:
+            if day_of_week(p.t) >= 5:
+                assert commuter.home_area().contains(p.point)
+
+    def test_workdays_reach_office(self):
+        commuter = make_commuter()
+        points = commuter.trajectory(5, np.random.default_rng(0))
+        by_day = {}
+        for p in points:
+            by_day.setdefault(int(p.t // DAY), []).append(p)
+        for day, samples in by_day.items():
+            if day_of_week(day * DAY) < 5:
+                assert any(
+                    commuter.work_area().contains(p.point) for p in samples
+                )
+
+    def test_skip_days_never_leave_home(self):
+        commuter = make_commuter(skip_probability=1.0)
+        points = commuter.trajectory(5, np.random.default_rng(0))
+        assert all(
+            commuter.home_area().contains(p.point) for p in points
+        )
+
+    def test_two_weeks_matches_own_lbqid(self):
+        commuter = make_commuter()
+        points = commuter.trajectory(14, np.random.default_rng(3))
+        assert request_set_matches(commuter.lbqid(), points)
+
+    def test_one_week_does_not_match(self):
+        commuter = make_commuter()
+        points = commuter.trajectory(7, np.random.default_rng(3))
+        assert not request_set_matches(commuter.lbqid(), points)
+
+    def test_deterministic_given_seed(self):
+        commuter = make_commuter()
+        a = commuter.trajectory(3, np.random.default_rng(5))
+        b = commuter.trajectory(3, np.random.default_rng(5))
+        assert a == b
+
+    def test_start_day_offsets_timeline(self):
+        commuter = make_commuter()
+        points = commuter.trajectory(
+            2, np.random.default_rng(0), start_day=7
+        )
+        assert all(p.t >= 7 * DAY for p in points)

@@ -1,0 +1,128 @@
+"""Unit tests for random-waypoint and Gauss-Markov mobility."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.region import Rect
+from repro.mobility.gauss_markov import gauss_markov_trajectory
+from repro.mobility.random_waypoint import random_waypoint_trajectory
+
+BOUNDS = Rect(0, 0, 1000, 1000)
+
+
+class TestRandomWaypoint:
+    def run(self, **kwargs):
+        return random_waypoint_trajectory(
+            BOUNDS, 0.0, 3600.0, np.random.default_rng(1), **kwargs
+        )
+
+    def test_stays_in_bounds(self):
+        for p in self.run():
+            assert BOUNDS.contains(p.point)
+
+    def test_chronological_fixed_period(self):
+        points = self.run(sample_period=60.0)
+        times = [p.t for p in points]
+        assert times == sorted(times)
+        deltas = {round(b - a, 6) for a, b in zip(times, times[1:])}
+        assert deltas == {60.0}
+
+    def test_deterministic(self):
+        a = random_waypoint_trajectory(
+            BOUNDS, 0, 1800, np.random.default_rng(9)
+        )
+        b = random_waypoint_trajectory(
+            BOUNDS, 0, 1800, np.random.default_rng(9)
+        )
+        assert a == b
+
+    def test_speed_bounded(self):
+        points = self.run(
+            speed_range=(5.0, 5.0), pause_range=(0.0, 0.0),
+            sample_period=10.0,
+        )
+        for a, b in zip(points, points[1:]):
+            moved = a.spatial_distance_to(b)
+            assert moved <= 5.0 * (b.t - a.t) + 1e-6
+
+    def test_rejects_bad_speed_range(self):
+        with pytest.raises(ValueError):
+            self.run(speed_range=(10.0, 1.0))
+
+    def test_rejects_bad_pause_range(self):
+        with pytest.raises(ValueError):
+            self.run(pause_range=(-1.0, 0.0))
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            self.run(sample_period=0.0)
+
+
+class TestGaussMarkov:
+    def run(self, **kwargs):
+        return gauss_markov_trajectory(
+            BOUNDS, 0.0, 3600.0, np.random.default_rng(2), **kwargs
+        )
+
+    def test_stays_in_bounds(self):
+        for p in self.run():
+            assert BOUNDS.contains(p.point)
+
+    def test_sample_count(self):
+        points = self.run(sample_period=60.0)
+        assert len(points) == 61
+
+    def test_deterministic(self):
+        a = gauss_markov_trajectory(BOUNDS, 0, 600, np.random.default_rng(4))
+        b = gauss_markov_trajectory(BOUNDS, 0, 600, np.random.default_rng(4))
+        assert a == b
+
+    def test_alpha_one_is_straight_until_reflection(self):
+        points = self.run(alpha=1.0, sample_period=30.0)
+        # Constant velocity: consecutive displacements are equal until a
+        # boundary reflection; check the first few steps.
+        d1 = (points[1].x - points[0].x, points[1].y - points[0].y)
+        d2 = (points[2].x - points[1].x, points[2].y - points[1].y)
+        inside = all(
+            100 < p.x < 900 and 100 < p.y < 900 for p in points[:3]
+        )
+        if inside:
+            assert d1 == pytest.approx(d2)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            self.run(alpha=1.5)
+
+    def test_rejects_bad_mean_speed(self):
+        with pytest.raises(ValueError):
+            self.run(mean_speed=0.0)
+
+    def test_momentum_smoother_than_rwp(self):
+        """Gauss-Markov heading changes are smaller on average than
+        random-waypoint's (the tracker-relevant contrast)."""
+        import math
+
+        def mean_turn(points):
+            headings = []
+            for a, b in zip(points, points[1:]):
+                if a.spatial_distance_to(b) > 1e-9:
+                    headings.append(
+                        math.atan2(b.y - a.y, b.x - a.x)
+                    )
+            turns = [
+                abs(
+                    (h2 - h1 + math.pi) % (2 * math.pi) - math.pi
+                )
+                for h1, h2 in zip(headings, headings[1:])
+            ]
+            return sum(turns) / len(turns)
+
+        gm = gauss_markov_trajectory(
+            BOUNDS, 0, 7200, np.random.default_rng(0),
+            alpha=0.9, sample_period=60.0,
+        )
+        rwp = random_waypoint_trajectory(
+            BOUNDS, 0, 7200, np.random.default_rng(0),
+            sample_period=60.0, pause_range=(0.0, 0.0),
+        )
+        assert mean_turn(gm) < mean_turn(rwp)

@@ -1,0 +1,94 @@
+"""Unit tests for the grid road network."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.mobility.network import RoadNetwork
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        net = RoadNetwork(4, 3, block_size=100.0)
+        assert net.width == 400.0
+        assert net.height == 300.0
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(0, 3)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(2, 2, block_size=-1.0)
+
+    def test_node_count(self):
+        net = RoadNetwork(4, 3)
+        assert net.graph.number_of_nodes() == 5 * 4
+
+
+class TestGeometry:
+    net = RoadNetwork(10, 10, block_size=200.0)
+
+    def test_node_position(self):
+        assert self.net.node_position((3, 4)) == Point(600, 800)
+
+    def test_nearest_node_rounds(self):
+        assert self.net.nearest_node(Point(590, 790)) == (3, 4)
+
+    def test_nearest_node_clamps(self):
+        assert self.net.nearest_node(Point(-500, 99999)) == (0, 10)
+
+
+class TestRouting:
+    net = RoadNetwork(10, 10, block_size=200.0)
+
+    def test_route_endpoints(self):
+        route = self.net.route((0, 0), (3, 2))
+        assert route[0] == Point(0, 0)
+        assert route[-1] == Point(600, 400)
+
+    def test_route_length_is_manhattan(self):
+        route = self.net.route((0, 0), (3, 2))
+        assert self.net.route_length(route) == pytest.approx(5 * 200.0)
+
+    def test_route_to_self(self):
+        route = self.net.route((2, 2), (2, 2))
+        assert route == [Point(400, 400)]
+
+
+class TestWalkRoute:
+    net = RoadNetwork(10, 10, block_size=200.0)
+
+    def test_samples_cover_trip(self):
+        route = self.net.route((0, 0), (2, 0))  # 400 m
+        samples = self.net.walk_route(
+            route, depart_at=1000.0, speed=10.0, sample_period=10.0
+        )
+        assert samples[0] == (Point(0, 0), 1000.0)
+        assert samples[-1][0] == Point(400, 0)
+        assert samples[-1][1] == pytest.approx(1040.0)
+
+    def test_positions_progress_monotonically(self):
+        route = self.net.route((0, 0), (3, 3))
+        samples = self.net.walk_route(route, 0.0, 5.0, 30.0)
+        times = [t for _p, t in samples]
+        assert times == sorted(times)
+
+    def test_positions_on_streets(self):
+        """Every sample lies on a grid line (Manhattan movement)."""
+        route = self.net.route((0, 0), (3, 3))
+        samples = self.net.walk_route(route, 0.0, 5.0, 30.0)
+        for point, _t in samples:
+            on_street = (
+                point.x % 200.0 < 1e-6
+                or abs(point.x % 200.0 - 200.0) < 1e-6
+                or point.y % 200.0 < 1e-6
+                or abs(point.y % 200.0 - 200.0) < 1e-6
+            )
+            assert on_street
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            self.net.walk_route([Point(0, 0)], 0.0, 0.0, 10.0)
+
+    def test_empty_route(self):
+        assert self.net.walk_route([], 0.0, 5.0, 10.0) == []

@@ -1,0 +1,81 @@
+"""Unit tests for synthetic city generation."""
+
+import pytest
+
+from repro.mobility.population import CityConfig, SyntheticCity
+
+
+class TestConfig:
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            CityConfig(n_commuters=-1)
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            CityConfig(days=0)
+
+    def test_rejects_zero_districts(self):
+        with pytest.raises(ValueError):
+            CityConfig(office_districts=0)
+
+
+class TestGeneration:
+    def test_population_ids(self, city):
+        config = city.config
+        expected = config.n_commuters + config.n_wanderers
+        assert len(city.all_user_ids) == expected
+        assert len(city.store) == expected
+
+    def test_commuter_ids_are_prefix(self, city):
+        ids = [c.user_id for c in city.commuters]
+        assert ids == list(range(city.config.n_commuters))
+
+    def test_all_points_in_bounds(self, city):
+        bounds = city.bounds.expanded(1.0)
+        for user_id in city.all_user_ids:
+            for p in city.store.history(user_id):
+                assert bounds.contains(p.point)
+
+    def test_home_locations_oracle(self, city):
+        homes = city.home_locations()
+        assert len(homes) == city.config.n_commuters
+        for commuter in city.commuters:
+            assert homes[commuter.user_id] == commuter.home_point
+
+    def test_overrides(self):
+        city = SyntheticCity.generate(
+            n_commuters=3, n_wanderers=1, days=2, seed=5,
+            nx_blocks=4, ny_blocks=4,
+        )
+        assert city.config.n_commuters == 3
+        assert len(city.store) == 4
+
+    def test_deterministic_in_seed(self):
+        a = SyntheticCity.generate(
+            n_commuters=3, n_wanderers=0, days=2, seed=5,
+            nx_blocks=4, ny_blocks=4,
+        )
+        b = SyntheticCity.generate(
+            n_commuters=3, n_wanderers=0, days=2, seed=5,
+            nx_blocks=4, ny_blocks=4,
+        )
+        assert a.store.history(0).points == b.store.history(0).points
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCity.generate(
+            n_commuters=3, n_wanderers=0, days=2, seed=5,
+            nx_blocks=4, ny_blocks=4,
+        )
+        b = SyntheticCity.generate(
+            n_commuters=3, n_wanderers=0, days=2, seed=6,
+            nx_blocks=4, ny_blocks=4,
+        )
+        assert a.store.history(0).points != b.store.history(0).points
+
+    def test_home_distinct_from_work(self, city):
+        for commuter in city.commuters:
+            assert commuter.home != commuter.work
+
+    def test_offices_clustered(self, city):
+        works = {c.work for c in city.commuters}
+        assert len(works) <= city.config.office_districts

@@ -1,0 +1,114 @@
+"""Unit tests for the spatio-temporal grid index."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import st_distance
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.grid_index import GridIndex
+
+
+class TestConstruction:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0.0)
+
+    def test_rejects_bad_time_scale(self):
+        with pytest.raises(ValueError):
+            GridIndex(time_scale=0.0)
+
+    def test_len_counts_points(self):
+        index = GridIndex(100.0)
+        index.insert(1, STPoint(0, 0, 0))
+        index.insert(1, STPoint(1, 1, 1))
+        assert len(index) == 2
+
+
+class TestNearestUsers:
+    def test_empty_index(self):
+        index = GridIndex(100.0)
+        assert index.nearest_users(STPoint(0, 0, 0), 3) == []
+
+    def test_zero_count(self):
+        index = GridIndex(100.0)
+        index.insert(1, STPoint(0, 0, 0))
+        assert index.nearest_users(STPoint(0, 0, 0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex(100.0).nearest_users(STPoint(0, 0, 0), -2)
+
+    def test_one_entry_per_user(self):
+        index = GridIndex(100.0)
+        index.insert(1, STPoint(0, 0, 0))
+        index.insert(1, STPoint(5, 5, 0))
+        index.insert(2, STPoint(50, 50, 0))
+        got = index.nearest_users(STPoint(0, 0, 0), 5)
+        assert len(got) == 2
+
+    def test_exclusion(self):
+        index = GridIndex(100.0)
+        index.insert(1, STPoint(0, 0, 0))
+        index.insert(2, STPoint(10, 0, 0))
+        got = index.nearest_users(STPoint(0, 0, 0), 2, exclude={1})
+        assert [u for u, _p, _d in got] == [2]
+
+    def test_matches_exhaustive_search(self):
+        rng = np.random.default_rng(11)
+        index = GridIndex(cell_size=200.0, time_scale=1.0)
+        ground: dict[int, list[STPoint]] = {}
+        for user_id in range(25):
+            pts = [
+                STPoint(
+                    float(rng.uniform(0, 2000)),
+                    float(rng.uniform(0, 2000)),
+                    float(rng.uniform(0, 2000)),
+                )
+                for _ in range(15)
+            ]
+            ground[user_id] = pts
+            for p in pts:
+                index.insert(user_id, p)
+        for _ in range(10):
+            target = STPoint(
+                float(rng.uniform(0, 2000)),
+                float(rng.uniform(0, 2000)),
+                float(rng.uniform(0, 2000)),
+            )
+            best = sorted(
+                (
+                    min(st_distance(p, target, 1.0) for p in pts),
+                    user_id,
+                )
+                for user_id, pts in ground.items()
+            )[:6]
+            got = index.nearest_users(target, 6)
+            assert [d for _u, _p, d in got] == pytest.approx(
+                [d for d, _u in best]
+            )
+
+
+class TestBoxQueries:
+    def make_index(self):
+        index = GridIndex(cell_size=100.0, time_scale=1.0)
+        index.insert(1, STPoint(50, 50, 50))
+        index.insert(2, STPoint(150, 150, 150))
+        index.insert(3, STPoint(950, 950, 950))
+        return index
+
+    def test_users_in_box(self):
+        index = self.make_index()
+        box = STBox(Rect(0, 0, 200, 200), Interval(0, 200))
+        assert index.users_in_box(box) == {1, 2}
+
+    def test_points_in_box(self):
+        index = self.make_index()
+        box = STBox(Rect(0, 0, 200, 200), Interval(0, 100))
+        assert index.points_in_box(box) == [(1, STPoint(50, 50, 50))]
+
+    def test_box_boundary_points_included(self):
+        index = GridIndex(cell_size=100.0, time_scale=1.0)
+        index.insert(1, STPoint(100, 100, 100))
+        box = STBox(Rect(0, 0, 100, 100), Interval(0, 100))
+        assert index.users_in_box(box) == {1}

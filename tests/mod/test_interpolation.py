@@ -1,0 +1,66 @@
+"""Unit tests for trajectory interpolation."""
+
+import pytest
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.point import Point, STPoint
+from repro.mod.interpolation import position_at, sampled_positions
+
+
+def line_history():
+    """Straight movement from (0,0) at t=0 to (100,0) at t=100."""
+    return PersonalHistory(
+        1, [STPoint(0, 0, 0), STPoint(100, 0, 100)]
+    )
+
+
+class TestPositionAt:
+    def test_empty_history(self):
+        assert position_at(PersonalHistory(1), 5.0) is None
+
+    def test_outside_span(self):
+        h = line_history()
+        assert position_at(h, -1.0) is None
+        assert position_at(h, 101.0) is None
+
+    def test_at_samples(self):
+        h = line_history()
+        assert position_at(h, 0.0) == Point(0, 0)
+        assert position_at(h, 100.0) == Point(100, 0)
+
+    def test_linear_between(self):
+        h = line_history()
+        got = position_at(h, 25.0)
+        assert got.x == pytest.approx(25.0)
+        assert got.y == pytest.approx(0.0)
+
+    def test_multi_segment(self):
+        h = PersonalHistory(
+            1,
+            [STPoint(0, 0, 0), STPoint(100, 0, 100), STPoint(100, 100, 200)],
+        )
+        got = position_at(h, 150.0)
+        assert got == Point(100, 50)
+
+    def test_coincident_timestamps(self):
+        h = PersonalHistory(
+            1, [STPoint(0, 0, 50), STPoint(10, 10, 50)]
+        )
+        assert position_at(h, 50.0) is not None
+
+
+class TestSampledPositions:
+    def test_fixed_grid(self):
+        h = line_history()
+        samples = sampled_positions(h, 0.0, 100.0, 25.0)
+        assert [s.t for s in samples] == [0, 25, 50, 75, 100]
+        assert samples[2].x == pytest.approx(50.0)
+
+    def test_skips_outside_span(self):
+        h = line_history()
+        samples = sampled_positions(h, -50.0, 50.0, 25.0)
+        assert [s.t for s in samples] == [0, 25, 50]
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            sampled_positions(line_history(), 0, 10, 0)

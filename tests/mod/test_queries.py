@@ -1,0 +1,38 @@
+"""Unit tests for range queries over the store."""
+
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.queries import (
+    count_users_in_box,
+    users_in_area_during,
+    users_in_box,
+)
+from repro.mod.store import TrajectoryStore
+
+
+def make_store():
+    store = TrajectoryStore()
+    store.add_point(1, STPoint(10, 10, 100))
+    store.add_point(2, STPoint(20, 20, 100))
+    store.add_point(3, STPoint(10, 10, 900))
+    return store
+
+
+class TestQueries:
+    box = STBox(Rect(0, 0, 50, 50), Interval(0, 200))
+
+    def test_users_in_box(self):
+        assert users_in_box(make_store(), self.box) == {1, 2}
+
+    def test_count(self):
+        assert count_users_in_box(make_store(), self.box) == 2
+
+    def test_area_during(self):
+        got = users_in_area_during(
+            make_store(), Rect(0, 0, 50, 50), Interval(800, 1000)
+        )
+        assert got == {3}
+
+    def test_empty_result(self):
+        empty = STBox(Rect(500, 500, 600, 600), Interval(0, 1000))
+        assert users_in_box(make_store(), empty) == set()

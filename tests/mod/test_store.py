@@ -1,0 +1,134 @@
+"""Unit tests for the trajectory store."""
+
+import pytest
+
+from repro.geometry.distance import st_distance
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.store import TrajectoryStore
+
+
+class TestIngest:
+    def test_history_created_on_access(self):
+        store = TrajectoryStore()
+        assert len(store.history(5)) == 0
+        assert 5 in store
+
+    def test_add_point(self):
+        store = TrajectoryStore()
+        store.add_point(1, STPoint(0, 0, 10))
+        assert store.total_points == 1
+
+    def test_add_trajectory(self):
+        store = TrajectoryStore()
+        store.add_trajectory(1, [STPoint(0, 0, t) for t in range(5)])
+        assert len(store.history(1)) == 5
+
+    def test_len_counts_users(self):
+        store = TrajectoryStore()
+        store.add_point(1, STPoint(0, 0, 0))
+        store.add_point(2, STPoint(0, 0, 0))
+        assert len(store) == 2
+
+
+class TestClosestPoint:
+    def test_unknown_user(self):
+        assert TrajectoryStore().closest_point(9, STPoint(0, 0, 0)) is None
+
+    def test_picks_nearest(self):
+        store = TrajectoryStore()
+        store.add_trajectory(
+            1, [STPoint(0, 0, 0), STPoint(100, 100, 100)]
+        )
+        got = store.closest_point(1, STPoint(1, 1, 1))
+        assert got == STPoint(0, 0, 0)
+
+
+class TestNearestUsers:
+    def build(self, index_cell_size=None):
+        store = TrajectoryStore(index_cell_size=index_cell_size)
+        for user_id in range(1, 8):
+            store.add_trajectory(
+                user_id,
+                [
+                    STPoint(100.0 * user_id, 0.0, 0.0),
+                    STPoint(100.0 * user_id, 0.0, 600.0),
+                ],
+            )
+        return store
+
+    def test_orders_by_distance(self):
+        store = self.build()
+        got = store.nearest_users(STPoint(0, 0, 0), 3)
+        assert [user_id for user_id, _p, _d in got] == [1, 2, 3]
+
+    def test_excludes_requester(self):
+        store = self.build()
+        got = store.nearest_users(STPoint(0, 0, 0), 3, exclude={1})
+        assert [user_id for user_id, _p, _d in got] == [2, 3, 4]
+
+    def test_count_larger_than_population(self):
+        store = self.build()
+        got = store.nearest_users(STPoint(0, 0, 0), 100)
+        assert len(got) == 7
+
+    def test_zero_count(self):
+        assert self.build().nearest_users(STPoint(0, 0, 0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            self.build().nearest_users(STPoint(0, 0, 0), -1)
+
+    def test_distances_reported(self):
+        store = self.build()
+        target = STPoint(0, 0, 0)
+        for user_id, point, distance in store.nearest_users(target, 3):
+            assert distance == pytest.approx(
+                st_distance(point, target, store.time_scale)
+            )
+
+    def test_indexed_matches_brute_force(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        brute = TrajectoryStore()
+        indexed = TrajectoryStore(index_cell_size=250.0)
+        for user_id in range(30):
+            points = [
+                STPoint(
+                    float(rng.uniform(0, 3000)),
+                    float(rng.uniform(0, 3000)),
+                    float(rng.uniform(0, 7200)),
+                )
+                for _ in range(20)
+            ]
+            brute.add_trajectory(user_id, points)
+            indexed.add_trajectory(user_id, points)
+        for _ in range(10):
+            target = STPoint(
+                float(rng.uniform(0, 3000)),
+                float(rng.uniform(0, 3000)),
+                float(rng.uniform(0, 7200)),
+            )
+            expect = brute.nearest_users_brute(target, 5)
+            got = indexed.nearest_users(target, 5)
+            assert [d for _u, _p, d in got] == pytest.approx(
+                [d for _u, _p, d in expect]
+            )
+
+
+class TestUsersInBox:
+    def test_brute_and_indexed_agree(self):
+        box = STBox(Rect(50, -10, 250, 10), Interval(0, 700))
+        brute = TrajectoryStore()
+        indexed = TrajectoryStore(index_cell_size=100.0)
+        for store in (brute, indexed):
+            for user_id in range(1, 8):
+                store.add_trajectory(
+                    user_id,
+                    [
+                        STPoint(100.0 * user_id, 0.0, 0.0),
+                        STPoint(100.0 * user_id, 0.0, 600.0),
+                    ],
+                )
+        assert brute.users_in_box(box) == indexed.users_in_box(box) == {1, 2}

@@ -1,0 +1,71 @@
+"""Property-based tests: the grid index is an exact accelerator.
+
+Whatever the data, the indexed store must answer nearest-users and
+range queries identically (up to distance ties) to the brute-force
+scan — the paper's O(k·n) baseline is the semantic reference.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.store import TrajectoryStore
+
+coords = st.floats(min_value=0.0, max_value=5_000.0)
+times = st.floats(min_value=0.0, max_value=50_000.0)
+st_points = st.builds(STPoint, coords, coords, times)
+
+
+@st.composite
+def paired_stores(draw):
+    """Identical data in a brute and an indexed store."""
+    n_users = draw(st.integers(min_value=1, max_value=6))
+    brute = TrajectoryStore()
+    indexed = TrajectoryStore(index_cell_size=400.0)
+    for user_id in range(n_users):
+        points = draw(st.lists(st_points, min_size=1, max_size=10))
+        brute.add_trajectory(user_id, points)
+        indexed.add_trajectory(user_id, points)
+    return brute, indexed
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    t1, t2 = sorted((draw(times), draw(times)))
+    return STBox(Rect(x1, y1, x2, y2), Interval(t1, t2))
+
+
+class TestIndexEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(paired_stores(), st_points, st.integers(min_value=1, max_value=8))
+    def test_nearest_users_distances_agree(self, stores, target, count):
+        brute, indexed = stores
+        expected = brute.nearest_users_brute(target, count)
+        got = indexed.nearest_users(target, count)
+        assert len(got) == len(expected)
+        for (_u1, _p1, d1), (_u2, _p2, d2) in zip(expected, got):
+            assert abs(d1 - d2) < 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(paired_stores(), boxes())
+    def test_users_in_box_agree(self, stores, box):
+        brute, indexed = stores
+        assert brute.users_in_box(box) == indexed.users_in_box(box)
+
+    @settings(max_examples=40, deadline=None)
+    @given(paired_stores(), st_points)
+    def test_nearest_user_is_truly_nearest(self, stores, target):
+        """The first reported user's distance lower-bounds everyone."""
+        brute, indexed = stores
+        result = indexed.nearest_users(target, 1)
+        assert result
+        _user, _point, best = result[0]
+        from repro.geometry.distance import st_distance
+
+        for user_id in indexed.user_ids():
+            closest = indexed.closest_point(user_id, target)
+            assert st_distance(closest, target, indexed.time_scale) >= (
+                best - 1e-6
+            )

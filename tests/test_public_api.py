@@ -1,0 +1,57 @@
+"""The public API surface: everything advertised must exist and import."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.geometry",
+    "repro.granularity",
+    "repro.core",
+    "repro.mod",
+    "repro.mobility",
+    "repro.ts",
+    "repro.attack",
+    "repro.baselines",
+    "repro.mixzone",
+    "repro.metrics",
+    "repro.mining",
+    "repro.experiments",
+]
+
+
+class TestTopLevel:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, _minor, _patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_imports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a docstring"
+
+    def test_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestDocumentation:
+    def test_public_callables_documented(self):
+        """Every name exported at the top level carries a docstring."""
+        undocumented = []
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj) and not getattr(obj, "__doc__", None):
+                undocumented.append(name)
+        assert not undocumented

@@ -1,0 +1,37 @@
+"""Unit tests for service providers."""
+
+from repro.core.requests import Request
+from repro.geometry.point import STPoint
+from repro.ts.providers import ServiceProvider
+
+
+def sp_request(msgid=1, pseudonym="p1"):
+    return Request.issue(
+        msgid, 42, pseudonym, STPoint(100, 200, 300), service="poi"
+    ).sp_view()
+
+
+class TestServiceProvider:
+    def test_answers_carry_msgid(self):
+        provider = ServiceProvider("poi")
+        answer = provider.receive(sp_request(msgid=7))
+        assert answer.msgid == 7
+
+    def test_log_accumulates(self):
+        provider = ServiceProvider("poi")
+        provider.receive(sp_request(1))
+        provider.receive(sp_request(2))
+        assert provider.request_count == 2
+
+    def test_pseudonyms_seen(self):
+        provider = ServiceProvider("poi")
+        provider.receive(sp_request(1, "a"))
+        provider.receive(sp_request(2, "a"))
+        provider.receive(sp_request(3, "b"))
+        assert provider.pseudonyms_seen() == {"a", "b"}
+
+    def test_answer_mentions_context(self):
+        provider = ServiceProvider("poi")
+        answer = provider.receive(sp_request())
+        assert "poi" in answer.payload
+        assert "100" in answer.payload

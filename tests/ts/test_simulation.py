@@ -1,0 +1,98 @@
+"""Integration-grade unit tests for the LBS simulation."""
+
+import pytest
+
+from repro.core.anonymizer import Decision
+from repro.core.unlinking import AlwaysUnlink
+from repro.experiments.workloads import (
+    DEFAULT_TOLERANCE,
+    make_policy,
+    small_city,
+)
+from repro.ts.simulation import LBSSimulation, RequestProfile
+
+
+@pytest.fixture(scope="module")
+def report(city):
+    simulation = LBSSimulation(
+        city,
+        policy=make_policy(k=3),
+        unlinker=AlwaysUnlink(),
+        seed=5,
+    )
+    return simulation.run()
+
+
+# Reuse the session city fixture under a module-scoped name.
+@pytest.fixture(scope="module")
+def city():
+    return small_city(seed=11)
+
+
+class TestRun:
+    def test_every_sample_processed(self, city, report):
+        total = report.requests_issued + report.location_updates
+        assert total == city.store.total_points
+
+    def test_store_mirrors_city(self, city, report):
+        assert report.store.total_points == city.store.total_points
+
+    def test_events_match_requests(self, report):
+        assert len(report.events) == report.requests_issued
+
+    def test_provider_got_only_forwarded(self, report):
+        provider = report.providers["poi"]
+        forwarded = sum(1 for e in report.events if e.forwarded)
+        assert provider.request_count == forwarded
+
+    def test_some_generalization_happened(self, report):
+        counts = report.decision_counts()
+        assert counts[Decision.GENERALIZED] > 0
+
+    def test_generalized_events_have_lbqid(self, report):
+        for event in report.generalized_events():
+            assert event.lbqid_name is not None
+
+
+class TestRequestProfile:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RequestProfile(background_probability=2.0)
+
+    def test_zero_probability_produces_no_requests(self, city):
+        simulation = LBSSimulation(
+            city,
+            register_lbqids=False,
+            request_profile=RequestProfile(
+                background_probability=0.0,
+                anchor_request_probability=0.0,
+            ),
+        )
+        report = simulation.run()
+        assert report.requests_issued == 0
+
+    def test_without_lbqids_no_generalization(self, city):
+        simulation = LBSSimulation(
+            city,
+            register_lbqids=False,
+            request_profile=RequestProfile(background_probability=0.05),
+            seed=3,
+        )
+        report = simulation.run()
+        assert report.requests_issued > 0
+        assert not report.generalized_events()
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, city):
+        def run():
+            return LBSSimulation(
+                city,
+                policy=make_policy(k=3, tolerance=DEFAULT_TOLERANCE),
+                unlinker=AlwaysUnlink(),
+                seed=17,
+            ).run()
+
+        a, b = run(), run()
+        assert a.requests_issued == b.requests_issued
+        assert a.decision_counts() == b.decision_counts()
