@@ -13,11 +13,11 @@ folklore:
   The sweep reports generalization failure rate and box shape across
   four orders of magnitude.
 * **grid cell size** — the moving-object index (E9) trades ring-search
-  fan-out against per-cell scan length.  The sweep times Algorithm 1
-  line-5 queries at three cell sizes over the same 100k-point store.
+  fan-out against per-cell scan length.  The sweep runs Algorithm 1
+  line-5 queries at three cell sizes over the same 100k-point store and
+  reads the per-query latency from the obs layer's ``store.query_ms``
+  histogram instead of timing by hand.
 """
-
-import time
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.experiments.workloads import make_policy
 from repro.geometry.point import STPoint
 from repro.metrics.qos import qos_summary
 from repro.mod.store import TrajectoryStore
+from repro.obs import TelemetryConfig
 from repro.ts.simulation import LBSSimulation
 
 TIME_SCALES = (0.015, 0.15, 1.5, 15.0)
@@ -66,7 +67,10 @@ def run_e15a(city):
 
 def _uniform_store(cell_size, n_points=100_000):
     rng = np.random.default_rng(17)
-    store = TrajectoryStore(index_cell_size=cell_size)
+    store = TrajectoryStore(
+        index_cell_size=cell_size,
+        telemetry=TelemetryConfig(enabled=True),
+    )
     n_users = n_points // 500
     for user_id in range(n_users):
         times = np.sort(rng.uniform(0.0, 14 * 86_400.0, size=500))
@@ -95,11 +99,12 @@ def run_e15b():
     rows = []
     for cell_size in CELL_SIZES:
         store = _uniform_store(cell_size)
-        start = time.perf_counter()
         for target in targets:
             store.nearest_users(target, 10)
-        elapsed_ms = (time.perf_counter() - start) * 1000 / len(targets)
-        rows.append((cell_size, elapsed_ms))
+        summary = store.telemetry.snapshot().histogram_summary(
+            "store.query_ms", query="nearest_users", method="grid"
+        )
+        rows.append((cell_size, summary.mean))
     return rows
 
 

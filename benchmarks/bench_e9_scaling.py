@@ -13,16 +13,17 @@ Two measurements:
   roughly flat in n, giving a growing speed-up.
 
 This is the one experiment where the *timing* is the result, so the
-pytest-benchmark fixture times the query batches directly.
+stores run with telemetry enabled and the reported ms/query are the
+means of the ``store.query_ms`` latency histograms the instrumented
+query paths record (see :mod:`repro.obs`).
 """
-
-import time
 
 import numpy as np
 
 from repro.experiments.harness import Table
 from repro.geometry.point import STPoint
 from repro.mod.store import TrajectoryStore
+from repro.obs import TelemetryConfig
 
 STORE_SIZES = (10_000, 30_000, 100_000)
 K = 10
@@ -35,8 +36,10 @@ def _build_stores(n_points):
     """A brute and an indexed store over identical data."""
     rng = np.random.default_rng(n_points)
     n_users = max(20, n_points // 500)
-    brute = TrajectoryStore()
-    indexed = TrajectoryStore(index_cell_size=500.0)
+    brute = TrajectoryStore(telemetry=TelemetryConfig(enabled=True))
+    indexed = TrajectoryStore(
+        index_cell_size=500.0, telemetry=TelemetryConfig(enabled=True)
+    )
     per_user = n_points // n_users
     for user_id in range(n_users):
         times = np.sort(rng.uniform(0.0, SPAN, size=per_user))
@@ -63,10 +66,12 @@ def _query_points(seed):
     ]
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    fn()
-    return (time.perf_counter() - start) * 1000.0
+def _mean_query_ms(store, method):
+    """Mean latency of the store's instrumented line-5 queries."""
+    summary = store.telemetry.snapshot().histogram_summary(
+        "store.query_ms", query="nearest_users", method=method
+    )
+    return summary.mean
 
 
 def run_e9():
@@ -75,16 +80,13 @@ def run_e9():
     for n_points in STORE_SIZES:
         brute, indexed = _build_stores(n_points)
 
-        def run_brute():
-            for target in targets:
-                brute.nearest_users_brute(target, K)
+        for target in targets:
+            brute.nearest_users_brute(target, K)
+        for target in targets:
+            indexed.nearest_users(target, K)
 
-        def run_indexed():
-            for target in targets:
-                indexed.nearest_users(target, K)
-
-        brute_ms = _timed(run_brute) / QUERIES
-        grid_ms = _timed(run_indexed) / QUERIES
+        brute_ms = _mean_query_ms(brute, "brute")
+        grid_ms = _mean_query_ms(indexed, "grid")
         rows.append(
             (
                 n_points,

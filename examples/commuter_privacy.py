@@ -10,14 +10,17 @@ through the Trusted Server, and reports:
 * quality of service (context sizes, disruption);
 * achieved anonymity — both per request and the paper's per-trace
   Historical k-anonymity — against the ground-truth PHL store;
-* the Theorem 1 check over the whole audit trail.
+* the Theorem 1 check over the whole audit trail;
+* the pipeline telemetry (obs layer) recorded during the run.
 
 Run:  python examples/commuter_privacy.py
 """
 
 import statistics
 
+from repro.experiments.harness import telemetry_tables
 from repro.experiments.workloads import run_protected, small_city
+from repro.obs import TelemetryConfig
 from repro.metrics.anonymity import (
     anonymity_summary,
     historical_k_per_user,
@@ -38,7 +41,9 @@ def main() -> None:
         f"{config.days} days, {city.store.total_points} location samples"
     )
 
-    report = run_protected(city, k=K)
+    report = run_protected(
+        city, k=K, telemetry=TelemetryConfig(enabled=True)
+    )
     print(
         f"\nsimulated {report.requests_issued} requests and "
         f"{report.location_updates} bare location updates"
@@ -84,6 +89,9 @@ def main() -> None:
         f"{len(theorem.violations)} violations -> "
         f"{'HOLDS' if theorem.holds else 'VIOLATED'}"
     )
+
+    for table in telemetry_tables(report.metrics_snapshot(), title="obs"):
+        table.print()
 
 
 if __name__ == "__main__":

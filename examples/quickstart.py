@@ -8,7 +8,14 @@ Walks through the whole vocabulary in ~80 lines:
 2. feed the Trusted Server other users' location updates (their PHLs);
 3. issue commute requests for two weeks and watch the TS generalize the
    ones that advance the quasi-identifier;
-4. check Historical k-anonymity of what the service provider saw.
+4. check Historical k-anonymity of what the service provider saw;
+5. print the telemetry the instrumented pipeline recorded (decision
+   counters, anonymity-set and latency histograms).
+
+Telemetry is off by default (`TelemetryConfig(enabled=False)` costs one
+branch per event); this example turns it on.  To also export every span
+and the final metrics snapshot as JSONL, pass a path:
+``TelemetryConfig(enabled=True, jsonl_path="quickstart-telemetry.jsonl")``.
 
 Run:  python examples/quickstart.py
 """
@@ -19,6 +26,7 @@ from repro import (
     PrivacyProfile,
     Rect,
     STPoint,
+    TelemetryConfig,
     ToleranceConstraint,
     TrajectoryStore,
     TrustedAnonymizer,
@@ -43,8 +51,12 @@ def main() -> None:
         default_profile=PrivacyProfile(k=K),
         default_tolerance=ToleranceConstraint.square(5_000.0, 7_200.0),
     )
+    telemetry = TelemetryConfig(enabled=True).build()
     ts = TrustedAnonymizer(
-        TrajectoryStore(), policy=policy, unlinker=AlwaysUnlink()
+        TrajectoryStore(telemetry=telemetry),
+        policy=policy,
+        unlinker=AlwaysUnlink(),
+        telemetry=telemetry,
     )
 
     # Alice's quasi-identifier: the paper's Example 2 commute pattern.
@@ -111,6 +123,11 @@ def main() -> None:
     print(f"historical {K}-anonymity of Alice's trace: {ok}")
     counts = {d.value: c for d, c in ts.decision_counts().items() if c}
     print(f"decisions: {counts}")
+
+    # The same tallies — plus set-size, box-geometry, and latency
+    # histograms — as recorded live by the instrumentation layer.
+    print()
+    print(telemetry.summary())
 
 
 if __name__ == "__main__":

@@ -21,6 +21,14 @@ See ``examples/quickstart.py`` for a complete runnable scenario and
 DESIGN.md for the full system inventory.
 """
 
+import logging as _logging
+
+# Library convention: emit through the "repro" logger tree, never to a
+# handler we install ourselves.  Consumers opt into output with standard
+# logging configuration (e.g. logging.basicConfig); by default the
+# NullHandler keeps the library silent.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.geometry import Interval, Point, Rect, STBox, STPoint
 from repro.granularity import (
     DAY,
@@ -60,6 +68,7 @@ from repro.core.lbqid import commute_lbqid
 from repro.core.randomization import BoxRandomizer
 from repro.mining import mine_commute_lbqid
 from repro.mod import GridIndex, TrajectoryStore
+from repro.obs import Telemetry, TelemetryConfig
 
 __version__ = "1.0.0"
 
@@ -104,5 +113,7 @@ __all__ = [
     "mine_commute_lbqid",
     "TrajectoryStore",
     "GridIndex",
+    "Telemetry",
+    "TelemetryConfig",
     "__version__",
 ]

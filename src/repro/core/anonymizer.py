@@ -52,6 +52,7 @@ from repro.core.requests import Request, SPRequest
 from repro.core.unlinking import NeverUnlink, UnlinkingProvider
 from repro.geometry.point import STPoint
 from repro.mod.store import TrajectoryStore
+from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
 
 
 class Decision(enum.Enum):
@@ -152,6 +153,7 @@ class TrustedAnonymizer:
         default_cloak: ToleranceConstraint | None = None,
         randomizer: "BoxRandomizer | None" = None,
         quiet_period: float = 0.0,
+        telemetry: "Telemetry | TelemetryConfig | None" = None,
     ) -> None:
         if quiet_period < 0:
             raise ValueError(
@@ -172,6 +174,10 @@ class TrustedAnonymizer:
         #: continuous trajectory, across the rotation (bench E16).
         self.quiet_period = quiet_period
         self._quiet_until: dict[int, float] = {}
+        #: Per-request telemetry (spans, decision counters, latency and
+        #: anonymity-set histograms).  Defaults to the disabled no-op
+        #: singleton, whose every call costs a single branch.
+        self.telemetry = resolve_telemetry(telemetry)
         self.generalizer = SpatioTemporalGeneralizer(store)
         self.pseudonyms = PseudonymManager()
         self.events: list[AnonymizerEvent] = []
@@ -185,7 +191,9 @@ class TrustedAnonymizer:
     def register_lbqid(self, user_id: int, lbqid: LBQID) -> None:
         """Attach an LBQID specification for a user (Section 6.1 step 1)."""
         self._states.setdefault(user_id, []).append(
-            _LBQIDState(monitor=LBQIDMonitor(lbqid))
+            _LBQIDState(
+                monitor=LBQIDMonitor(lbqid, telemetry=self.telemetry)
+            )
         )
 
     def register_lbqids(
@@ -203,6 +211,7 @@ class TrustedAnonymizer:
         populate the PHLs that define everyone's anonymity sets.
         """
         self.store.add_point(user_id, location)
+        self.telemetry.count("ts.location_updates")
 
     # ------------------------------------------------------------------
     # request processing
@@ -220,9 +229,46 @@ class TrustedAnonymizer:
         Returns the audit event; the outgoing SP request (if forwarded)
         is appended to the log returned by :meth:`sp_log`.
         """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._process(user_id, location, service, data)
+        with telemetry.span(
+            "ts.request", user_id=user_id, service=service
+        ) as span:
+            with telemetry.timer("ts.request_latency_ms"):
+                event = self._process(user_id, location, service, data)
+            span.annotate(decision=event.decision.value)
+        self._record(event, telemetry)
+        return event
+
+    def _record(self, event: AnonymizerEvent, telemetry: Telemetry) -> None:
+        """Per-request metrics mirroring the audit trail."""
+        telemetry.count("ts.requests")
+        telemetry.count("ts.decisions", decision=event.decision.value)
+        if event.pseudonym_rotated:
+            telemetry.count("ts.pseudonym_rotations")
+        result = event.generalization
+        if result is not None:
+            telemetry.observe(
+                "ts.anonymity_set_size", len(result.anonymity_ids)
+            )
+            telemetry.observe("ts.box_area_m2", result.box.rect.area)
+            telemetry.observe(
+                "ts.box_duration_s", result.box.interval.duration
+            )
+
+    def _process(
+        self,
+        user_id: int,
+        location: STPoint,
+        service: str,
+        data: Mapping[str, object] | None,
+    ) -> AnonymizerEvent:
+        """The Section 6.1 decision pipeline for one request."""
         # Every request is also a location update: "for each request r_i
         # there must be an element in the PHL of User(r_i)".
         self.store.add_point(user_id, location)
+        self.telemetry.count("ts.location_updates")
         self._msgid += 1
         request = Request.issue(
             msgid=self._msgid,

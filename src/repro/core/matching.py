@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from repro.geometry.point import STPoint
 from repro.core.lbqid import LBQID
+from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
 
 #: Upper bound on simultaneously tracked partial matches per monitor.
 #: Partials expire when the time leaves their G1 granule, so this cap is a
@@ -97,11 +98,16 @@ class MatchEvent:
 class LBQIDMonitor:
     """Timed-automaton monitor for one (user, LBQID) pair."""
 
-    def __init__(self, lbqid: LBQID) -> None:
+    def __init__(
+        self,
+        lbqid: LBQID,
+        telemetry: "Telemetry | TelemetryConfig | None" = None,
+    ) -> None:
         self.lbqid = lbqid
         self.partials: list[PartialMatch] = []
         self.observations: list[tuple[float, ...]] = []
         self._matched = False
+        self._telemetry = resolve_telemetry(telemetry)
 
     @property
     def matched(self) -> bool:
@@ -172,16 +178,32 @@ class LBQIDMonitor:
                 if len(self.partials) > MAX_PARTIALS:
                     self.partials.pop(0)
 
+        newly_matched = False
         if completed and not self._matched:
             self._matched = self.lbqid.recurrence.satisfied_by(
                 self.observations
             )
-        return MatchEvent(
+            newly_matched = self._matched
+        event = MatchEvent(
             started=started,
             advanced=tuple(advanced),
             completed=tuple(completed),
             lbqid_matched=self._matched,
         )
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.count("monitor.samples")
+            if event.matched_any_element:
+                telemetry.count("monitor.match_events")
+            if started is not None:
+                telemetry.count("monitor.partials_started")
+            if advanced:
+                telemetry.count("monitor.partials_advanced", len(advanced))
+            if completed:
+                telemetry.count("monitor.observations", len(completed))
+            if newly_matched:
+                telemetry.count("monitor.lbqids_matched")
+        return event
 
     def _start_partial(self, location: STPoint) -> PartialMatch:
         recurrence = self.lbqid.recurrence

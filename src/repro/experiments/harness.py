@@ -2,12 +2,16 @@
 
 Every experiment prints a :class:`Table`; the rendering is deliberately
 plain fixed-width text so the output in ``bench_output.txt`` diffs
-cleanly across runs.
+cleanly across runs.  :func:`telemetry_tables` converts a
+:class:`~repro.obs.metrics.MetricsSnapshot` into the same table style so
+benchmarks can print pipeline telemetry next to their results.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+from repro.obs.metrics import MetricsSnapshot
 
 
 class Table:
@@ -79,3 +83,52 @@ class Table:
         print()
         print(self.render())
         print()
+
+
+def _metric_label(labels: tuple[tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels)
+
+
+def telemetry_tables(
+    snapshot: MetricsSnapshot, title: str = "telemetry"
+) -> list[Table]:
+    """A metrics snapshot as harness tables (counters, histograms).
+
+    Gauges ride along in the counter table; histogram rows carry the
+    p50/p95/p99 summaries the registry computed.
+    """
+    tables: list[Table] = []
+    scalars = [
+        (name, labels, value, kind)
+        for kind, entries in (
+            ("counter", snapshot.counters),
+            ("gauge", snapshot.gauges),
+        )
+        for (name, labels), value in sorted(entries.items())
+    ]
+    if scalars:
+        table = Table(f"{title}: counters", ["metric", "labels", "value"])
+        for name, labels, value, _kind in scalars:
+            table.add_row([name, _metric_label(labels), value])
+        tables.append(table)
+    if snapshot.histograms:
+        table = Table(
+            f"{title}: histograms",
+            ["metric", "labels", "count", "mean", "p50", "p95", "p99"],
+        )
+        for (name, labels), summary in sorted(
+            snapshot.histograms.items()
+        ):
+            table.add_row(
+                [
+                    name,
+                    _metric_label(labels),
+                    summary.count,
+                    summary.mean,
+                    summary.p50,
+                    summary.p95,
+                    summary.p99,
+                ]
+            )
+        tables.append(table)
+    return tables

@@ -16,6 +16,7 @@ from repro.core.policy import PolicyTable, PrivacyProfile
 from repro.core.unlinking import AlwaysUnlink, UnlinkingProvider
 from repro.granularity.timeline import MINUTE
 from repro.mobility.population import CityConfig, SyntheticCity
+from repro.obs.config import Telemetry, TelemetryConfig
 from repro.ts.simulation import LBSSimulation, RequestProfile, SimulationReport
 
 #: The default per-service tolerance: a 1.5 km square and a 30-minute
@@ -80,9 +81,15 @@ def run_protected(
     k_prime_decrement: int = 1,
     request_profile: RequestProfile | None = None,
     register_home_lbqids: bool = False,
+    telemetry: "Telemetry | TelemetryConfig | None" = None,
     seed: int = 97,
 ) -> SimulationReport:
-    """Run the paper's full pipeline over a city and return the report."""
+    """Run the paper's full pipeline over a city and return the report.
+
+    Pass ``telemetry`` (a :class:`TelemetryConfig` or a prebuilt
+    :class:`Telemetry`) to record per-request spans and metrics; the
+    snapshot is reachable via ``report.metrics_snapshot()``.
+    """
     simulation = LBSSimulation(
         city,
         policy=make_policy(
@@ -95,6 +102,7 @@ def run_protected(
         scope=scope,
         request_profile=request_profile,
         register_home_lbqids=register_home_lbqids,
+        telemetry=telemetry,
         seed=seed,
     )
     return simulation.run()

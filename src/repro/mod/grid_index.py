@@ -11,11 +11,13 @@ any point in the center cell's neighbourhood.
 from __future__ import annotations
 
 import math
+import time
 from collections import defaultdict
 
 from repro.geometry.distance import DEFAULT_TIME_SCALE, st_distance
 from repro.geometry.point import STPoint
 from repro.geometry.region import STBox
+from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
 
 Cell = tuple[int, int, int]
 
@@ -25,13 +27,15 @@ class GridIndex:
 
     ``cell_size`` is in meters (and applies to the scaled temporal axis).
     The index is append-only, matching how a location server ingests
-    updates.
+    updates.  ``telemetry`` records insert/query counts and ring-search
+    latencies under ``grid.*``.
     """
 
     def __init__(
         self,
         cell_size: float = 500.0,
         time_scale: float = DEFAULT_TIME_SCALE,
+        telemetry: "Telemetry | TelemetryConfig | None" = None,
     ) -> None:
         if cell_size <= 0:
             raise ValueError(f"cell_size must be positive, got {cell_size}")
@@ -39,6 +43,7 @@ class GridIndex:
             raise ValueError(f"time_scale must be positive, got {time_scale}")
         self.cell_size = cell_size
         self.time_scale = time_scale
+        self.telemetry = resolve_telemetry(telemetry)
         self._cells: dict[Cell, list[tuple[int, STPoint]]] = defaultdict(list)
         self._count = 0
 
@@ -57,6 +62,7 @@ class GridIndex:
         """Index one PHL sample."""
         self._cells[self._cell_of(point)].append((user_id, point))
         self._count += 1
+        self.telemetry.count("grid.inserts")
 
     def _ring_cells(self, center: Cell, radius: int) -> list[Cell]:
         """Cells at exactly Chebyshev distance ``radius`` from ``center``."""
@@ -89,6 +95,29 @@ class GridIndex:
         when the store does not contain enough distinct users within
         ``max_radius_cells`` rings.
         """
+        if not self.telemetry.enabled:
+            return self._nearest_users_impl(
+                target, count, exclude, max_radius_cells
+            )
+        start = time.perf_counter()
+        result = self._nearest_users_impl(
+            target, count, exclude, max_radius_cells
+        )
+        self._record_query("nearest_users", start)
+        return result
+
+    def _record_query(self, query: str, start: float) -> None:
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.telemetry.count("grid.queries", query=query)
+        self.telemetry.observe("grid.query_ms", elapsed_ms, query=query)
+
+    def _nearest_users_impl(
+        self,
+        target: STPoint,
+        count: int,
+        exclude: frozenset[int] | set[int] = frozenset(),
+        max_radius_cells: int = 64,
+    ) -> list[tuple[int, STPoint, float]]:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         if count == 0:
@@ -169,6 +198,14 @@ class GridIndex:
 
     def users_in_box(self, box: STBox) -> set[int]:
         """Distinct users with at least one indexed sample inside ``box``."""
+        if not self.telemetry.enabled:
+            return self._users_in_box_impl(box)
+        start = time.perf_counter()
+        result = self._users_in_box_impl(box)
+        self._record_query("users_in_box", start)
+        return result
+
+    def _users_in_box_impl(self, box: STBox) -> set[int]:
         users: set[int] = set()
         for cell in self._cells_covering(box):
             for user_id, point in self._cells.get(cell, ()):

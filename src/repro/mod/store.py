@@ -16,6 +16,7 @@ Provides exactly the queries Algorithm 1 needs:
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Iterable, Iterator, Mapping
 
 from repro.core.phl import PersonalHistory
@@ -23,6 +24,7 @@ from repro.geometry.distance import DEFAULT_TIME_SCALE, st_distance
 from repro.geometry.point import STPoint
 from repro.geometry.region import STBox
 from repro.mod.grid_index import GridIndex
+from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
 
 
 class TrajectoryStore:
@@ -31,18 +33,24 @@ class TrajectoryStore:
     Pass ``index_cell_size`` to attach a :class:`GridIndex`; every
     location update is then indexed on ingest.  ``time_scale`` is the
     meters-per-second conversion used in all spatio-temporal distances.
+    ``telemetry`` (shared with the :class:`GridIndex`, when attached)
+    records query counts and latencies under ``store.*``.
     """
 
     def __init__(
         self,
         time_scale: float = DEFAULT_TIME_SCALE,
         index_cell_size: float | None = None,
+        telemetry: "Telemetry | TelemetryConfig | None" = None,
     ) -> None:
         self.time_scale = time_scale
+        self.telemetry = resolve_telemetry(telemetry)
         self._histories: dict[int, PersonalHistory] = {}
         self.index: GridIndex | None = None
         if index_cell_size is not None:
-            self.index = GridIndex(index_cell_size, time_scale)
+            self.index = GridIndex(
+                index_cell_size, time_scale, telemetry=self.telemetry
+            )
 
     def __len__(self) -> int:
         return len(self._histories)
@@ -91,6 +99,7 @@ class TrajectoryStore:
         history = self._histories.get(user_id)
         if history is None:
             return None
+        self.telemetry.count("store.queries", query="closest_point")
         return history.closest_point_to(target, self.time_scale)
 
     def nearest_users(
@@ -106,9 +115,30 @@ class TrajectoryStore:
         Dispatches to the grid index when attached, otherwise to the
         paper's brute-force scan.
         """
+        method = "grid" if self.index is not None else "brute"
+        if not self.telemetry.enabled:
+            return self._nearest_users_impl(target, count, exclude)
+        start = time.perf_counter()
+        result = self._nearest_users_impl(target, count, exclude)
+        self._record_query("nearest_users", method, start)
+        return result
+
+    def _nearest_users_impl(
+        self,
+        target: STPoint,
+        count: int,
+        exclude: frozenset[int] | set[int],
+    ) -> list[tuple[int, STPoint, float]]:
         if self.index is not None:
             return self.index.nearest_users(target, count, exclude=exclude)
-        return self.nearest_users_brute(target, count, exclude=exclude)
+        return self._nearest_users_brute_impl(target, count, exclude)
+
+    def _record_query(self, query: str, method: str, start: float) -> None:
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.telemetry.count("store.queries", query=query, method=method)
+        self.telemetry.observe(
+            "store.query_ms", elapsed_ms, query=query, method=method
+        )
 
     def nearest_users_brute(
         self,
@@ -121,6 +151,19 @@ class TrajectoryStore:
         "Simply considering the nearest neighbor in the PHL of each user
         and then taking the closest k points", worst case O(k·n).
         """
+        if not self.telemetry.enabled:
+            return self._nearest_users_brute_impl(target, count, exclude)
+        start = time.perf_counter()
+        result = self._nearest_users_brute_impl(target, count, exclude)
+        self._record_query("nearest_users", "brute", start)
+        return result
+
+    def _nearest_users_brute_impl(
+        self,
+        target: STPoint,
+        count: int,
+        exclude: frozenset[int] | set[int] = frozenset(),
+    ) -> list[tuple[int, STPoint, float]]:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         candidates: list[tuple[float, int, STPoint]] = []
@@ -140,6 +183,15 @@ class TrajectoryStore:
 
     def users_in_box(self, box: STBox) -> set[int]:
         """Distinct users with at least one sample inside ``box``."""
+        method = "grid" if self.index is not None else "brute"
+        if not self.telemetry.enabled:
+            return self._users_in_box_impl(box)
+        start = time.perf_counter()
+        result = self._users_in_box_impl(box)
+        self._record_query("users_in_box", method, start)
+        return result
+
+    def _users_in_box_impl(self, box: STBox) -> set[int]:
         if self.index is not None:
             return self.index.users_in_box(box)
         return {

@@ -1,0 +1,72 @@
+"""Observability: tracing, metrics, and audit telemetry for the TS.
+
+The paper's Trusted Server is an online decision pipeline — monitor →
+generalize (Algorithm 1) → unlink — whose behaviour the experiments can
+only inspect post-hoc through the audit trail.  This subpackage adds the
+per-request telemetry a production anonymizer needs:
+
+* :mod:`repro.obs.tracing` — nestable wall-clock spans (`Span`,
+  `Tracer`) with context-manager and decorator APIs;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms (p50/p95/p99 summaries) keyed by name+labels;
+* :mod:`repro.obs.sinks` — pluggable event sinks: in-memory ring
+  buffer, JSONL file writer, and a console reporter routed through the
+  stdlib ``logging`` tree under ``repro.obs``;
+* :mod:`repro.obs.config` — :class:`TelemetryConfig` and the
+  :class:`Telemetry` facade the instrumented components receive.
+  Disabled telemetry (the default) is a shared no-op singleton whose
+  every operation costs a single ``enabled`` branch;
+* :mod:`repro.obs.render` — fixed-width text rendering of metric
+  snapshots for examples and benchmark output.
+
+Everything is zero-dependency stdlib Python; nothing here imports the
+rest of ``repro``, so any layer can be instrumented without cycles.
+"""
+
+from repro.obs.config import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryConfig,
+    resolve_telemetry,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.render import render_summary
+from repro.obs.sinks import (
+    ConsoleSink,
+    JsonlSink,
+    RingBufferSink,
+    TelemetrySink,
+    read_jsonl,
+)
+from repro.obs.tracing import Span, SpanRecord, Tracer
+
+__all__ = [
+    "TelemetryConfig",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "resolve_telemetry",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "TelemetrySink",
+    "RingBufferSink",
+    "JsonlSink",
+    "ConsoleSink",
+    "read_jsonl",
+    "render_summary",
+]

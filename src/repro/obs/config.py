@@ -1,0 +1,213 @@
+"""The telemetry facade the instrumented components receive.
+
+Components (:class:`~repro.core.anonymizer.TrustedAnonymizer`,
+:class:`~repro.mod.store.TrajectoryStore`, …) take a single
+``telemetry`` argument and call :class:`Telemetry` methods on the hot
+path.  The contract that keeps disabled telemetry free:
+
+* ``telemetry.enabled`` is a plain attribute — instrumented code may
+  guard larger blocks with one ``if telemetry.enabled:`` branch;
+* every :class:`Telemetry` method itself begins with that same branch
+  and returns a shared no-op, so un-guarded calls still cost one branch
+  plus one call, never an allocation.
+
+:data:`NULL_TELEMETRY` is the process-wide disabled singleton every
+component defaults to; it is stateless, so sharing it is safe.
+
+:class:`TelemetryConfig` is the user-facing switchboard: declare what
+you want (ring buffer, JSONL path, console echo) and :meth:`build` wires
+the sinks, registry, and tracer together.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.sinks import (
+    ConsoleSink,
+    JsonlSink,
+    RingBufferSink,
+    TelemetrySink,
+)
+from repro.obs.tracing import Span, Tracer
+
+
+class _NullSpan:
+    """Shared do-nothing span/timer for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def annotate(self, **attributes: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _TimerSpan:
+    """Context manager recording its wall time into a histogram (ms)."""
+
+    __slots__ = ("telemetry", "name", "labels", "start")
+
+    def __init__(self, telemetry: "Telemetry", name: str, labels: dict):
+        self.telemetry = telemetry
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self) -> "_TimerSpan":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed_ms = (time.perf_counter() - self.start) * 1000.0
+        self.telemetry.metrics.histogram(
+            self.name, **self.labels
+        ).record(elapsed_ms)
+
+
+class Telemetry:
+    """Tracer + metrics registry + sinks behind one object.
+
+    Build through :meth:`TelemetryConfig.build` (or construct directly
+    in tests with explicit sinks).  All recording methods are no-ops
+    when ``enabled`` is False.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sinks: Iterable[TelemetrySink] = (),
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.sinks: tuple[TelemetrySink, ...] = tuple(sinks)
+        self.metrics = MetricsRegistry(default_buckets=buckets)
+        self.tracer = Tracer(sinks=self.sinks)
+
+    # -- recording (hot path) ------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> Span | _NullSpan:
+        """Open a tracing span (context manager)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, **attributes)
+
+    def timer(self, name: str, **labels: object) -> _TimerSpan | _NullSpan:
+        """Context manager recording elapsed ms into histogram ``name``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _TimerSpan(self, name, labels)
+
+    def count(
+        self, name: str, amount: float = 1.0, **labels: object
+    ) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        if not self.enabled:
+            return
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set gauge ``name`` to ``value``."""
+        if not self.enabled:
+            return
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record ``value`` into histogram ``name``."""
+        if not self.enabled:
+            return
+        self.metrics.histogram(name, **labels).record(value)
+
+    # -- inspection and lifecycle --------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the current metric state."""
+        return self.metrics.snapshot()
+
+    def summary(self, title: str = "telemetry") -> str:
+        """Fixed-width text rendering of the current snapshot."""
+        from repro.obs.render import render_summary
+
+        return render_summary(self.snapshot(), title=title)
+
+    def ring(self) -> RingBufferSink | None:
+        """The first attached ring-buffer sink, if any."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        return None
+
+    def flush(self) -> None:
+        """Emit a metrics snapshot event to every sink, then flush them."""
+        if not self.enabled:
+            return
+        event = {"type": "metrics_snapshot", **self.snapshot().to_dict()}
+        for sink in self.sinks:
+            sink.emit(event)
+            sink.flush()
+
+    def close(self) -> None:
+        """Flush, then close every sink."""
+        self.flush()
+        for sink in self.sinks:
+            sink.close()
+
+
+#: The process-wide disabled telemetry every component defaults to.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Declarative telemetry switchboard (disabled by default).
+
+    ``ring_buffer`` keeps the last N span events in memory;
+    ``jsonl_path`` appends every event to a JSONL file; ``console``
+    echoes events through ``logging.getLogger("repro.obs")``.  With
+    ``enabled=False`` (the default) :meth:`build` returns the shared
+    :data:`NULL_TELEMETRY` no-op.
+    """
+
+    enabled: bool = False
+    ring_buffer: int = 0
+    jsonl_path: str | None = None
+    console: bool = False
+    buckets: tuple[float, ...] | None = None
+
+    def build(self) -> Telemetry:
+        """Wire sinks, registry, and tracer per this configuration."""
+        if not self.enabled:
+            return NULL_TELEMETRY
+        sinks: list[TelemetrySink] = []
+        if self.ring_buffer > 0:
+            sinks.append(RingBufferSink(self.ring_buffer))
+        if self.jsonl_path is not None:
+            sinks.append(JsonlSink(self.jsonl_path))
+        if self.console:
+            sinks.append(ConsoleSink())
+        return Telemetry(enabled=True, sinks=sinks, buckets=self.buckets)
+
+
+def resolve_telemetry(
+    telemetry: "Telemetry | TelemetryConfig | None",
+) -> Telemetry:
+    """Normalize a constructor argument to a :class:`Telemetry`.
+
+    Components accept ``Telemetry`` (to share one pipeline-wide
+    instance), a ``TelemetryConfig`` (built on the spot), or ``None``
+    (the disabled singleton).
+    """
+    if telemetry is None:
+        return NULL_TELEMETRY
+    if isinstance(telemetry, TelemetryConfig):
+        return telemetry.build()
+    return telemetry

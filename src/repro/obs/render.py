@@ -1,0 +1,96 @@
+"""Fixed-width text rendering of metric snapshots.
+
+Deliberately mirrors the plain style of
+:class:`repro.experiments.harness.Table` (this module cannot import it —
+``repro.obs`` sits below every other subpackage) so telemetry summaries
+diff cleanly next to benchmark tables in captured output.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsSnapshot
+
+
+def _label_text(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f"{key}={value}" for key, value in labels)
+    return "{" + body + "}"
+
+
+def _number(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _section(
+    title: str, header: list[str], rows: list[list[str]]
+) -> list[str]:
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append(
+        "  ".join(
+            cell.ljust(width) if i == 0 else cell.rjust(width)
+            for i, (cell, width) in enumerate(zip(header, widths))
+        )
+    )
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(width) if i == 0 else cell.rjust(width)
+                for i, (cell, width) in enumerate(zip(row, widths))
+            )
+        )
+    return lines
+
+
+def render_summary(
+    snapshot: MetricsSnapshot, title: str = "telemetry"
+) -> str:
+    """The snapshot as a fixed-width telemetry table."""
+    lines = [f"== {title} =="]
+
+    if snapshot.counters:
+        rows = [
+            [f"{name}{_label_text(labels)}", _number(value)]
+            for (name, labels), value in sorted(snapshot.counters.items())
+        ]
+        lines += _section("counters", ["name", "value"], rows)
+
+    if snapshot.gauges:
+        rows = [
+            [f"{name}{_label_text(labels)}", _number(value)]
+            for (name, labels), value in sorted(snapshot.gauges.items())
+        ]
+        lines += _section("gauges", ["name", "value"], rows)
+
+    if snapshot.histograms:
+        rows = [
+            [
+                f"{name}{_label_text(labels)}",
+                _number(summary.count),
+                _number(summary.mean),
+                _number(summary.p50),
+                _number(summary.p95),
+                _number(summary.p99),
+                _number(summary.maximum),
+            ]
+            for (name, labels), summary in sorted(
+                snapshot.histograms.items()
+            )
+        ]
+        lines += _section(
+            "histograms",
+            ["name", "count", "mean", "p50", "p95", "p99", "max"],
+            rows,
+        )
+
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Pluggable destinations for telemetry events.
+
+Every event is a plain JSON-serializable dict with a ``"type"`` key —
+``"span"`` records from the tracer and ``"metrics_snapshot"`` dumps from
+:meth:`Telemetry.flush`.  Sinks are deliberately dumb pipes: routing,
+sampling, or aggregation belongs in whatever consumes them.
+
+* :class:`RingBufferSink` — keeps the last N events in memory; the
+  default sink for tests and examples.
+* :class:`JsonlSink` — appends one JSON object per line to a file;
+  :func:`read_jsonl` reads it back.
+* :class:`ConsoleSink` — human-readable one-liners routed through
+  ``logging.getLogger("repro.obs")`` at INFO, so library consumers
+  control verbosity with standard logging configuration (the package
+  installs a ``NullHandler`` — silence by default).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterator, Mapping
+
+logger = logging.getLogger("repro.obs")
+
+
+class TelemetrySink:
+    """Interface: receive events, flush, close.  Base is a null sink."""
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        """Receive one telemetry event."""
+
+    def flush(self) -> None:
+        """Force any buffered output out."""
+
+    def close(self) -> None:
+        """Release resources; the sink must not be emitted to after."""
+
+
+class RingBufferSink(TelemetrySink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        self.events.append(dict(event))
+
+    def spans(self) -> list[dict]:
+        """The buffered span events, oldest first."""
+        return [e for e in self.events if e.get("type") == "span"]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(TelemetrySink):
+    """Append one compact JSON object per event to ``path``."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self.written = 0
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        if self._file is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        json.dump(event, self._file, separators=(",", ":"))
+        self._file.write("\n")
+        self.written += 1
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield the events a :class:`JsonlSink` wrote, in order."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+class ConsoleSink(TelemetrySink):
+    """One INFO log line per event via the ``repro.obs`` logger."""
+
+    def __init__(self, log: logging.Logger | None = None) -> None:
+        self.logger = log or logger
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        kind = event.get("type", "event")
+        if kind == "span":
+            self.logger.info(
+                "span %s depth=%s %.3fms %s",
+                event.get("name"),
+                event.get("depth"),
+                event.get("duration_ms", 0.0),
+                event.get("attributes") or "",
+            )
+        elif kind == "metrics_snapshot":
+            counters = event.get("counters", [])
+            histograms = event.get("histograms", [])
+            self.logger.info(
+                "metrics snapshot: %d counters, %d histograms",
+                len(counters),
+                len(histograms),
+            )
+        else:
+            self.logger.info("telemetry %s: %s", kind, dict(event))

@@ -1,0 +1,176 @@
+"""Nestable wall-clock spans over the TS pipeline.
+
+A :class:`Tracer` maintains a stack of open :class:`Span`\\ s; entering a
+span while another is open records the parent/child relation and depth,
+so a ``ts.request`` span can contain ``store.nearest_users`` child spans
+and the sinks see the whole tree.  Spans are timed with
+:func:`time.perf_counter` (monotonic, sub-microsecond), never the wall
+clock, so durations are immune to clock adjustments.
+
+Finished spans are emitted to the tracer's sinks as plain dicts (the
+JSONL sink writes them verbatim); nothing is retained on the tracer
+itself, keeping long simulations O(1) in memory unless a ring buffer
+sink is attached.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as handed to the sinks."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    parent: str | None
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit."""
+        return self.end - self.start
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end - self.start) * 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration_ms": self.duration_ms,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SpanRecord":
+        return cls(
+            name=str(data["name"]),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            depth=int(data["depth"]),
+            parent=data.get("parent"),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class Span:
+    """An open span; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "tracer", "name", "attributes", "depth", "parent", "start",
+        "record",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attributes: dict,
+        depth: int,
+        parent: str | None,
+        start: float,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.depth = depth
+        self.parent = parent
+        self.start = start
+        #: The finished :class:`SpanRecord`, set on exit.
+        self.record: SpanRecord | None = None
+
+    def annotate(self, **attributes: object) -> "Span":
+        """Attach attributes to the span (e.g. the decision taken)."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.tracer._end(self)
+
+
+class Tracer:
+    """Factory and stack of spans; finished spans flow to the sinks."""
+
+    def __init__(
+        self,
+        sinks: Iterable = (),
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.sinks = tuple(sinks)
+        self.clock = clock
+        self._stack: list[Span] = []
+        #: Total spans finished over the tracer's lifetime.
+        self.finished = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def span(self, name: str, **attributes: object) -> Span:
+        """Open a span; close it by exiting the ``with`` block."""
+        parent = self._stack[-1].name if self._stack else None
+        span = Span(
+            tracer=self,
+            name=name,
+            attributes=dict(attributes),
+            depth=len(self._stack),
+            parent=parent,
+            start=self.clock(),
+        )
+        self._stack.append(span)
+        return span
+
+    def _end(self, span: Span) -> None:
+        end = self.clock()
+        # Close any children left open (e.g. by an exception skipping
+        # their __exit__) so the stack cannot wedge.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        span.record = SpanRecord(
+            name=span.name,
+            start=span.start,
+            end=end,
+            depth=span.depth,
+            parent=span.parent,
+            attributes=span.attributes,
+        )
+        self.finished += 1
+        if self.sinks:
+            event = span.record.to_dict()
+            for sink in self.sinks:
+                sink.emit(event)
+
+    def wrap(self, name: str | None = None, **attributes: object):
+        """Decorator form: trace every call of the wrapped function."""
+
+        def decorator(fn):
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorator

@@ -33,6 +33,9 @@ from repro.core.unlinking import UnlinkingProvider
 from repro.geometry.point import STPoint
 from repro.mobility.population import SyntheticCity
 from repro.mod.store import TrajectoryStore
+from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.render import render_summary
 from repro.ts.providers import ServiceProvider
 
 
@@ -67,6 +70,9 @@ class SimulationReport:
     requests_issued: int = 0
     location_updates: int = 0
     events: list[AnonymizerEvent] = field(default_factory=list)
+    #: The telemetry pipeline the run recorded into (the disabled
+    #: singleton when the simulation ran without telemetry).
+    telemetry: Telemetry | None = None
 
     @property
     def store(self) -> TrajectoryStore:
@@ -79,6 +85,31 @@ class SimulationReport:
     def generalized_events(self) -> list[AnonymizerEvent]:
         """Events where Algorithm 1 ran (an LBQID element matched)."""
         return [e for e in self.events if e.lbqid_name is not None]
+
+    def metrics_snapshot(self) -> MetricsSnapshot | None:
+        """Frozen metrics of the run; ``None`` without telemetry."""
+        if self.telemetry is None or not self.telemetry.enabled:
+            return None
+        return self.telemetry.snapshot()
+
+    def summary(self) -> str:
+        """Decision tallies plus (when enabled) the telemetry table."""
+        counts = self.decision_counts()
+        lines = ["== simulation =="]
+        lines.append(
+            f"requests={self.requests_issued}  "
+            f"location_updates={self.location_updates}"
+        )
+        for decision in Decision:
+            if counts[decision]:
+                lines.append(
+                    f"  {decision.value:18s} {counts[decision]}"
+                )
+        snapshot = self.metrics_snapshot()
+        if snapshot is not None:
+            lines.append("")
+            lines.append(render_summary(snapshot))
+        return "\n".join(lines)
 
 
 class LBSSimulation:
@@ -96,19 +127,24 @@ class LBSSimulation:
         register_home_lbqids: bool = False,
         randomizer: "BoxRandomizer | None" = None,
         quiet_period: float = 0.0,
+        telemetry: "Telemetry | TelemetryConfig | None" = None,
         seed: int = 97,
     ) -> None:
         self.city = city
         self.request_profile = request_profile or RequestProfile()
         self._rng = np.random.default_rng(seed)
+        #: One telemetry pipeline shared by the store, the grid index,
+        #: the anonymizer, and every LBQID monitor.
+        self.telemetry = resolve_telemetry(telemetry)
         self.anonymizer = TrustedAnonymizer(
-            store=TrajectoryStore(),
+            store=TrajectoryStore(telemetry=self.telemetry),
             policy=policy,
             unlinker=unlinker,
             scope=scope,
             default_cloak=default_cloak,
             randomizer=randomizer,
             quiet_period=quiet_period,
+            telemetry=self.telemetry,
         )
         self._own_lbqids = {}
         if register_lbqids:
@@ -132,19 +168,28 @@ class LBSSimulation:
         report = SimulationReport(
             anonymizer=self.anonymizer,
             providers={profile.service: provider},
+            telemetry=self.telemetry,
         )
-        for user_id, sample in self._timeline():
-            if self._is_request(user_id, sample):
-                event = self.anonymizer.request(
-                    user_id, sample, service=profile.service
-                )
-                report.requests_issued += 1
-                if event.forwarded:
-                    provider.receive(event.request.sp_view())
-            else:
-                self.anonymizer.report_location(user_id, sample)
-                report.location_updates += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.gauge(
+                "sim.users", len(list(self.city.store.user_ids()))
+            )
+        with telemetry.span("sim.run", service=profile.service):
+            for user_id, sample in self._timeline():
+                if self._is_request(user_id, sample):
+                    event = self.anonymizer.request(
+                        user_id, sample, service=profile.service
+                    )
+                    report.requests_issued += 1
+                    if event.forwarded:
+                        provider.receive(event.request.sp_view())
+                else:
+                    self.anonymizer.report_location(user_id, sample)
+                    report.location_updates += 1
         report.events = list(self.anonymizer.events)
+        telemetry.gauge("sim.requests_issued", report.requests_issued)
+        telemetry.flush()
         return report
 
     def _timeline(self) -> list[tuple[int, STPoint]]:

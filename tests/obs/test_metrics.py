@@ -1,0 +1,143 @@
+"""Counters, gauges, histograms, and snapshot round-trips."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounters:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        assert registry.snapshot().counter_value("hits") == 3
+
+    def test_label_keying_separates_series(self):
+        registry = MetricsRegistry()
+        registry.counter("decisions", decision="forwarded").inc(5)
+        registry.counter("decisions", decision="generalized").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot.counter_value("decisions", decision="forwarded") == 5
+        assert (
+            snapshot.counter_value("decisions", decision="generalized") == 2
+        )
+        assert snapshot.counter_value("decisions", decision="quiet") == 0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("q", a="1", b="2").inc()
+        registry.counter("q", b="2", a="1").inc()
+        assert registry.snapshot().counter_value("q", a="1", b="2") == 2
+
+    def test_label_values_stringified(self):
+        registry = MetricsRegistry()
+        registry.counter("q", user=7).inc()
+        assert registry.snapshot().counter_value("q", user="7") == 1
+
+    def test_counters_named_groups_by_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("d", decision="a").inc(1)
+        registry.counter("d", decision="b").inc(2)
+        registry.counter("other").inc(9)
+        named = registry.snapshot().counters_named("d")
+        assert named == {
+            (("decision", "a"),): 1,
+            (("decision", "b"),): 2,
+        }
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("users").set(10)
+        registry.gauge("users").set(4)
+        assert registry.snapshot().gauge_value("users") == 4
+
+
+class TestHistogramPercentiles:
+    def test_empty_is_nan(self):
+        h = Histogram("h")
+        assert math.isnan(h.percentile(0.5))
+        summary = h.summary()
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_uniform_distribution(self):
+        """Interpolated percentiles track a uniform 1..1000 closely."""
+        h = Histogram("h")
+        for value in range(1, 1001):
+            h.record(float(value))
+        assert h.count == 1000
+        assert h.summary().total == pytest.approx(500500.0)
+        for q in (0.50, 0.95, 0.99):
+            expected = q * 1000
+            assert h.percentile(q) == pytest.approx(expected, rel=0.05)
+
+    def test_constant_distribution(self):
+        h = Histogram("h")
+        for _ in range(100):
+            h.record(42.0)
+        # All mass in one bucket; clamping to min/max pins the result.
+        assert h.percentile(0.5) == 42.0
+        assert h.percentile(0.99) == 42.0
+        assert h.summary().minimum == 42.0
+        assert h.summary().maximum == 42.0
+
+    def test_two_point_distribution(self):
+        h = Histogram("h")
+        for _ in range(90):
+            h.record(1.0)
+        for _ in range(10):
+            h.record(1000.0)
+        assert h.percentile(0.5) == 1.0
+        assert h.percentile(0.99) == pytest.approx(1000.0, rel=0.5)
+        assert h.summary().maximum == 1000.0
+
+    def test_custom_buckets(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5, 10.0):
+            h.record(value)
+        assert h.count == 4
+        assert h.counts == [1, 1, 1, 1]  # incl. overflow
+        assert h.summary().maximum == 10.0
+
+    def test_percentile_bounds_validated(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSnapshotSerialization:
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="x").inc(3)
+        registry.gauge("g").set(1.5)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.histogram("h", unit="ms").record(value)
+        snapshot = registry.snapshot()
+        restored = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert restored.counters == snapshot.counters
+        assert restored.gauges == snapshot.gauges
+        assert restored.histograms == snapshot.histograms
+
+    def test_snapshot_is_frozen_in_time(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        registry.counter("c").inc(10)
+        assert snapshot.counter_value("c") == 1

@@ -1,0 +1,94 @@
+"""Ring buffer, JSONL round-trip, console logging routing."""
+
+import logging
+
+from repro.obs.config import TelemetryConfig
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.sinks import (
+    ConsoleSink,
+    JsonlSink,
+    RingBufferSink,
+    read_jsonl,
+)
+
+
+class TestRingBuffer:
+    def test_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.emit({"type": "span", "name": f"s{i}"})
+        assert len(sink) == 3
+        assert [e["name"] for e in sink.spans()] == ["s7", "s8", "s9"]
+
+    def test_copies_events(self):
+        sink = RingBufferSink()
+        event = {"type": "span", "name": "a"}
+        sink.emit(event)
+        event["name"] = "mutated"
+        assert sink.spans()[0]["name"] == "a"
+
+
+class TestJsonl:
+    def test_round_trip_spans_and_snapshot(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        telemetry = TelemetryConfig(
+            enabled=True, jsonl_path=str(path)
+        ).build()
+        with telemetry.span("outer", user=1):
+            with telemetry.span("inner"):
+                pass
+        telemetry.count("ts.decisions", decision="forwarded")
+        telemetry.observe("latency_ms", 1.25)
+        telemetry.close()
+
+        events = list(read_jsonl(path))
+        spans = [e for e in events if e["type"] == "span"]
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert spans[0]["parent"] == "outer"
+        assert spans[1]["attributes"] == {"user": 1}
+
+        snapshots = [e for e in events if e["type"] == "metrics_snapshot"]
+        assert len(snapshots) == 1
+        restored = MetricsSnapshot.from_dict(snapshots[0])
+        assert (
+            restored.counter_value("ts.decisions", decision="forwarded")
+            == 1
+        )
+        summary = restored.histogram_summary("latency_ms")
+        assert summary.count == 1
+        assert summary.maximum == 1.25
+
+    def test_append_only(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _round in range(2):
+            sink = JsonlSink(path)
+            sink.emit({"type": "span", "name": "x"})
+            sink.close()
+        assert len(list(read_jsonl(path))) == 2
+
+
+class TestConsole:
+    def test_routes_through_repro_logger(self, caplog):
+        sink = ConsoleSink()
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            sink.emit(
+                {
+                    "type": "span",
+                    "name": "ts.request",
+                    "depth": 0,
+                    "duration_ms": 1.5,
+                    "attributes": {"decision": "forwarded"},
+                }
+            )
+            sink.emit({"type": "metrics_snapshot", "counters": []})
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("ts.request" in m for m in messages)
+        assert any("metrics snapshot" in m for m in messages)
+        assert all(r.name == "repro.obs" for r in caplog.records)
+
+    def test_library_is_silent_by_default(self):
+        """The package installs a NullHandler on the "repro" root."""
+        logger = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in logger.handlers
+        )

@@ -1,0 +1,90 @@
+"""Span nesting, timing monotonicity, and the decorator API."""
+
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracing import SpanRecord, Tracer
+
+
+def test_span_records_duration_and_attributes():
+    sink = RingBufferSink()
+    tracer = Tracer(sinks=[sink])
+    with tracer.span("work", user=1) as span:
+        span.annotate(decision="forwarded")
+    assert tracer.finished == 1
+    assert tracer.depth == 0
+    record = span.record
+    assert record.name == "work"
+    assert record.duration >= 0
+    assert record.attributes == {"user": 1, "decision": "forwarded"}
+    assert sink.spans()[0]["name"] == "work"
+
+
+def test_nesting_tracks_parent_and_depth():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        assert tracer.depth == 1
+        with tracer.span("inner") as inner:
+            assert tracer.depth == 2
+    assert outer.record.depth == 0
+    assert outer.record.parent is None
+    assert inner.record.depth == 1
+    assert inner.record.parent == "outer"
+
+
+def test_timing_monotonicity_of_nested_spans():
+    """A child span lies within its parent's window, on one clock."""
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            total = sum(range(1000))
+            assert total == 499500
+    o, i = outer.record, inner.record
+    assert o.start <= i.start <= i.end <= o.end
+    assert i.duration >= 0
+    assert o.duration >= i.duration
+
+
+def test_fake_clock_durations_exact():
+    ticks = iter(range(100))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    with tracer.span("a") as a:  # start=0
+        with tracer.span("b") as b:  # start=1, end=2
+            pass
+    # a ends at 3.
+    assert b.record.start == 1.0 and b.record.end == 2.0
+    assert a.record.start == 0.0 and a.record.end == 3.0
+    assert a.record.duration == 3.0
+
+
+def test_exception_closes_span_and_tags_error():
+    tracer = Tracer()
+    try:
+        with tracer.span("risky") as span:
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracer.depth == 0
+    assert span.record is not None
+    assert span.record.attributes["error"] == "RuntimeError"
+
+
+def test_decorator_traces_each_call():
+    sink = RingBufferSink()
+    tracer = Tracer(sinks=[sink])
+
+    @tracer.wrap("compute", kind="test")
+    def compute(x):
+        return x * 2
+
+    assert compute(21) == 42
+    assert compute(1) == 2
+    names = [event["name"] for event in sink.spans()]
+    assert names == ["compute", "compute"]
+    assert sink.spans()[0]["attributes"] == {"kind": "test"}
+
+
+def test_record_round_trip():
+    tracer = Tracer()
+    with tracer.span("work", user=3) as span:
+        pass
+    restored = SpanRecord.from_dict(span.record.to_dict())
+    assert restored == span.record

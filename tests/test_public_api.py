@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.mining",
     "repro.experiments",
+    "repro.obs",
 ]
 
 

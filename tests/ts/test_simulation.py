@@ -83,6 +83,58 @@ class TestRequestProfile:
         assert not report.generalized_events()
 
 
+class TestTelemetry:
+    @pytest.fixture(scope="class")
+    def telemetry_report(self, city):
+        from repro.obs import TelemetryConfig
+
+        simulation = LBSSimulation(
+            city,
+            policy=make_policy(k=3),
+            unlinker=AlwaysUnlink(),
+            telemetry=TelemetryConfig(enabled=True),
+            seed=5,
+        )
+        return simulation.run()
+
+    def test_decision_counters_match_audit_trail(self, telemetry_report):
+        snapshot = telemetry_report.metrics_snapshot()
+        audit = telemetry_report.decision_counts()
+        for decision in Decision:
+            assert snapshot.counter_value(
+                "ts.decisions", decision=decision.value
+            ) == audit[decision], decision
+
+    def test_request_and_update_counters(self, telemetry_report):
+        snapshot = telemetry_report.metrics_snapshot()
+        assert (
+            snapshot.counter_value("ts.requests")
+            == telemetry_report.requests_issued
+        )
+        # Every request doubles as a location update, so the PHL-ingest
+        # counter covers both streams.
+        assert snapshot.counter_value("ts.location_updates") == (
+            telemetry_report.requests_issued
+            + telemetry_report.location_updates
+        )
+
+    def test_summary_renders(self, telemetry_report):
+        text = telemetry_report.summary()
+        assert "== simulation ==" in text
+        assert "== telemetry ==" in text
+        assert "ts.decisions" in text
+
+    def test_disabled_by_default(self, city):
+        report = LBSSimulation(
+            city,
+            policy=make_policy(k=3),
+            unlinker=AlwaysUnlink(),
+            seed=5,
+        ).run()
+        assert report.metrics_snapshot() is None
+        assert "== telemetry ==" not in report.summary()
+
+
 class TestDeterminism:
     def test_same_seed_same_outcome(self, city):
         def run():
