@@ -97,7 +97,7 @@ def _expected_match_probability(skip):
     return week_ok**2
 
 
-def test_e10_lbqid_monitor(benchmark):
+def test_e10_lbqid_monitor(benchmark, bench_export):
     (rows, throughput) = benchmark.pedantic(
         run_e10, rounds=1, iterations=1
     )
@@ -111,6 +111,12 @@ def test_e10_lbqid_monitor(benchmark):
         table.add_row(row)
     table.print()
     print(f"monitor throughput: {throughput:,.0f} samples/s")
+    bench_export(
+        "e10",
+        table.metrics(),
+        workload={"n_commuters": N_COMMUTERS, "days": DAYS},
+        latency={"monitor": {"throughput_samples_per_s": throughput}},
+    )
 
     # Detection falls with skip probability and tracks the oracle.
     detected = [row[1] for row in rows]

@@ -94,7 +94,7 @@ def run_e11(city):
     return rows
 
 
-def test_e11_definitions(benchmark, bench_city):
+def test_e11_definitions(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e11, args=(bench_city,), rounds=1, iterations=1
     )
@@ -113,6 +113,7 @@ def test_e11_definitions(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export("e11", table.metrics(), workload={"k": K})
 
     # The actual-senders requirement is brutal on sparse workloads …
     assert rows[0][2] > 0.5

@@ -76,7 +76,7 @@ def run_e12():
     return rows
 
 
-def test_e12_deployability(benchmark):
+def test_e12_deployability(benchmark, bench_export):
     rows = benchmark.pedantic(run_e12, rounds=1, iterations=1)
 
     table = Table(
@@ -94,6 +94,11 @@ def test_e12_deployability(benchmark):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export(
+        "e12",
+        table.metrics(key_columns=4),
+        workload={"densities": list(DENSITIES), "k_values": list(K_VALUES)},
+    )
 
     by_cell = {(r[0], r[2], r[3]): r for r in rows}
     # Success improves with density at fixed (k, tolerance) ...

@@ -56,7 +56,7 @@ def run_e14(city):
     }
 
 
-def test_e14_mining(benchmark, bench_city):
+def test_e14_mining(benchmark, bench_city, bench_export):
     result = benchmark.pedantic(
         run_e14, args=(bench_city,), rounds=1, iterations=1
     )
@@ -83,6 +83,7 @@ def test_e14_mining(benchmark, bench_city):
         ["candidates matched by exactly 1 user", result["unique"]]
     )
     table.print()
+    bench_export("e14", table.metrics())
 
     # Mining works on the vast majority of commuters...
     assert result["mined"] >= 0.9 * result["commuters"]

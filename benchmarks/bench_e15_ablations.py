@@ -108,7 +108,7 @@ def run_e15b():
     return rows
 
 
-def test_e15a_time_scale(benchmark, bench_city):
+def test_e15a_time_scale(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e15a, args=(bench_city,), rounds=1, iterations=1
     )
@@ -124,6 +124,11 @@ def test_e15a_time_scale(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export(
+        "e15a",
+        table.metrics(),
+        workload={"time_scales": list(TIME_SCALES)},
+    )
 
     by_scale = {row[0]: row for row in rows}
     # Near-zero weighting of time picks stale neighbours: the boxes'
@@ -134,7 +139,7 @@ def test_e15a_time_scale(benchmark, bench_city):
     assert by_scale[15.0][1] >= by_scale[1.5][1]
 
 
-def test_e15b_cell_size(benchmark):
+def test_e15b_cell_size(benchmark, bench_export):
     rows = benchmark.pedantic(run_e15b, rounds=1, iterations=1)
     table = Table(
         "E15b: grid-index cell size (100k points, k=10, 30 queries)",
@@ -143,6 +148,15 @@ def test_e15b_cell_size(benchmark):
     for row in rows:
         table.add_row(row)
     table.print()
+    # Per-query latency is machine-dependent: informational only.
+    bench_export(
+        "e15b",
+        {"cell_sizes": float(len(CELL_SIZES))},
+        workload={"cell_sizes": list(CELL_SIZES)},
+        latency={
+            f"cell={size:g}": {"query_ms": ms} for size, ms in rows
+        },
+    )
 
     # All three settings answer in interactive time; the default (500 m)
     # is not the worst of the sweep.

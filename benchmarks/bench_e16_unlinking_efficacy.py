@@ -61,7 +61,7 @@ def run_e16(city):
     return rows
 
 
-def test_e16_unlinking_efficacy(benchmark, bench_city):
+def test_e16_unlinking_efficacy(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e16, args=(bench_city,), rounds=1, iterations=1
     )
@@ -81,6 +81,11 @@ def test_e16_unlinking_efficacy(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export(
+        "e16",
+        table.metrics(),
+        workload={"quiet_periods": list(QUIET_PERIODS)},
+    )
 
     by_quiet = {row[0]: row for row in rows}
     # A long quiet period makes moving rotations hard to bridge …

@@ -25,7 +25,7 @@ def run_e1(city):
     return simulation.run()
 
 
-def test_e1_service_model(benchmark, bench_city):
+def test_e1_service_model(benchmark, bench_city, bench_export):
     report = benchmark.pedantic(
         run_e1, args=(bench_city,), rounds=1, iterations=1
     )
@@ -53,6 +53,7 @@ def test_e1_service_model(benchmark, bench_city):
         ["mean generalized interval (s)", round(qos.mean_duration_s, 1)]
     )
     table.print()
+    bench_export("e1", table.metrics(), workload={"k": 5})
 
     # The model works end to end: everything forwarded was answered,
     # identities never crossed the trust boundary.

@@ -33,7 +33,7 @@ def run_e2(city, lbqids):
     return rows
 
 
-def test_e2_theorem1(benchmark, bench_city, bench_city_lbqids):
+def test_e2_theorem1(benchmark, bench_city, bench_city_lbqids, bench_export):
     rows = benchmark.pedantic(
         run_e2, args=(bench_city, bench_city_lbqids), rounds=1,
         iterations=1,
@@ -65,6 +65,7 @@ def test_e2_theorem1(benchmark, bench_city, bench_city_lbqids):
             ]
         )
     table.print()
+    bench_export("e2", table.metrics(), workload={"k_values": list(K_VALUES)})
 
     for _k, _report, theorem in rows:
         assert theorem.holds

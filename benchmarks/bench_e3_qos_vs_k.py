@@ -58,7 +58,7 @@ def run_e3():
     return rows
 
 
-def test_e3_qos_vs_k(benchmark):
+def test_e3_qos_vs_k(benchmark, bench_export):
     rows = benchmark.pedantic(run_e3, rounds=1, iterations=1)
 
     table = Table(
@@ -76,6 +76,11 @@ def test_e3_qos_vs_k(benchmark):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export(
+        "e3",
+        table.metrics(key_columns=2),
+        workload={"densities": list(DENSITIES), "k_values": list(K_VALUES)},
+    )
 
     by_cell = {(n, k): row for (n, k, *row) in [
         (r[0], r[1], r[2], r[5]) for r in rows

@@ -65,7 +65,7 @@ def run_e4(city):
     return rows
 
 
-def test_e4_tolerance(benchmark, bench_city):
+def test_e4_tolerance(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e4, args=(bench_city,), rounds=1, iterations=1
     )
@@ -83,6 +83,7 @@ def test_e4_tolerance(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export("e4", table.metrics(key_columns=2), workload={"k": 5})
 
     by_cell = {(r[0], r[1]): r for r in rows}
     # Tighter tolerance -> more failures (at every unlink probability).

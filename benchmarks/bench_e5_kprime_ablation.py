@@ -94,7 +94,7 @@ def run_e5_scope(city):
     return rows
 
 
-def test_e5_kprime_schedule(benchmark, bench_city):
+def test_e5_kprime_schedule(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e5_kprime, args=(bench_city,), rounds=1, iterations=1
     )
@@ -112,6 +112,7 @@ def test_e5_kprime_schedule(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export("e5a", table.metrics(), workload={"k": K})
 
     # Certified traces always reach k, with or without the schedule
     # (the nested-pruning implementation makes Definition 8 hold by
@@ -128,7 +129,7 @@ def test_e5_kprime_schedule(benchmark, bench_city):
     assert rows[-1][5] <= rows[0][5] + 0.05
 
 
-def test_e5_scope_ablation(benchmark, bench_city):
+def test_e5_scope_ablation(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e5_scope, args=(bench_city,), rounds=1, iterations=1
     )
@@ -145,6 +146,7 @@ def test_e5_scope_ablation(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export("e5b", table.metrics(), workload={"k": K})
 
     by_scope = {row[0]: row for row in rows}
     per_lbqid = by_scope[AnonymitySetScope.PER_LBQID.value]

@@ -133,7 +133,7 @@ def run_e6(city):
     return rows
 
 
-def test_e6_reidentification(benchmark, bench_city):
+def test_e6_reidentification(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e6, args=(bench_city,), rounds=1, iterations=1
     )
@@ -145,6 +145,7 @@ def test_e6_reidentification(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export("e6", table.metrics(), workload={"k": K})
 
     unprotected, cloak, paper = rows
     # The attack works when nothing is done.

@@ -79,7 +79,7 @@ def run_e7():
     return rows
 
 
-def test_e7_linkability(benchmark):
+def test_e7_linkability(benchmark, bench_export):
     rows = benchmark.pedantic(run_e7, rounds=1, iterations=1)
 
     table = Table(
@@ -90,6 +90,11 @@ def test_e7_linkability(benchmark):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export(
+        "e7",
+        table.metrics(key_columns=2),
+        workload={"n_users": N_USERS, "samples": SAMPLES_PER_USER},
+    )
 
     by_cell = {(r[0], r[1]): r for r in rows}
     chance = 1.0 / N_USERS

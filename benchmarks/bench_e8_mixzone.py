@@ -111,7 +111,7 @@ def run_e8b(city):
     return rows
 
 
-def test_e8a_static_zone_game(benchmark):
+def test_e8a_static_zone_game(benchmark, bench_export):
     rows = benchmark.pedantic(run_e8a, rounds=1, iterations=1)
     table = Table(
         "E8a: static mix-zone, attacker re-association accuracy "
@@ -127,6 +127,11 @@ def test_e8a_static_zone_game(benchmark):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export(
+        "e8a",
+        table.metrics(key_columns=2),
+        workload={"rates": list(RATES), "zone_sides": list(ZONE_SIDES)},
+    )
 
     by_cell = {(r[0], r[1]): r for r in rows}
     for zone_side in ZONE_SIDES:
@@ -138,7 +143,7 @@ def test_e8a_static_zone_game(benchmark):
         assert accuracies[-1] < 0.6
 
 
-def test_e8b_on_demand_formation(benchmark, bench_city):
+def test_e8b_on_demand_formation(benchmark, bench_city, bench_export):
     rows = benchmark.pedantic(
         run_e8b, args=(bench_city,), rounds=1, iterations=1
     )
@@ -150,6 +155,7 @@ def test_e8b_on_demand_formation(benchmark, bench_city):
     for row in rows:
         table.add_row(row)
     table.print()
+    bench_export("e8b", table.metrics(key_columns=2))
 
     by_cell = {(r[0], r[1]): r for r in rows}
     for k in (2, 3, 5):

@@ -99,7 +99,7 @@ def run_e9():
     return rows
 
 
-def test_e9_scaling(benchmark):
+def test_e9_scaling(benchmark, bench_export):
     rows = benchmark.pedantic(run_e9, rounds=1, iterations=1)
 
     table = Table(
@@ -115,6 +115,18 @@ def test_e9_scaling(benchmark):
     for row in rows:
         table.add_row(row)
     table.print()
+    # The timings ARE this experiment's result, and timings are
+    # machine-dependent — they go in the artifact's informational
+    # latency section, never the gated metrics.
+    bench_export(
+        "e9",
+        {"k": float(K), "queries": float(QUERIES)},
+        workload={"store_sizes": list(STORE_SIZES)},
+        latency={
+            f"n={n}": {"brute_ms": brute, "grid_ms": grid, "speedup": s}
+            for n, _k, brute, grid, s in rows
+        },
+    )
 
     # Brute force grows with n …
     brute_times = [row[2] for row in rows]

@@ -1,23 +1,92 @@
-"""Shared workloads for the benchmark harness.
+"""Shared workloads and artifact export for the benchmark harness.
 
 Cities are cached at session scope; benchmarks must not mutate them.
 Every benchmark prints the table recorded in EXPERIMENTS.md in addition
-to pytest-benchmark's timing output.
+to pytest-benchmark's timing output, and exports a ``BENCH_<exp>.json``
+regression artifact through the :func:`bench_export` fixture when
+``REPRO_BENCH_DIR`` is set (see ``tools/bench_gate.py``).
+
+Two workload modes, selected by the ``REPRO_BENCH_SMOKE`` environment
+variable:
+
+* full (default) — the standard city: 100 commuters, 40 wanderers,
+  14 days.  Baselines live in ``benchmarks/baselines/``;
+* smoke (``REPRO_BENCH_SMOKE=1``) — a downsized city (30 commuters,
+  12 wanderers, still 14 days so the ``3.Weekdays * 2.Weeks``
+  recurrence can complete).  This is what CI runs on every push;
+  baselines live in ``benchmarks/baselines/smoke/``.
+
+The mode is part of every artifact's workload fingerprint, so the gate
+never compares a smoke run against a full baseline.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.mobility.population import CityConfig, SyntheticCity
+from repro.obs.bench import export_bench
+
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+_FULL_CITY = CityConfig(seed=7)
+_SMOKE_CITY = CityConfig(seed=7, n_commuters=30, n_wanderers=12)
+
+
+def bench_city_config() -> CityConfig:
+    """The active mode's city parameters."""
+    return _SMOKE_CITY if BENCH_SMOKE else _FULL_CITY
+
+
+def city_fingerprint() -> dict[str, object]:
+    """The workload identity stamped into every exported artifact."""
+    config = bench_city_config()
+    return {
+        "mode": "smoke" if BENCH_SMOKE else "full",
+        "seed": config.seed,
+        "n_commuters": config.n_commuters,
+        "n_wanderers": config.n_wanderers,
+        "days": config.days,
+    }
 
 
 @pytest.fixture(scope="session")
 def bench_city():
-    """The standard benchmark city: 100 commuters, 40 wanderers, 14 days."""
-    return SyntheticCity.generate(CityConfig(seed=7))
+    """The benchmark city for the active mode (full or smoke)."""
+    return SyntheticCity.generate(bench_city_config())
 
 
 @pytest.fixture(scope="session")
 def bench_city_lbqids(bench_city):
     return {c.user_id: [c.lbqid()] for c in bench_city.commuters}
+
+
+@pytest.fixture(scope="session")
+def bench_export():
+    """Callable writing one ``BENCH_<exp>.json`` per benchmark.
+
+    ``bench_export(exp, metrics, snapshot=..., workload=...,
+    latency=...)`` — metrics are usually ``table.metrics()`` so the
+    gated numbers are exactly the printed table.  The city fingerprint
+    is merged under the driver's own ``workload`` keys.  No-op unless
+    ``REPRO_BENCH_DIR`` is set.
+    """
+
+    def _export(
+        experiment,
+        metrics,
+        snapshot=None,
+        workload=None,
+        latency=None,
+    ):
+        return export_bench(
+            experiment,
+            metrics,
+            snapshot=snapshot,
+            workload={**city_fingerprint(), **(workload or {})},
+            latency=latency,
+        )
+
+    return _export

@@ -242,7 +242,15 @@ class TrustedAnonymizer:
         return event
 
     def _record(self, event: AnonymizerEvent, telemetry: Telemetry) -> None:
-        """Per-request metrics mirroring the audit trail."""
+        """Per-request metrics and the streaming decision event.
+
+        The ``ts.decision`` event mirrors the audit record for online
+        consumers (:class:`~repro.obs.slo.PrivacyMonitor`, JSONL
+        exports).  It carries the TS-side ground-truth ``user_id``
+        alongside the pseudonym — telemetry stays inside the trust
+        boundary, so exported JSONL files must be treated as
+        TS-confidential.
+        """
         telemetry.count("ts.requests")
         telemetry.count("ts.decisions", decision=event.decision.value)
         if event.pseudonym_rotated:
@@ -256,6 +264,29 @@ class TrustedAnonymizer:
             telemetry.observe(
                 "ts.box_duration_s", result.box.interval.duration
             )
+        context = event.request.context
+        telemetry.event(
+            "ts.decision",
+            t=event.request.t,
+            user_id=event.request.user_id,
+            pseudonym=event.request.pseudonym,
+            service=event.request.service,
+            decision=event.decision.value,
+            forwarded=event.forwarded,
+            lbqid=event.lbqid_name,
+            hk=event.hk_anonymity,
+            step=event.step,
+            required_k=event.required_k,
+            rotated=event.pseudonym_rotated,
+            context=(
+                context.rect.x_min,
+                context.rect.y_min,
+                context.rect.x_max,
+                context.rect.y_max,
+                context.interval.start,
+                context.interval.end,
+            ),
+        )
 
     def _process(
         self,

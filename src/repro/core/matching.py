@@ -203,6 +203,12 @@ class LBQIDMonitor:
                 telemetry.count("monitor.observations", len(completed))
             if newly_matched:
                 telemetry.count("monitor.lbqids_matched")
+                telemetry.event(
+                    "monitor.lbqid_matched",
+                    lbqid=self.lbqid.name,
+                    t=location.t,
+                    observations=len(self.observations),
+                )
         return event
 
     def _start_partial(self, location: STPoint) -> PartialMatch:

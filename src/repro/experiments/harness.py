@@ -84,6 +84,48 @@ class Table:
         print(self.render())
         print()
 
+    def metrics(self, key_columns: int = 1) -> dict[str, float]:
+        """The table's numeric cells as a flat ``{key: value}`` dict.
+
+        Keys are ``"<row label>/<column>"`` where the row label joins
+        the first ``key_columns`` cells (sweep tables keyed on several
+        leading columns — density x k, zone x rate — pass the number
+        that makes rows unique).  Key cells and non-numeric value cells
+        are skipped.  This is what the benchmark exporter feeds to
+        :class:`~repro.obs.bench.BenchArtifact`, so the comparable
+        metrics of every experiment are exactly what its printed table
+        shows (after the table's own rounding).
+        """
+        if not 1 <= key_columns < len(self.columns):
+            raise ValueError(
+                f"key_columns must be in [1, {len(self.columns) - 1}], "
+                f"got {key_columns}"
+            )
+        out: dict[str, float] = {}
+        for row in self.rows:
+            label = " ".join(row[:key_columns])
+            cells = zip(self.columns[key_columns:], row[key_columns:])
+            for column, cell in cells:
+                try:
+                    value = float(cell)
+                except ValueError:
+                    if cell == "yes":
+                        value = 1.0
+                    elif cell == "no":
+                        value = 0.0
+                    else:
+                        continue
+                if value != value or value in (
+                    float("inf"),
+                    float("-inf"),
+                ):
+                    # NaN/inf cells are not comparable across runs and
+                    # not valid strict JSON; leave them to the rendered
+                    # table only.
+                    continue
+                out[f"{label}/{column}"] = value
+        return out
+
 
 def _metric_label(labels: tuple[tuple[str, str], ...]) -> str:
     return ",".join(f"{k}={v}" for k, v in labels)

@@ -45,6 +45,10 @@ class TrajectoryStore:
     ) -> None:
         self.time_scale = time_scale
         self.telemetry = resolve_telemetry(telemetry)
+        #: Monotone ingest counter; consumers caching anything derived
+        #: from the histories (e.g. the SLO monitor's incremental
+        #: anonymity-set candidates) key their caches on it.
+        self.version = 0
         self._histories: dict[int, PersonalHistory] = {}
         self.index: GridIndex | None = None
         if index_cell_size is not None:
@@ -82,6 +86,7 @@ class TrajectoryStore:
     def add_point(self, user_id: int, point: STPoint) -> None:
         """Ingest one location update."""
         self.history(user_id).add(point)
+        self.version += 1
         if self.index is not None:
             self.index.insert(user_id, point)
 

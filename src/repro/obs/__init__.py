@@ -17,12 +17,29 @@ per-request telemetry a production anonymizer needs:
   Disabled telemetry (the default) is a shared no-op singleton whose
   every operation costs a single ``enabled`` branch;
 * :mod:`repro.obs.render` — fixed-width text rendering of metric
-  snapshots for examples and benchmark output.
+  snapshots for examples and benchmark output;
+* :mod:`repro.obs.slo` — the second observability layer: a streaming
+  :class:`PrivacyMonitor` consuming the anonymizer's decision events
+  and evaluating declarative :class:`SloRule` thresholds (alerting
+  through the sink fan-out) over sliding windows;
+* :mod:`repro.obs.bench` — benchmark regression artifacts
+  (``BENCH_<exp>.json``) and the comparator behind
+  ``tools/bench_gate.py``.
 
-Everything is zero-dependency stdlib Python; nothing here imports the
-rest of ``repro``, so any layer can be instrumented without cycles.
+Everything is zero-dependency stdlib Python (plus the ``repro``
+*value* layers — geometry, granularity — which the SLO estimators
+need); nothing here imports the pipeline packages (``core``, ``ts``,
+``attack``), so any layer can be instrumented without cycles.
 """
 
+from repro.obs.bench import (
+    BenchArtifact,
+    BenchComparison,
+    BenchDelta,
+    compare_artifacts,
+    export_bench,
+    load_bench_artifact,
+)
 from repro.obs.config import (
     NULL_TELEMETRY,
     Telemetry,
@@ -40,11 +57,20 @@ from repro.obs.metrics import (
 )
 from repro.obs.render import render_summary
 from repro.obs.sinks import (
+    JSONL_READ_STATS,
     ConsoleSink,
+    JsonlReadStats,
     JsonlSink,
     RingBufferSink,
     TelemetrySink,
     read_jsonl,
+)
+from repro.obs.slo import (
+    PrivacyMonitor,
+    SloAlert,
+    SloRule,
+    SloStatus,
+    parse_slo,
 )
 from repro.obs.tracing import Span, SpanRecord, Tracer
 
@@ -67,6 +93,19 @@ __all__ = [
     "RingBufferSink",
     "JsonlSink",
     "ConsoleSink",
+    "JsonlReadStats",
+    "JSONL_READ_STATS",
     "read_jsonl",
     "render_summary",
+    "PrivacyMonitor",
+    "SloRule",
+    "SloAlert",
+    "SloStatus",
+    "parse_slo",
+    "BenchArtifact",
+    "BenchComparison",
+    "BenchDelta",
+    "compare_artifacts",
+    "export_bench",
+    "load_bench_artifact",
 ]

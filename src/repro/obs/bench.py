@@ -1,0 +1,318 @@
+"""Benchmark regression artifacts (``BENCH_<exp>.json``).
+
+Every benchmark driver under ``benchmarks/`` exports one artifact per
+run through :func:`export_bench`: a JSON file holding
+
+* ``metrics`` — the seeded-deterministic numbers of the experiment
+  (table cells via :meth:`~repro.experiments.harness.Table.metrics`,
+  plus any extra scalars the driver passes).  These are what
+  ``tools/bench_gate.py`` compares against the committed baselines;
+* ``latency`` — wall-clock summaries (histogram p50/p95/p99 from the
+  telemetry snapshot, when one is provided).  Machine-dependent, so
+  informational only — never gated;
+* ``workload`` — a fingerprint of the workload shape (city seed and
+  sizes, downsizing mode).  The gate refuses to compare artifacts with
+  mismatched fingerprints instead of reporting bogus regressions;
+* ``provenance`` — git SHA, schema version, experiment id.
+
+The comparator half (:func:`compare_artifacts`, :class:`BenchDelta`)
+lives here too so ``tools/bench_gate.py`` stays a thin CLI and tests
+can exercise the logic directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs.metrics import MetricsSnapshot
+
+#: Bumped when the artifact layout changes incompatibly; the gate skips
+#: (with a warning) artifacts whose schema it does not understand.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default relative tolerance of the gate: a metric regresses when it
+#: moved by more than this fraction of the baseline value.
+DEFAULT_TOLERANCE = 0.01
+
+#: Values this close to zero are compared by absolute difference
+#: instead of the relative tolerance (relative error near 0 explodes).
+ABS_EPSILON = 1e-9
+
+
+def git_sha(repo_root: "Path | str | None" = None) -> str | None:
+    """The current commit SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def latency_summaries(
+    snapshot: "MetricsSnapshot | None",
+) -> dict[str, dict[str, float]]:
+    """Histogram timing summaries of a snapshot, keyed by metric+labels.
+
+    Only ``*_ms``/``*_s`` histograms are timing data; everything else in
+    the snapshot (sizes, areas) is workload-determined and belongs in
+    ``metrics`` if the driver wants it compared.
+    """
+    if snapshot is None:
+        return {}
+    out: dict[str, dict[str, float]] = {}
+    for (name, labels), summary in sorted(snapshot.histograms.items()):
+        if not (name.endswith("_ms") or name.endswith("_s")):
+            continue
+        if summary.count == 0:
+            # Empty histograms summarize to NaN; nothing to report.
+            continue
+        key = name
+        if labels:
+            key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+        out[key] = {
+            "count": float(summary.count),
+            "mean": summary.mean,
+            "p50": summary.p50,
+            "p95": summary.p95,
+            "p99": summary.p99,
+            "max": summary.maximum,
+        }
+    return out
+
+
+@dataclass
+class BenchArtifact:
+    """One exported benchmark run, ready to serialize or compare."""
+
+    experiment: str
+    metrics: dict[str, float]
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    workload: dict[str, object] = field(default_factory=dict)
+    git_sha: "str | None" = None
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "experiment": self.experiment,
+            "git_sha": self.git_sha,
+            "workload": dict(self.workload),
+            "metrics": dict(self.metrics),
+            "latency": {k: dict(v) for k, v in self.latency.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BenchArtifact":
+        return cls(
+            experiment=str(data["experiment"]),
+            metrics={
+                str(k): float(v)
+                for k, v in dict(data.get("metrics", {})).items()
+            },
+            latency={
+                str(k): {str(m): float(x) for m, x in dict(v).items()}
+                for k, v in dict(data.get("latency", {})).items()
+            },
+            workload=dict(data.get("workload", {})),
+            git_sha=data.get("git_sha"),
+            schema_version=int(
+                data.get("schema_version", BENCH_SCHEMA_VERSION)
+            ),
+        )
+
+    @property
+    def filename(self) -> str:
+        return f"BENCH_{self.experiment}.json"
+
+    def write(self, directory: "Path | str") -> Path:
+        """Serialize to ``<directory>/BENCH_<exp>.json``; return the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(
+                self.to_dict(),
+                fh,
+                indent=2,
+                sort_keys=True,
+                allow_nan=False,
+            )
+            fh.write("\n")
+        return path
+
+
+def load_bench_artifact(path: "Path | str") -> BenchArtifact:
+    """Read one ``BENCH_*.json`` back; raises on malformed files."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return BenchArtifact.from_dict(json.load(fh))
+
+
+def export_bench(
+    experiment: str,
+    metrics: Mapping[str, float],
+    snapshot: "MetricsSnapshot | None" = None,
+    workload: "Mapping[str, object] | None" = None,
+    directory: "Path | str | None" = None,
+    latency: "Mapping[str, Mapping[str, float]] | None" = None,
+) -> "Path | None":
+    """Write the artifact for one benchmark run.
+
+    ``directory`` defaults to the ``REPRO_BENCH_DIR`` environment
+    variable; when neither is set the export is skipped (returns
+    ``None``) so ad-hoc ``pytest benchmarks/`` runs don't litter the
+    tree.  NaN/inf metric values are dropped — the artifact must be
+    strict JSON and such values are not comparable anyway.  ``latency``
+    entries (for timings the driver measured itself, e.g. E9's
+    per-store-size query costs) are merged over the snapshot's
+    histogram summaries; like those, they are informational, not gated.
+    """
+    if directory is None:
+        directory = os.environ.get("REPRO_BENCH_DIR") or None
+    if directory is None:
+        return None
+    clean = {
+        key: float(value)
+        for key, value in metrics.items()
+        if not (math.isnan(value) or math.isinf(value))
+    }
+    timings = latency_summaries(snapshot)
+    for key, entry in (latency or {}).items():
+        timings[str(key)] = {
+            str(m): float(v)
+            for m, v in entry.items()
+            if not (math.isnan(v) or math.isinf(v))
+        }
+    artifact = BenchArtifact(
+        experiment=experiment,
+        metrics=clean,
+        latency=timings,
+        workload=dict(workload or {}),
+        git_sha=git_sha(),
+    )
+    return artifact.write(directory)
+
+
+# --------------------------------------------------------------------
+# Comparator (the logic behind tools/bench_gate.py)
+# --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One compared metric: baseline vs current, with verdict."""
+
+    metric: str
+    baseline: "float | None"
+    current: "float | None"
+    status: str  # "ok" | "regressed" | "missing" | "added"
+
+    @property
+    def rel_change(self) -> float:
+        if (
+            self.baseline is None
+            or self.current is None
+            or abs(self.baseline) <= ABS_EPSILON
+        ):
+            return math.nan
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def describe(self) -> str:
+        if self.status == "missing":
+            return f"{self.metric}: missing from current run"
+        if self.status == "added":
+            return f"{self.metric}: new metric (no baseline)"
+        rel = self.rel_change
+        change = "" if math.isnan(rel) else f" ({rel:+.2%})"
+        return (
+            f"{self.metric}: baseline={self.baseline:g} "
+            f"current={self.current:g}{change}"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing one current artifact to its baseline."""
+
+    experiment: str
+    deltas: list[BenchDelta] = field(default_factory=list)
+    skipped_reason: "str | None" = None
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [
+            d for d in self.deltas if d.status in ("regressed", "missing")
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return self.skipped_reason is not None or not self.regressions
+
+
+def values_match(
+    baseline: float, current: float, tolerance: float
+) -> bool:
+    """Whether ``current`` is within tolerance of ``baseline``.
+
+    Relative comparison except near zero, where the relative error is
+    meaningless and an absolute ``ABS_EPSILON`` bound applies.
+    """
+    if abs(baseline) <= ABS_EPSILON:
+        return abs(current - baseline) <= max(ABS_EPSILON, tolerance)
+    return abs(current - baseline) <= tolerance * abs(baseline)
+
+
+def compare_artifacts(
+    baseline: BenchArtifact,
+    current: BenchArtifact,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> BenchComparison:
+    """Compare ``current`` against ``baseline`` metric by metric.
+
+    Returns a skipped comparison (never failing) when the schema
+    versions or workload fingerprints differ — comparing runs of
+    different workloads reports noise, not regressions.
+    """
+    comparison = BenchComparison(experiment=current.experiment)
+    if baseline.schema_version != current.schema_version:
+        comparison.skipped_reason = (
+            f"schema mismatch: baseline v{baseline.schema_version}, "
+            f"current v{current.schema_version}"
+        )
+        return comparison
+    if baseline.workload != current.workload:
+        comparison.skipped_reason = (
+            f"workload fingerprint mismatch: baseline "
+            f"{baseline.workload!r} != current {current.workload!r}"
+        )
+        return comparison
+    for metric in sorted(set(baseline.metrics) | set(current.metrics)):
+        base = baseline.metrics.get(metric)
+        cur = current.metrics.get(metric)
+        if cur is None:
+            status = "missing"
+        elif base is None:
+            status = "added"
+        elif values_match(base, cur, tolerance):
+            status = "ok"
+        else:
+            status = "regressed"
+        comparison.deltas.append(
+            BenchDelta(
+                metric=metric, baseline=base, current=cur, status=status
+            )
+        )
+    return comparison

@@ -107,6 +107,21 @@ class Telemetry:
             return _NULL_SPAN
         return _TimerSpan(self, name, labels)
 
+    def event(self, kind: str, /, **fields: object) -> None:
+        """Emit one structured event (``type=kind``) to every sink.
+
+        This is the streaming channel the second observability layer
+        consumes: the anonymizer publishes per-decision events, the
+        LBQID monitors publish match events, and subscribers such as
+        :class:`~repro.obs.slo.PrivacyMonitor` receive them in-line
+        as sinks.  With no sinks attached nothing is allocated.
+        """
+        if not self.enabled or not self.sinks:
+            return
+        payload = {"type": kind, **fields}
+        for sink in self.sinks:
+            sink.emit(payload)
+
     def count(
         self, name: str, amount: float = 1.0, **labels: object
     ) -> None:
@@ -138,6 +153,23 @@ class Telemetry:
         from repro.obs.render import render_summary
 
         return render_summary(self.snapshot(), title=title)
+
+    def attach_sink(self, sink: TelemetrySink) -> TelemetrySink:
+        """Subscribe one more sink to the event fan-out.
+
+        Spans, metric snapshots, and structured events all start
+        flowing to it.  Returns the sink for chaining.  Attaching to
+        the disabled singleton is rejected — it is shared process-wide
+        and must stay stateless.
+        """
+        if not self.enabled:
+            raise ValueError(
+                "cannot attach a sink to disabled telemetry; build an "
+                "enabled Telemetry first"
+            )
+        self.sinks = self.sinks + (sink,)
+        self.tracer.sinks = self.sinks
+        return sink
 
     def ring(self) -> RingBufferSink | None:
         """The first attached ring-buffer sink, if any."""
@@ -171,15 +203,17 @@ class TelemetryConfig:
     """Declarative telemetry switchboard (disabled by default).
 
     ``ring_buffer`` keeps the last N span events in memory;
-    ``jsonl_path`` appends every event to a JSONL file; ``console``
-    echoes events through ``logging.getLogger("repro.obs")``.  With
-    ``enabled=False`` (the default) :meth:`build` returns the shared
-    :data:`NULL_TELEMETRY` no-op.
+    ``jsonl_path`` appends every event to a JSONL file (flushed every
+    ``jsonl_flush_every`` writes — 0 defers to explicit flushes);
+    ``console`` echoes events through ``logging.getLogger("repro.obs")``.
+    With ``enabled=False`` (the default) :meth:`build` returns the
+    shared :data:`NULL_TELEMETRY` no-op.
     """
 
     enabled: bool = False
     ring_buffer: int = 0
     jsonl_path: str | None = None
+    jsonl_flush_every: int = 0
     console: bool = False
     buckets: tuple[float, ...] | None = None
 
@@ -191,7 +225,11 @@ class TelemetryConfig:
         if self.ring_buffer > 0:
             sinks.append(RingBufferSink(self.ring_buffer))
         if self.jsonl_path is not None:
-            sinks.append(JsonlSink(self.jsonl_path))
+            sinks.append(
+                JsonlSink(
+                    self.jsonl_path, flush_every=self.jsonl_flush_every
+                )
+            )
         if self.console:
             sinks.append(ConsoleSink())
         return Telemetry(enabled=True, sinks=sinks, buckets=self.buckets)

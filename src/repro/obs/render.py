@@ -27,12 +27,18 @@ def _number(value: float) -> str:
 
 
 def _section(
-    title: str, header: list[str], rows: list[list[str]]
+    title: str,
+    header: list[str],
+    rows: list[list[str]],
+    name_width: int = 0,
 ) -> list[str]:
+    """One titled section; ``name_width`` pins the label column so the
+    counters/gauges/histograms sections align with each other."""
     widths = [
         max(len(header[i]), *(len(row[i]) for row in rows))
         for i in range(len(header))
     ]
+    widths[0] = max(widths[0], name_width)
     lines = [title]
     lines.append(
         "  ".join(
@@ -53,44 +59,56 @@ def _section(
 def render_summary(
     snapshot: MetricsSnapshot, title: str = "telemetry"
 ) -> str:
-    """The snapshot as a fixed-width telemetry table."""
+    """The snapshot as a fixed-width telemetry table.
+
+    All three sections (counters, gauges, histograms) share one label
+    column width, so metric names line up vertically across sections.
+    """
+    counter_rows = [
+        [f"{name}{_label_text(labels)}", _number(value)]
+        for (name, labels), value in sorted(snapshot.counters.items())
+    ]
+    gauge_rows = [
+        [f"{name}{_label_text(labels)}", _number(value)]
+        for (name, labels), value in sorted(snapshot.gauges.items())
+    ]
+    histogram_rows = [
+        [
+            f"{name}{_label_text(labels)}",
+            _number(summary.count),
+            _number(summary.mean),
+            _number(summary.p50),
+            _number(summary.p95),
+            _number(summary.p99),
+            _number(summary.maximum),
+        ]
+        for (name, labels), summary in sorted(snapshot.histograms.items())
+    ]
+    name_width = max(
+        (
+            len(row[0])
+            for rows in (counter_rows, gauge_rows, histogram_rows)
+            for row in rows
+        ),
+        default=0,
+    )
+
     lines = [f"== {title} =="]
-
-    if snapshot.counters:
-        rows = [
-            [f"{name}{_label_text(labels)}", _number(value)]
-            for (name, labels), value in sorted(snapshot.counters.items())
-        ]
-        lines += _section("counters", ["name", "value"], rows)
-
-    if snapshot.gauges:
-        rows = [
-            [f"{name}{_label_text(labels)}", _number(value)]
-            for (name, labels), value in sorted(snapshot.gauges.items())
-        ]
-        lines += _section("gauges", ["name", "value"], rows)
-
-    if snapshot.histograms:
-        rows = [
-            [
-                f"{name}{_label_text(labels)}",
-                _number(summary.count),
-                _number(summary.mean),
-                _number(summary.p50),
-                _number(summary.p95),
-                _number(summary.p99),
-                _number(summary.maximum),
-            ]
-            for (name, labels), summary in sorted(
-                snapshot.histograms.items()
-            )
-        ]
+    if counter_rows:
+        lines += _section(
+            "counters", ["name", "value"], counter_rows, name_width
+        )
+    if gauge_rows:
+        lines += _section(
+            "gauges", ["name", "value"], gauge_rows, name_width
+        )
+    if histogram_rows:
         lines += _section(
             "histograms",
             ["name", "count", "mean", "p50", "p95", "p99", "max"],
-            rows,
+            histogram_rows,
+            name_width,
         )
-
     if len(lines) == 1:
         lines.append("(no metrics recorded)")
     return "\n".join(lines)

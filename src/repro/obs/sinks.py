@@ -60,10 +60,23 @@ class RingBufferSink(TelemetrySink):
 
 
 class JsonlSink(TelemetrySink):
-    """Append one compact JSON object per event to ``path``."""
+    """Append one compact JSON object per event to ``path``.
 
-    def __init__(self, path: str | Path) -> None:
+    ``flush_every`` bounds the data a crash can lose: every N writes the
+    sink flushes to the OS, so at most ``N - 1`` events (plus one
+    possibly truncated line, which :func:`read_jsonl` tolerates) are at
+    risk.  The default 0 flushes only on explicit :meth:`flush`/
+    :meth:`close` — fastest, but an abrupt exit loses whatever the
+    stdio buffer held.
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 0) -> None:
+        if flush_every < 0:
+            raise ValueError(
+                f"flush_every must be non-negative, got {flush_every}"
+            )
         self.path = Path(path)
+        self.flush_every = flush_every
         self._file: IO[str] | None = self.path.open("a", encoding="utf-8")
         self.written = 0
 
@@ -73,6 +86,8 @@ class JsonlSink(TelemetrySink):
         json.dump(event, self._file, separators=(",", ":"))
         self._file.write("\n")
         self.written += 1
+        if self.flush_every and self.written % self.flush_every == 0:
+            self._file.flush()
 
     def flush(self) -> None:
         if self._file is not None:
@@ -84,13 +99,55 @@ class JsonlSink(TelemetrySink):
             self._file = None
 
 
-def read_jsonl(path: str | Path) -> Iterator[dict]:
-    """Yield the events a :class:`JsonlSink` wrote, in order."""
+class JsonlReadStats:
+    """Process-wide tally of corrupt lines :func:`read_jsonl` skipped."""
+
+    __slots__ = ("skipped",)
+
+    def __init__(self) -> None:
+        self.skipped = 0
+
+
+#: Incremented once per truncated/corrupt final line ``read_jsonl``
+#: tolerated; tests and operators can watch it to spot crashy writers.
+JSONL_READ_STATS = JsonlReadStats()
+
+
+def read_jsonl(path: str | Path, strict: bool = False) -> Iterator[dict]:
+    """Yield the events a :class:`JsonlSink` wrote, in order.
+
+    A writer that died mid-:meth:`~JsonlSink.emit` leaves a truncated
+    final line; by default that line is skipped with a logged warning
+    (and :data:`JSONL_READ_STATS` incremented) instead of raising, so a
+    crashed run's telemetry stays readable.  A corrupt line *before* the
+    end is real data corruption and always raises.  ``strict=True``
+    raises on any malformed line.
+    """
+    pending: tuple[int, str] | None = None
     with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
+            if pending is not None:
+                # The malformed line was not the last one: corruption.
+                raise ValueError(
+                    f"{path}:{pending[0]}: corrupt JSONL line: "
+                    f"{pending[1]!r:.80}"
+                )
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except ValueError:
+                if strict:
+                    raise
+                pending = (lineno, line)
+    if pending is not None:
+        JSONL_READ_STATS.skipped += 1
+        logger.warning(
+            "%s:%d: skipping truncated final JSONL line (%d total "
+            "skipped this process)",
+            path, pending[0], JSONL_READ_STATS.skipped,
+        )
 
 
 class ConsoleSink(TelemetrySink):
@@ -116,6 +173,15 @@ class ConsoleSink(TelemetrySink):
                 "metrics snapshot: %d counters, %d histograms",
                 len(counters),
                 len(histograms),
+            )
+        elif kind == "slo_alert":
+            self.logger.warning(
+                "SLO %s: %s (value=%s threshold=%s at t=%s)",
+                event.get("state"),
+                event.get("rule"),
+                event.get("value"),
+                event.get("threshold"),
+                event.get("t"),
             )
         else:
             self.logger.info("telemetry %s: %s", kind, dict(event))

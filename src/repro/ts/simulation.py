@@ -17,6 +17,7 @@ ground truth for Definition 8 verification).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.mod.store import TrajectoryStore
 from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.render import render_summary
+from repro.obs.slo import PrivacyMonitor, SloRule
 from repro.ts.providers import ServiceProvider
 
 
@@ -73,6 +75,9 @@ class SimulationReport:
     #: The telemetry pipeline the run recorded into (the disabled
     #: singleton when the simulation ran without telemetry).
     telemetry: Telemetry | None = None
+    #: The streaming SLO auditor, when the simulation was configured
+    #: with ``slo_rules`` (requires enabled telemetry).
+    privacy_monitor: PrivacyMonitor | None = None
 
     @property
     def store(self) -> TrajectoryStore:
@@ -93,7 +98,7 @@ class SimulationReport:
         return self.telemetry.snapshot()
 
     def summary(self) -> str:
-        """Decision tallies plus (when enabled) the telemetry table."""
+        """Decision tallies, SLO status (when monitored), telemetry."""
         counts = self.decision_counts()
         lines = ["== simulation =="]
         lines.append(
@@ -105,6 +110,9 @@ class SimulationReport:
                 lines.append(
                     f"  {decision.value:18s} {counts[decision]}"
                 )
+        if self.privacy_monitor is not None:
+            lines.append("")
+            lines.extend(self.privacy_monitor.summary_lines())
         snapshot = self.metrics_snapshot()
         if snapshot is not None:
             lines.append("")
@@ -128,6 +136,8 @@ class LBSSimulation:
         randomizer: "BoxRandomizer | None" = None,
         quiet_period: float = 0.0,
         telemetry: "Telemetry | TelemetryConfig | None" = None,
+        slo_rules: "Iterable[SloRule | str] | None" = None,
+        slo_window_s: float = 2 * 3600.0,
         seed: int = 97,
     ) -> None:
         self.city = city
@@ -146,6 +156,26 @@ class LBSSimulation:
             quiet_period=quiet_period,
             telemetry=self.telemetry,
         )
+        #: Online privacy auditing: subscribe a PrivacyMonitor to the
+        #: shared pipeline.  Rules require telemetry — the monitor
+        #: consumes the anonymizer's streamed decision events.
+        self.privacy_monitor: PrivacyMonitor | None = None
+        if slo_rules is not None:
+            if not self.telemetry.enabled:
+                raise ValueError(
+                    "slo_rules require enabled telemetry; pass "
+                    "telemetry=TelemetryConfig(enabled=True)"
+                )
+            self.privacy_monitor = PrivacyMonitor(
+                store=self.anonymizer.store,
+                rules=slo_rules,
+                window_s=slo_window_s,
+                homes=(
+                    city.home_locations()
+                    if hasattr(city, "home_locations")
+                    else None
+                ),
+            ).attach(self.telemetry)
         self._own_lbqids = {}
         if register_lbqids:
             for commuter in city.commuters:
@@ -169,6 +199,7 @@ class LBSSimulation:
             anonymizer=self.anonymizer,
             providers={profile.service: provider},
             telemetry=self.telemetry,
+            privacy_monitor=self.privacy_monitor,
         )
         telemetry = self.telemetry
         if telemetry.enabled:
@@ -189,6 +220,10 @@ class LBSSimulation:
                     report.location_updates += 1
         report.events = list(self.anonymizer.events)
         telemetry.gauge("sim.requests_issued", report.requests_issued)
+        if self.privacy_monitor is not None:
+            # Final roll-over so the last partial window is audited and
+            # the slo.* gauges reflect end-of-run state.
+            self.privacy_monitor.evaluate()
         telemetry.flush()
         return report
 

@@ -1,0 +1,208 @@
+"""Artifact round-trip, comparator verdicts, and gate exit codes."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    BenchArtifact,
+    compare_artifacts,
+    export_bench,
+    latency_summaries,
+    load_bench_artifact,
+    values_match,
+)
+from repro.obs.config import TelemetryConfig
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_gate  # noqa: E402
+
+
+def artifact(metrics=None, workload=None, experiment="e1", **kwargs):
+    return BenchArtifact(
+        experiment=experiment,
+        metrics=metrics or {"requests/value": 100.0},
+        workload=workload or {"mode": "full", "seed": 7},
+        **kwargs,
+    )
+
+
+class TestArtifactRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        original = artifact(
+            metrics={"a": 1.5, "b": 0.0},
+            latency={"sim_ms": {"mean": 12.5, "p95": 20.0}},
+            git_sha="abc123",
+        )
+        path = original.write(tmp_path)
+        assert path.name == "BENCH_e1.json"
+        loaded = load_bench_artifact(path)
+        assert loaded == original
+
+    def test_serialized_form_is_strict_sorted_json(self, tmp_path):
+        path = artifact().write(tmp_path)
+        text = path.read_text()
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert data["schema_version"] == 1
+
+    def test_export_bench_noop_without_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        assert export_bench("e1", {"a": 1.0}) is None
+
+    def test_export_bench_env_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        path = export_bench("e2", {"a": 1.0})
+        assert path == tmp_path / "BENCH_e2.json"
+
+    def test_export_drops_nan_and_inf(self, tmp_path):
+        path = export_bench(
+            "e3",
+            {"ok": 1.0, "bad": float("nan"), "worse": float("inf")},
+            directory=tmp_path,
+        )
+        assert load_bench_artifact(path).metrics == {"ok": 1.0}
+
+    def test_latency_summaries_only_timing_histograms(self):
+        telemetry = TelemetryConfig(enabled=True).build()
+        telemetry.observe("store.query_ms", 2.0, method="grid")
+        telemetry.observe("ts.anonymity_set_size", 5.0)
+        summaries = latency_summaries(telemetry.snapshot())
+        assert list(summaries) == ["store.query_ms{method=grid}"]
+        assert summaries["store.query_ms{method=grid}"]["count"] == 1.0
+
+
+class TestComparator:
+    def test_within_tolerance_ok(self):
+        base = artifact(metrics={"a": 100.0})
+        cur = artifact(metrics={"a": 100.5})
+        comparison = compare_artifacts(base, cur, tolerance=0.01)
+        assert comparison.ok
+        assert [d.status for d in comparison.deltas] == ["ok"]
+
+    def test_regression_detected(self):
+        base = artifact(metrics={"a": 100.0})
+        cur = artifact(metrics={"a": 110.0})
+        comparison = compare_artifacts(base, cur, tolerance=0.05)
+        assert not comparison.ok
+        [delta] = comparison.regressions
+        assert delta.status == "regressed"
+        assert delta.rel_change == pytest.approx(0.10)
+        assert "a" in delta.describe()
+
+    def test_missing_metric_fails_added_warns(self):
+        base = artifact(metrics={"gone": 1.0, "same": 2.0})
+        cur = artifact(metrics={"same": 2.0, "new": 3.0})
+        comparison = compare_artifacts(base, cur)
+        by_status = {d.metric: d.status for d in comparison.deltas}
+        assert by_status == {
+            "gone": "missing", "same": "ok", "new": "added",
+        }
+        assert not comparison.ok  # missing fails …
+        base2 = artifact(metrics={"same": 2.0})
+        assert compare_artifacts(base2, cur).ok  # … added alone doesn't
+
+    def test_workload_mismatch_skips(self):
+        base = artifact(workload={"mode": "full"})
+        cur = artifact(workload={"mode": "smoke"})
+        comparison = compare_artifacts(base, cur)
+        assert comparison.ok
+        assert "fingerprint mismatch" in comparison.skipped_reason
+
+    def test_schema_mismatch_skips(self):
+        base = artifact(schema_version=1)
+        cur = artifact(schema_version=2)
+        comparison = compare_artifacts(base, cur)
+        assert comparison.ok
+        assert "schema mismatch" in comparison.skipped_reason
+
+    def test_values_match_near_zero_is_absolute(self):
+        assert values_match(0.0, 0.0, tolerance=0.01)
+        assert values_match(0.0, 0.005, tolerance=0.01)
+        assert not values_match(0.0, 0.5, tolerance=0.01)
+        # Relative elsewhere: 1% of 1000 is 10.
+        assert values_match(1000.0, 1009.0, tolerance=0.01)
+        assert not values_match(1000.0, 1011.0, tolerance=0.01)
+
+
+class TestGateCli:
+    def _dirs(self, tmp_path, baseline, current):
+        baseline_dir = tmp_path / "baselines"
+        run_dir = tmp_path / "artifacts"
+        if baseline is not None:
+            baseline.write(baseline_dir)
+        if current is not None:
+            current.write(run_dir)
+        else:
+            run_dir.mkdir()
+        return [
+            "--baseline-dir", str(baseline_dir),
+            "--run-dir", str(run_dir),
+        ]
+
+    def test_passing_run_exits_zero(self, tmp_path, capsys):
+        args = self._dirs(tmp_path, artifact(), artifact())
+        assert bench_gate.main(args) == 0
+        assert "OK   e1" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        args = self._dirs(
+            tmp_path,
+            artifact(metrics={"a": 100.0}),
+            artifact(metrics={"a": 200.0}),
+        )
+        assert bench_gate.main(args) == 1
+        assert "FAIL e1" in capsys.readouterr().out
+
+    def test_warn_only_exits_zero(self, tmp_path):
+        args = self._dirs(
+            tmp_path,
+            artifact(metrics={"a": 100.0}),
+            artifact(metrics={"a": 200.0}),
+        )
+        assert bench_gate.main(args + ["--warn-only"]) == 0
+
+    def test_missing_baseline_warns_but_passes(self, tmp_path, capsys):
+        args = self._dirs(tmp_path, None, artifact())
+        assert bench_gate.main(args) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_workload_mismatch_warns_but_passes(self, tmp_path, capsys):
+        args = self._dirs(
+            tmp_path,
+            artifact(workload={"mode": "full"}),
+            artifact(workload={"mode": "smoke"}),
+        )
+        assert bench_gate.main(args) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_empty_run_dir_fails_unless_warn_only(self, tmp_path):
+        args = self._dirs(tmp_path, artifact(), None)
+        assert bench_gate.main(args) == 1
+        assert bench_gate.main(args + ["--warn-only"]) == 0
+
+    def test_stale_baseline_warns(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        run_dir = tmp_path / "artifacts"
+        artifact(experiment="e1").write(baseline_dir)
+        artifact(experiment="e9").write(baseline_dir)
+        artifact(experiment="e1").write(run_dir)
+        code = bench_gate.main(
+            ["--baseline-dir", str(baseline_dir),
+             "--run-dir", str(run_dir)]
+        )
+        assert code == 0
+        assert "BENCH_e9.json had no artifact" in capsys.readouterr().out
+
+    def test_tolerance_flag(self, tmp_path):
+        args = self._dirs(
+            tmp_path,
+            artifact(metrics={"a": 100.0}),
+            artifact(metrics={"a": 104.0}),
+        )
+        assert bench_gate.main(args + ["--tolerance", "0.05"]) == 0
+        assert bench_gate.main(args + ["--tolerance", "0.01"]) == 1

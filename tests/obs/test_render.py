@@ -1,0 +1,57 @@
+"""Fixed-width snapshot rendering: gauges and cross-section alignment."""
+
+from repro.obs.config import TelemetryConfig
+from repro.obs.render import render_summary
+
+
+def snapshot_with_all_kinds():
+    telemetry = TelemetryConfig(enabled=True).build()
+    telemetry.count("ts.requests", 42)
+    telemetry.gauge("slo.k_attainment", 0.9875)
+    telemetry.gauge("sim.users", 140)
+    telemetry.observe("store.query_ms", 1.5, query="nearest_users")
+    return telemetry.snapshot()
+
+
+class TestRenderSummary:
+    def test_gauges_rendered_in_their_own_section(self):
+        text = render_summary(snapshot_with_all_kinds())
+        assert "gauges" in text
+        lines = text.splitlines()
+        gauge_start = lines.index("gauges")
+        section = lines[gauge_start:lines.index("histograms")]
+        assert any("slo.k_attainment" in line for line in section)
+        assert any("sim.users" in line for line in section)
+        # Float gauges keep precision, integral ones render as ints.
+        assert "0.988" in text
+        joined = "\n".join(section)
+        assert "140" in joined
+
+    def test_label_columns_align_across_sections(self):
+        text = render_summary(snapshot_with_all_kinds())
+        prefixes = ("ts.", "slo.", "sim.", "store.")
+        rows = [
+            line
+            for line in text.splitlines()
+            if line.startswith(prefixes)
+        ]
+        names = [row.split()[0] for row in rows]
+        assert len(rows) == 4  # one counter, two gauges, one histogram
+        name_width = max(len(name) for name in names)
+        for row, name in zip(rows, names):
+            # Every section pads the label column to the one shared
+            # width, so the data starts at the same column everywhere.
+            assert row[:name_width].rstrip() == name
+            assert row[name_width:name_width + 2] == "  "
+
+    def test_empty_snapshot_renders_placeholder(self):
+        telemetry = TelemetryConfig(enabled=True).build()
+        text = render_summary(telemetry.snapshot())
+        assert "(no metrics recorded)" in text
+
+    def test_counters_only_snapshot_has_no_gauge_section(self):
+        telemetry = TelemetryConfig(enabled=True).build()
+        telemetry.count("ts.requests")
+        text = render_summary(telemetry.snapshot())
+        assert "counters" in text
+        assert "gauges" not in text

@@ -2,9 +2,12 @@
 
 import logging
 
+import pytest
+
 from repro.obs.config import TelemetryConfig
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.sinks import (
+    JSONL_READ_STATS,
     ConsoleSink,
     JsonlSink,
     RingBufferSink,
@@ -66,6 +69,84 @@ class TestJsonl:
             sink.close()
         assert len(list(read_jsonl(path))) == 2
 
+    def test_flush_every_bounds_buffered_data(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        sink.emit({"type": "span", "name": "a"})
+        # One event may still sit in the stdio buffer …
+        assert len(list(read_jsonl(path))) <= 1
+        sink.emit({"type": "span", "name": "b"})
+        # … but the second write crossed the flush threshold.
+        assert len(list(read_jsonl(path))) == 2
+        sink.emit({"type": "span", "name": "c"})
+        sink.emit({"type": "span", "name": "d"})
+        assert len(list(read_jsonl(path))) == 4
+        sink.close()
+
+    def test_flush_every_zero_defers_to_explicit_flush(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=0)
+        # Small events stay in the stdio buffer until flushed.
+        sink.emit({"type": "span", "name": "a"})
+        assert list(read_jsonl(path)) == []
+        sink.flush()
+        assert len(list(read_jsonl(path))) == 1
+        sink.close()
+
+    def test_rejects_negative_flush_every(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlSink(tmp_path / "t.jsonl", flush_every=-1)
+
+    def test_config_passes_flush_every_through(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        telemetry = TelemetryConfig(
+            enabled=True, jsonl_path=str(path), jsonl_flush_every=1
+        ).build()
+        telemetry.event("ping", n=1)
+        assert [e["type"] for e in read_jsonl(path)] == ["ping"]
+        telemetry.close()
+
+
+class TestReadJsonlCorruption:
+    def _write(self, path, lines):
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_truncated_final_line_skipped_with_warning(
+        self, tmp_path, caplog
+    ):
+        path = tmp_path / "t.jsonl"
+        self._write(path, ['{"type":"span"}', '{"type":"sp'])
+        before = JSONL_READ_STATS.skipped
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            events = list(read_jsonl(path))
+        assert events == [{"type": "span"}]
+        assert JSONL_READ_STATS.skipped == before + 1
+        assert any(
+            "truncated final JSONL line" in r.getMessage()
+            for r in caplog.records
+        )
+
+    def test_corrupt_interior_line_always_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(
+            path, ['{"type":"span"}', "garbage", '{"type":"span"}']
+        )
+        with pytest.raises(ValueError, match="corrupt JSONL line"):
+            list(read_jsonl(path))
+
+    def test_strict_raises_on_truncated_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, ['{"type":"span"}', '{"bad'])
+        with pytest.raises(ValueError):
+            list(read_jsonl(path, strict=True))
+
+    def test_clean_file_does_not_touch_stats(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, ['{"a":1}', "", '{"b":2}'])
+        before = JSONL_READ_STATS.skipped
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+        assert JSONL_READ_STATS.skipped == before
+
 
 class TestConsole:
     def test_routes_through_repro_logger(self, caplog):
@@ -85,6 +166,23 @@ class TestConsole:
         assert any("ts.request" in m for m in messages)
         assert any("metrics snapshot" in m for m in messages)
         assert all(r.name == "repro.obs" for r in caplog.records)
+
+    def test_slo_alerts_log_as_warnings(self, caplog):
+        sink = ConsoleSink()
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            sink.emit(
+                {
+                    "type": "slo_alert",
+                    "rule": "k_attainment >= 0.95",
+                    "state": "breach",
+                    "value": 0.8,
+                    "threshold": 0.95,
+                    "t": 3600.0,
+                }
+            )
+        [record] = caplog.records
+        assert record.levelno == logging.WARNING
+        assert "k_attainment >= 0.95" in record.getMessage()
 
     def test_library_is_silent_by_default(self):
         """The package installs a NullHandler on the "repro" root."""

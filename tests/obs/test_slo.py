@@ -1,0 +1,382 @@
+"""Rule parsing, window estimates, and alerting of the SLO monitor."""
+
+import math
+
+import pytest
+
+from repro.obs.config import TelemetryConfig
+from repro.obs.sinks import RingBufferSink
+from repro.obs.slo import (
+    HOME_HOURS,
+    PrivacyMonitor,
+    SloRule,
+    _in_home_hours,
+    parse_slo,
+)
+
+HOUR = 3600.0
+
+
+def decision_event(
+    t,
+    user_id=1,
+    pseudonym="p1",
+    decision="forwarded",
+    forwarded=True,
+    lbqid=None,
+    rotated=False,
+    required_k=2,
+    context=None,
+):
+    return {
+        "type": "ts.decision",
+        "t": t,
+        "user_id": user_id,
+        "pseudonym": pseudonym,
+        "service": "poi",
+        "decision": decision,
+        "forwarded": forwarded,
+        "lbqid": lbqid,
+        "hk": None,
+        "step": None,
+        "required_k": required_k,
+        "rotated": rotated,
+        "context": context,
+    }
+
+
+def box(x=0.0, y=0.0, side=100.0, t=0.0, dt=60.0):
+    return (x, y, x + side, y + side, t, t + dt)
+
+
+class TestParseSlo:
+    def test_basic_rule(self):
+        rule = parse_slo("k_attainment >= 0.95 over 2h")
+        assert rule == SloRule("k_attainment", ">=", 0.95, 2 * HOUR)
+        assert rule.name == "k_attainment >= 0.95 over 7200s"
+
+    def test_rate_units_normalize_to_per_minute(self):
+        per_min = parse_slo("unlink_rate <= 0.2/min")
+        per_hour = parse_slo("unlink_rate <= 12/h")
+        per_sec = parse_slo("unlink_rate <= 0.0033333333333333335/s")
+        assert per_min.threshold == pytest.approx(0.2)
+        assert per_hour.threshold == pytest.approx(0.2)
+        assert per_sec.threshold == pytest.approx(0.2)
+
+    @pytest.mark.parametrize(
+        "text,window_s",
+        [
+            ("suppression_rate < 0.1 over 90s", 90.0),
+            ("suppression_rate < 0.1 over 5min", 300.0),
+            ("suppression_rate < 0.1 over 1d", 86400.0),
+            ("suppression_rate < 0.1", None),
+        ],
+    )
+    def test_window_units(self, text, window_s):
+        assert parse_slo(text).window_s == window_s
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "k_attainment", ">= 0.95", "k ~= 1", "k >= 1 over -2h",
+         "k >= 1 over"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+    def test_nan_never_satisfies(self):
+        rule = parse_slo("mean_area_m2 <= 1e9")
+        assert not rule.check(float("nan"))
+        assert rule.check(1e6)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            SloRule("k_attainment", "!=", 1.0)
+
+
+class TestWindowEstimates:
+    def test_unlink_rate_is_per_minute_and_windowed(self):
+        monitor = PrivacyMonitor(window_s=600.0)
+        for i in range(10):
+            monitor.emit(decision_event(t=60.0 * i, rotated=True))
+        # 10 rotations in a 600 s window = 1/minute.
+        assert monitor.unlink_rate() == pytest.approx(1.0)
+        # A much later quiet event slides the old rotations out.
+        monitor.emit(decision_event(t=10_000.0))
+        assert monitor.unlink_rate() == 0.0
+        assert monitor.unlink_total == 10
+
+    def test_qos_means_track_forwarded_lbqid_contexts(self):
+        monitor = PrivacyMonitor(window_s=HOUR)
+        monitor.emit(
+            decision_event(t=0.0, lbqid="c", context=box(side=100.0))
+        )
+        monitor.emit(
+            decision_event(t=10.0, lbqid="c", context=box(side=300.0))
+        )
+        # Non-LBQID forwards don't count toward generalization QoS.
+        monitor.emit(decision_event(t=20.0, context=box(side=900.0)))
+        assert monitor.mean_area_m2() == pytest.approx(
+            (100.0**2 + 300.0**2) / 2
+        )
+        assert monitor.mean_duration_s() == pytest.approx(60.0)
+
+    def test_qos_empty_window_is_nan(self):
+        monitor = PrivacyMonitor()
+        assert math.isnan(monitor.mean_area_m2())
+        assert math.isnan(monitor.mean_duration_s())
+
+    def test_suppression_and_at_risk_rates(self):
+        monitor = PrivacyMonitor(window_s=HOUR)
+        monitor.emit(decision_event(t=0.0))
+        monitor.emit(
+            decision_event(t=1.0, decision="suppressed", forwarded=False)
+        )
+        monitor.emit(
+            decision_event(t=2.0, decision="at_risk_forwarded")
+        )
+        monitor.emit(decision_event(t=3.0))
+        assert monitor.suppression_rate() == pytest.approx(0.25)
+        assert monitor.at_risk_rate() == pytest.approx(0.5)
+
+    def test_k_attainment_vacuous_without_groups(self):
+        monitor = PrivacyMonitor(store=object.__new__(object))
+        assert monitor.k_attainment() == 1.0
+
+    def test_estimates_without_store_reports_nan_attainment(self):
+        monitor = PrivacyMonitor()
+        monitor.emit(decision_event(t=0.0))
+        assert math.isnan(monitor.estimates()["k_attainment"])
+
+
+class _FakeHistory:
+    """Duck-typed PHL: consistency decided by a fixed answer set."""
+
+    def __init__(self, consistent):
+        self.consistent = consistent
+
+    def lt_consistent_with(self, contexts):
+        return self.consistent
+
+
+class _FakeStore:
+    def __init__(self, answers):
+        self.histories = {
+            uid: _FakeHistory(ok) for uid, ok in answers.items()
+        }
+        self.version = 0
+
+
+class TestHistoricalK:
+    def test_achieved_k_counts_consistent_others(self):
+        store = _FakeStore({1: True, 2: True, 3: False, 4: True})
+        monitor = PrivacyMonitor(store=store, window_s=HOUR)
+        monitor.emit(
+            decision_event(
+                t=0.0, user_id=1, lbqid="c", required_k=3,
+                context=box(),
+            )
+        )
+        # User 1 itself plus users 2 and 4 (3 is inconsistent).
+        assert monitor.historical_k_per_user() == {1: 3}
+        assert monitor.k_attainment() == 1.0
+
+    def test_incremental_filter_matches_full_recompute(self):
+        store = _FakeStore({1: True, 2: True, 3: True})
+        monitor = PrivacyMonitor(store=store, window_s=HOUR)
+        key = (1, "p1", "c")
+        monitor.emit(
+            decision_event(t=0.0, user_id=1, lbqid="c", context=box())
+        )
+        assert monitor.achieved_k(key) == 3
+        # Store unchanged: the next context filters the cached
+        # candidates instead of rescanning; user 3 now fails.
+        store.histories[3].consistent = False
+        monitor.emit(
+            decision_event(t=1.0, user_id=1, lbqid="c", context=box())
+        )
+        assert monitor.achieved_k(key) == 2
+
+    def test_store_growth_forces_recompute(self):
+        store = _FakeStore({1: True, 2: False})
+        monitor = PrivacyMonitor(store=store, window_s=HOUR)
+        key = (1, "p1", "c")
+        monitor.emit(
+            decision_event(t=0.0, user_id=1, lbqid="c", context=box())
+        )
+        assert monitor.achieved_k(key) == 1
+        # User 2's PHL grows and becomes consistent; the version bump
+        # must invalidate the cached (empty) candidate set.
+        store.histories[2].consistent = True
+        store.version += 1
+        assert monitor.achieved_k(key) == 2
+
+    def test_attainment_against_required_k(self):
+        store = _FakeStore({1: True, 2: True, 3: False})
+        monitor = PrivacyMonitor(store=store, window_s=HOUR)
+        monitor.emit(
+            decision_event(
+                t=0.0, user_id=1, pseudonym="a", lbqid="c",
+                required_k=2, context=box(),
+            )
+        )
+        monitor.emit(
+            decision_event(
+                t=1.0, user_id=2, pseudonym="b", lbqid="c",
+                required_k=5, context=box(),
+            )
+        )
+        # Group a achieves 2 (meets 2); group b achieves 2 (missing 5).
+        assert monitor.k_attainment() == pytest.approx(0.5)
+
+
+class TestRiskProxy:
+    def test_home_hours_windows(self):
+        for lo, hi in HOME_HOURS:
+            assert _in_home_hours(lo * HOUR)
+            assert _in_home_hours(hi * HOUR - 1.0)
+        assert not _in_home_hours(12 * HOUR)
+        # Wraps across days.
+        assert _in_home_hours(24 * HOUR + 6 * HOUR)
+
+    def test_repeat_home_anchor_is_claimable(self):
+        monitor = PrivacyMonitor(min_home_requests=2)
+        home_t = 6 * HOUR  # inside (5.0, 8.5)
+        monitor.emit(
+            decision_event(t=home_t, pseudonym="px", context=box(t=home_t))
+        )
+        assert monitor.risk_claim_rate() == 0.0
+        monitor.emit(
+            decision_event(
+                t=home_t + 60, pseudonym="px", context=box(t=home_t + 60)
+            )
+        )
+        assert monitor.claimable_pseudonyms() == {"px"}
+        assert monitor.risk_claim_rate() == 1.0
+
+    def test_noon_requests_never_claim(self):
+        monitor = PrivacyMonitor(min_home_requests=1)
+        noon = 12 * HOUR
+        monitor.emit(
+            decision_event(t=noon, pseudonym="px", context=box(t=noon))
+        )
+        assert monitor.risk_claim_rate() == 0.0
+
+    def test_homes_oracle_filters_claims(self):
+        class Home:
+            def __init__(self, x, y):
+                self.x, self.y = x, y
+
+        monitor = PrivacyMonitor(
+            homes={1: Home(5000.0, 5000.0)},
+            min_home_requests=1,
+            claim_radius=150.0,
+        )
+        home_t = 6 * HOUR
+        # Anchor cell centroid at (50, 50) — 7 km from the only home.
+        monitor.emit(
+            decision_event(t=home_t, pseudonym="px", context=box(t=home_t))
+        )
+        assert monitor.claimable_pseudonyms() == set()
+        # A pseudonym anchored at the home is claimable.
+        monitor.emit(
+            decision_event(
+                t=home_t + 60,
+                pseudonym="py",
+                context=box(x=4950.0, y=4950.0, t=home_t + 60),
+            )
+        )
+        assert monitor.claimable_pseudonyms() == {"py"}
+
+
+class TestEvaluationAndAlerts:
+    def _monitor_with_telemetry(self, rules, **kwargs):
+        telemetry = TelemetryConfig(enabled=True, ring_buffer=256).build()
+        monitor = PrivacyMonitor(rules=rules, **kwargs).attach(telemetry)
+        return monitor, telemetry
+
+    def test_rollover_evaluates_and_alerts_through_fanout(self):
+        monitor, telemetry = self._monitor_with_telemetry(
+            ["unlink_rate <= 0.5/min"], window_s=600.0
+        )
+        ring = telemetry.sinks[0]
+        assert isinstance(ring, RingBufferSink)
+        # First window: heavy churn -> breach on roll-over.
+        for i in range(10):
+            monitor.emit(decision_event(t=60.0 * i, rotated=True))
+        monitor.emit(decision_event(t=601.0))
+        breaches = [
+            e for e in ring.events if e.get("type") == "slo_alert"
+        ]
+        assert [a["state"] for a in breaches] == ["breach"]
+        assert breaches[0]["rule"] == "unlink_rate <= 0.5"
+        # Quiet second window: recovery alert.
+        monitor.emit(decision_event(t=1300.0))
+        states = [
+            e["state"]
+            for e in ring.events
+            if e.get("type") == "slo_alert"
+        ]
+        assert states == ["breach", "recovered"]
+        # The monitor never feeds alerts back into itself.
+        assert monitor.events_seen == 12
+
+    def test_evaluation_publishes_gauges_and_counters(self):
+        monitor, telemetry = self._monitor_with_telemetry(
+            ["unlink_rate <= 0.5/min"], window_s=600.0
+        )
+        for i in range(10):
+            monitor.emit(decision_event(t=60.0 * i, rotated=True))
+        monitor.evaluate()
+        snapshot = telemetry.snapshot()
+        assert snapshot.gauge_value("slo.unlink_rate") == pytest.approx(
+            1.0
+        )
+        assert snapshot.counter_value("slo.alerts", state="breach") == 1
+
+    def test_status_tracks_breach_counts(self):
+        monitor = PrivacyMonitor(
+            rules=["suppression_rate <= 0.1"], window_s=600.0
+        )
+        monitor.emit(
+            decision_event(t=0.0, decision="suppressed", forwarded=False)
+        )
+        monitor.evaluate(now=0.0)
+        monitor.evaluate(now=1.0)
+        status = monitor.status["suppression_rate <= 0.1"]
+        assert status.evaluations == 2
+        assert status.breaches == 2
+        assert not status.ok
+        # Only the transition raised an alert.
+        assert len(monitor.alerts) == 1
+
+    def test_unknown_metric_raises_at_evaluation(self):
+        monitor = PrivacyMonitor(rules=["no_such_metric >= 1"])
+        with pytest.raises(ValueError, match="unknown SLO metric"):
+            monitor.evaluate(now=0.0)
+
+    def test_summary_lines_render_status(self):
+        monitor = PrivacyMonitor(
+            rules=["suppression_rate <= 0.1"], window_s=600.0
+        )
+        monitor.emit(
+            decision_event(t=0.0, decision="suppressed", forwarded=False)
+        )
+        monitor.evaluate(now=0.0)
+        text = "\n".join(monitor.summary_lines())
+        assert "== privacy SLOs ==" in text
+        assert "BREACH" in text
+        assert "alerts: 1" in text
+
+    def test_rule_window_overrides_default(self):
+        monitor = PrivacyMonitor(
+            rules=[SloRule("unlink_rate", "<=", 0.5, window_s=7200.0)],
+            window_s=600.0,
+        )
+        assert monitor._max_window == 7200.0
+
+    def test_rejects_nonpositive_windows(self):
+        with pytest.raises(ValueError):
+            PrivacyMonitor(window_s=0.0)
+        with pytest.raises(ValueError):
+            PrivacyMonitor(eval_every_s=-1.0)

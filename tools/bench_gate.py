@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Gate benchmark runs against committed baseline artifacts.
+
+Compares every ``BENCH_*.json`` in ``--run-dir`` (written by the
+benchmark drivers via ``repro.obs.bench.export_bench``) against the
+artifact of the same name in ``--baseline-dir``, metric by metric,
+within ``--tolerance`` (relative).  Timing data in the artifacts'
+``latency`` sections is never gated — only the seeded-deterministic
+``metrics``.
+
+Exit status 1 when any metric regressed (moved beyond tolerance) or
+disappeared, unless ``--warn-only``.  Artifacts without a baseline, or
+whose workload fingerprint / schema version doesn't match the
+baseline's, produce warnings, never failures — committing the printed
+artifact as the new baseline is the fix for the first, rerunning with
+the baseline's workload mode for the second.
+
+Usage (what CI runs)::
+
+    REPRO_BENCH_SMOKE=1 REPRO_BENCH_DIR=benchmarks/artifacts \\
+        python -m pytest benchmarks/ -q
+    python tools/bench_gate.py \\
+        --baseline-dir benchmarks/baselines/smoke \\
+        --run-dir benchmarks/artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.bench import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    compare_artifacts,
+    load_bench_artifact,
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "baselines",
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--run-dir",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "artifacts",
+        help="directory of the current run's BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative tolerance per metric (default %(default)s)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    current_paths = sorted(args.run_dir.glob("BENCH_*.json"))
+    if not current_paths:
+        print(f"bench_gate: no BENCH_*.json under {args.run_dir}")
+        return 0 if args.warn_only else 1
+
+    failures = 0
+    warnings = 0
+    for path in current_paths:
+        current = load_bench_artifact(path)
+        baseline_path = args.baseline_dir / path.name
+        if not baseline_path.exists():
+            warnings += 1
+            print(
+                f"WARN {current.experiment}: no baseline "
+                f"({baseline_path} missing) — commit {path.name} to "
+                f"start gating it"
+            )
+            continue
+        baseline = load_bench_artifact(baseline_path)
+        comparison = compare_artifacts(
+            baseline, current, tolerance=args.tolerance
+        )
+        if comparison.skipped_reason is not None:
+            warnings += 1
+            print(
+                f"WARN {current.experiment}: comparison skipped — "
+                f"{comparison.skipped_reason}"
+            )
+            continue
+        regressions = comparison.regressions
+        added = [d for d in comparison.deltas if d.status == "added"]
+        if regressions:
+            failures += 1
+            print(
+                f"FAIL {current.experiment}: {len(regressions)} of "
+                f"{len(comparison.deltas)} metrics regressed "
+                f"(tolerance {args.tolerance:.1%})"
+            )
+            for delta in regressions:
+                print(f"  {delta.describe()}")
+        else:
+            print(
+                f"OK   {current.experiment}: "
+                f"{len(comparison.deltas)} metrics within "
+                f"{args.tolerance:.1%}"
+            )
+        for delta in added:
+            print(f"  note: {delta.describe()}")
+
+    stale = sorted(
+        p.name
+        for p in args.baseline_dir.glob("BENCH_*.json")
+        if not (args.run_dir / p.name).exists()
+    )
+    for name in stale:
+        warnings += 1
+        print(f"WARN baseline {name} had no artifact in this run")
+
+    print(
+        f"bench_gate: {len(current_paths)} artifacts, "
+        f"{failures} failing, {warnings} warnings"
+    )
+    if failures and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
