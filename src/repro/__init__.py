@@ -66,6 +66,13 @@ from repro.core import (
 )
 from repro.core.lbqid import commute_lbqid
 from repro.core.randomization import BoxRandomizer
+from repro.engine import (
+    BatchItem,
+    Engine,
+    InMemorySessionStore,
+    PipelineBuilder,
+    ShardedSessionStore,
+)
 from repro.mining import mine_commute_lbqid
 from repro.mod import GridIndex, TrajectoryStore
 from repro.obs import Telemetry, TelemetryConfig
@@ -107,6 +114,11 @@ __all__ = [
     "NeverUnlink",
     "ProbabilisticUnlink",
     "TrustedAnonymizer",
+    "Engine",
+    "PipelineBuilder",
+    "BatchItem",
+    "InMemorySessionStore",
+    "ShardedSessionStore",
     "Decision",
     "AnonymizerEvent",
     "BoxRandomizer",

@@ -16,6 +16,17 @@ For every incoming request the TS:
    and is notified; depending on policy the request is suppressed or
    forwarded anyway.
 
+Since the engine refactor this module is a thin facade: the strategy
+itself lives in :mod:`repro.engine` as an explicit staged pipeline
+(``QuietGate`` → ``MonitorMatch`` → ``Generalize`` → ``Unlink`` →
+``RiskPolicy`` → ``Audit``), with all per-user mutable state behind the
+:class:`~repro.engine.session.SessionStore` protocol.
+:class:`TrustedAnonymizer` keeps the historical constructor, audit
+fields, and telemetry labels byte-for-byte; use the underlying
+:attr:`TrustedAnonymizer.engine` (or build an
+:class:`~repro.engine.pipeline.Engine` directly) to swap stages or
+session backends.
+
 Anonymity-set scope — an interpretive choice the sketched Algorithm 1
 leaves open (documented in DESIGN.md and measured in benchmark E5):
 
@@ -33,102 +44,44 @@ leaves open (documented in DESIGN.md and measured in benchmark E5):
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
-from repro.core.generalization import (
-    GeneralizationResult,
-    SpatioTemporalGeneralizer,
-    ToleranceConstraint,
-    default_context,
-)
+from repro.core.generalization import ToleranceConstraint
 from repro.core.lbqid import LBQID
-from repro.core.matching import LBQIDMonitor, MatchEvent, PartialMatch
-from repro.core.policy import PolicyTable, PrivacyProfile, RiskAction
-from repro.core.pseudonyms import PseudonymManager
+from repro.core.policy import PolicyTable
 from repro.core.randomization import BoxRandomizer
 from repro.core.requests import Request, SPRequest
-from repro.core.unlinking import NeverUnlink, UnlinkingProvider
+from repro.core.unlinking import UnlinkingProvider
+from repro.engine.context import (
+    AnonymitySetScope,
+    AnonymizerEvent,
+    Decision,
+)
+from repro.engine.pipeline import Engine, PipelineBuilder
+from repro.engine.session import (
+    LBQIDState,
+    SessionPseudonyms,
+    SessionStore,
+)
+from repro.engine.stages import Stage
 from repro.geometry.point import STPoint
 from repro.mod.store import TrajectoryStore
-from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
+from repro.obs.config import Telemetry, TelemetryConfig
 
+__all__ = [
+    "AnonymitySetScope",
+    "AnonymizerEvent",
+    "Decision",
+    "TrustedAnonymizer",
+]
 
-class Decision(enum.Enum):
-    """What the TS did with one request."""
-
-    #: No LBQID element matched; forwarded with the default context.
-    FORWARDED = "forwarded"
-    #: Matched an LBQID element; forwarded with an Algorithm 1 context
-    #: that preserved historical k-anonymity.
-    GENERALIZED = "generalized"
-    #: Generalization failed; unlinking succeeded before a complete LBQID
-    #: was matched.  The request is forwarded under the *old* pseudonym
-    #: (unlinking protects "future requests from the previous ones"),
-    #: which is then retired: the old pseudonym's request group is frozen
-    #: with the LBQID incomplete, so Theorem 1's premise can never hold
-    #: for it.
-    UNLINKED = "unlinked"
-    #: Generalization and unlinking both failed; user notified and the
-    #: request forwarded anyway (policy ``RiskAction.FORWARD``).
-    AT_RISK_FORWARDED = "at_risk_forwarded"
-    #: Generalization and unlinking both failed; user notified and the
-    #: request suppressed (policy ``RiskAction.SUPPRESS``).
-    SUPPRESSED = "suppressed"
-    #: Request fell inside the post-unlinking quiet period — the
-    #: Section 6.3 mix-zone mechanic of "temporarily disabling the use
-    #: of the service … for the time sufficient to confuse the SP".
-    QUIET = "quiet"
-
-
-class AnonymitySetScope(enum.Enum):
-    """When Algorithm 1 reselects the k anonymity users (see module doc)."""
-
-    PER_LBQID = "per_lbqid"
-    PER_OBSERVATION = "per_observation"
-
-
-@dataclass(frozen=True)
-class AnonymizerEvent:
-    """Audit record of one processed request (TS-side, ground truth).
-
-    ``request`` carries the final outgoing context and pseudonym (for a
-    suppressed request: the context that *would* have been sent).
-    ``hk_anonymity`` is Algorithm 1's boolean output, ``None`` when no
-    generalization ran.  ``lbqid_matched`` flags that the LBQID's
-    recurrence formula became satisfied at this request.
-    """
-
-    request: Request
-    decision: Decision
-    forwarded: bool
-    lbqid_name: str | None = None
-    hk_anonymity: bool | None = None
-    lbqid_matched: bool = False
-    generalization: GeneralizationResult | None = None
-    step: int | None = None
-    required_k: int | None = None
-    #: Whether this request triggered a pseudonym rotation (successful
-    #: unlinking), regardless of whether the request itself was forwarded.
-    pseudonym_rotated: bool = False
-
-
-@dataclass
-class _LBQIDState:
-    """Per-(user, LBQID) tracking state."""
-
-    monitor: LBQIDMonitor
-    #: Anonymity set selected at the first generalized request
-    #: (PER_LBQID scope); None until selected or after a reset.
-    anonymity_ids: tuple[int, ...] | None = None
-    #: Number of requests generalized for this LBQID since the last
-    #: reset; drives the k' schedule.
-    steps: int = 0
+#: Backwards-compatible alias: per-(user, LBQID) tracking state now
+#: lives in :mod:`repro.engine.session`.
+_LBQIDState = LBQIDState
 
 
 class TrustedAnonymizer:
-    """The TS-side engine tying monitors, Algorithm 1 and unlinking together.
+    """The TS-side facade tying monitors, Algorithm 1 and unlinking together.
 
     Typical use::
 
@@ -140,8 +93,13 @@ class TrustedAnonymizer:
         ts.report_location(user_id, point)       # location updates
         event = ts.request(user_id, point, "poi")  # a service request
 
-    Ground-truth audit events accumulate in :attr:`events`; the
-    SP-visible stream is :meth:`sp_log`.
+    Ground-truth audit events accumulate in :attr:`events` (unless
+    ``audit="counts"`` bounds retention); the SP-visible stream is
+    :meth:`sp_log`.  The work happens in the staged
+    :class:`~repro.engine.pipeline.Engine` at :attr:`engine` —
+    ``sessions``, ``audit``, and ``pipeline`` pass straight through to
+    it for sharded session state, bounded audit trails, and custom
+    stage orders.
     """
 
     def __init__(
@@ -154,35 +112,87 @@ class TrustedAnonymizer:
         randomizer: "BoxRandomizer | None" = None,
         quiet_period: float = 0.0,
         telemetry: "Telemetry | TelemetryConfig | None" = None,
+        sessions: SessionStore | None = None,
+        audit: str = "full",
+        pipeline: "PipelineBuilder | Sequence[Stage] | None" = None,
     ) -> None:
-        if quiet_period < 0:
-            raise ValueError(
-                f"quiet_period must be non-negative, got {quiet_period}"
-            )
-        self.store = store
-        self.policy = policy or PolicyTable()
-        self.unlinker = unlinker or NeverUnlink()
-        self.scope = scope
-        self.default_cloak = default_cloak
-        #: Optional Section 7 randomization: certified contexts are
-        #: re-placed at random within the tolerance budget before
-        #: forwarding, defeating center-bias inference (bench E13).
-        self.randomizer = randomizer
-        #: Seconds of service silence after a pseudonym rotation — the
-        #: mix-zone "no service inside the zone" mechanic.  Requests in
-        #: the window are suppressed so the SP sees a gap, not a
-        #: continuous trajectory, across the rotation (bench E16).
-        self.quiet_period = quiet_period
-        self._quiet_until: dict[int, float] = {}
-        #: Per-request telemetry (spans, decision counters, latency and
-        #: anonymity-set histograms).  Defaults to the disabled no-op
-        #: singleton, whose every call costs a single branch.
-        self.telemetry = resolve_telemetry(telemetry)
-        self.generalizer = SpatioTemporalGeneralizer(store)
-        self.pseudonyms = PseudonymManager()
-        self.events: list[AnonymizerEvent] = []
-        self._states: dict[int, list[_LBQIDState]] = {}
-        self._msgid = 0
+        self.engine = Engine(
+            store,
+            policy=policy,
+            unlinker=unlinker,
+            scope=scope,
+            default_cloak=default_cloak,
+            randomizer=randomizer,
+            quiet_period=quiet_period,
+            telemetry=telemetry,
+            sessions=sessions,
+            audit=audit,
+            pipeline=pipeline,
+        )
+        #: PseudonymManager-shaped view over the engine's session store.
+        self.pseudonyms = SessionPseudonyms(self.engine.sessions)
+
+    # ------------------------------------------------------------------
+    # engine pass-throughs (the historical public attributes)
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> TrajectoryStore:
+        return self.engine.store
+
+    @property
+    def policy(self) -> PolicyTable:
+        return self.engine.policy
+
+    @policy.setter
+    def policy(self, policy: PolicyTable) -> None:
+        self.engine.policy = policy
+
+    @property
+    def unlinker(self) -> UnlinkingProvider:
+        return self.engine.unlinker
+
+    @unlinker.setter
+    def unlinker(self, unlinker: UnlinkingProvider) -> None:
+        self.engine.unlinker = unlinker
+
+    @property
+    def scope(self) -> AnonymitySetScope:
+        return self.engine.scope
+
+    @property
+    def default_cloak(self) -> ToleranceConstraint | None:
+        return self.engine.default_cloak
+
+    @property
+    def randomizer(self) -> "BoxRandomizer | None":
+        return self.engine.randomizer
+
+    @property
+    def quiet_period(self) -> float:
+        return self.engine.quiet_period
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self.engine.telemetry
+
+    @property
+    def generalizer(self):
+        return self.engine.generalizer
+
+    @property
+    def events(self) -> list[AnonymizerEvent]:
+        """Retained audit events (empty under ``audit="counts"``)."""
+        return self.engine.audit.events
+
+    @property
+    def _states(self) -> dict[int, list[LBQIDState]]:
+        """Per-user LBQID states, as the pre-engine private dict."""
+        sessions = self.engine.sessions
+        return {
+            user_id: sessions.session(user_id).lbqids
+            for user_id in sessions.users()
+        }
 
     # ------------------------------------------------------------------
     # registration and location updates
@@ -190,18 +200,13 @@ class TrustedAnonymizer:
 
     def register_lbqid(self, user_id: int, lbqid: LBQID) -> None:
         """Attach an LBQID specification for a user (Section 6.1 step 1)."""
-        self._states.setdefault(user_id, []).append(
-            _LBQIDState(
-                monitor=LBQIDMonitor(lbqid, telemetry=self.telemetry)
-            )
-        )
+        self.engine.register_lbqid(user_id, lbqid)
 
     def register_lbqids(
         self, user_id: int, lbqids: Iterable[LBQID]
     ) -> None:
         """Attach several LBQIDs for a user."""
-        for lbqid in lbqids:
-            self.register_lbqid(user_id, lbqid)
+        self.engine.register_lbqids(user_id, lbqids)
 
     def report_location(self, user_id: int, location: STPoint) -> None:
         """Ingest a location update that is not a service request.
@@ -210,8 +215,7 @@ class TrustedAnonymizer:
         not make a request when being at that location" — these updates
         populate the PHLs that define everyone's anonymity sets.
         """
-        self.store.add_point(user_id, location)
-        self.telemetry.count("ts.location_updates")
+        self.engine.report_location(user_id, location)
 
     # ------------------------------------------------------------------
     # request processing
@@ -229,300 +233,7 @@ class TrustedAnonymizer:
         Returns the audit event; the outgoing SP request (if forwarded)
         is appended to the log returned by :meth:`sp_log`.
         """
-        telemetry = self.telemetry
-        if not telemetry.enabled:
-            return self._process(user_id, location, service, data)
-        with telemetry.span(
-            "ts.request", user_id=user_id, service=service
-        ) as span:
-            with telemetry.timer("ts.request_latency_ms"):
-                event = self._process(user_id, location, service, data)
-            span.annotate(decision=event.decision.value)
-        self._record(event, telemetry)
-        return event
-
-    def _record(self, event: AnonymizerEvent, telemetry: Telemetry) -> None:
-        """Per-request metrics and the streaming decision event.
-
-        The ``ts.decision`` event mirrors the audit record for online
-        consumers (:class:`~repro.obs.slo.PrivacyMonitor`, JSONL
-        exports).  It carries the TS-side ground-truth ``user_id``
-        alongside the pseudonym — telemetry stays inside the trust
-        boundary, so exported JSONL files must be treated as
-        TS-confidential.
-        """
-        telemetry.count("ts.requests")
-        telemetry.count("ts.decisions", decision=event.decision.value)
-        if event.pseudonym_rotated:
-            telemetry.count("ts.pseudonym_rotations")
-        result = event.generalization
-        if result is not None:
-            telemetry.observe(
-                "ts.anonymity_set_size", len(result.anonymity_ids)
-            )
-            telemetry.observe("ts.box_area_m2", result.box.rect.area)
-            telemetry.observe(
-                "ts.box_duration_s", result.box.interval.duration
-            )
-        context = event.request.context
-        telemetry.event(
-            "ts.decision",
-            t=event.request.t,
-            user_id=event.request.user_id,
-            pseudonym=event.request.pseudonym,
-            service=event.request.service,
-            decision=event.decision.value,
-            forwarded=event.forwarded,
-            lbqid=event.lbqid_name,
-            hk=event.hk_anonymity,
-            step=event.step,
-            required_k=event.required_k,
-            rotated=event.pseudonym_rotated,
-            context=(
-                context.rect.x_min,
-                context.rect.y_min,
-                context.rect.x_max,
-                context.rect.y_max,
-                context.interval.start,
-                context.interval.end,
-            ),
-        )
-
-    def _process(
-        self,
-        user_id: int,
-        location: STPoint,
-        service: str,
-        data: Mapping[str, object] | None,
-    ) -> AnonymizerEvent:
-        """The Section 6.1 decision pipeline for one request."""
-        # Every request is also a location update: "for each request r_i
-        # there must be an element in the PHL of User(r_i)".
-        self.store.add_point(user_id, location)
-        self.telemetry.count("ts.location_updates")
-        self._msgid += 1
-        request = Request.issue(
-            msgid=self._msgid,
-            user_id=user_id,
-            pseudonym=self.pseudonyms.current(user_id),
-            location=location,
-            service=service,
-            data=data,
-        )
-        profile = self.policy.profile_for(user_id, service)
-        tolerance = self.policy.tolerance_for(service)
-
-        quiet_until = self._quiet_until.get(user_id)
-        if quiet_until is not None and location.t < quiet_until:
-            # Inside the post-rotation quiet window: the service is
-            # disabled so the SP cannot bridge the pseudonym change by
-            # movement continuity.  The location update was ingested;
-            # nothing crosses the trust boundary.
-            event = AnonymizerEvent(
-                request=request,
-                decision=Decision.QUIET,
-                forwarded=False,
-            )
-            self.events.append(event)
-            return event
-
-        state, match = self._feed_monitors(user_id, location)
-        if state is None or match is None:
-            context = default_context(location, self.default_cloak)
-            event = AnonymizerEvent(
-                request=request.with_context(context),
-                decision=Decision.FORWARDED,
-                forwarded=True,
-            )
-            self.events.append(event)
-            return event
-
-        step = state.steps
-        required_k = profile.required_k_at_step(step)
-        result = self._generalize(
-            user_id, state, match, location, profile, tolerance
-        )
-        state.steps += 1
-        lbqid_name = state.monitor.lbqid.name
-
-        if result.hk_anonymity:
-            context = result.box
-            if self.randomizer is not None:
-                context = self.randomizer.randomize(
-                    context, location, tolerance
-                )
-            event = AnonymizerEvent(
-                request=request.with_context(context),
-                decision=Decision.GENERALIZED,
-                forwarded=True,
-                lbqid_name=lbqid_name,
-                hk_anonymity=True,
-                lbqid_matched=match.lbqid_matched,
-                generalization=result,
-                step=step,
-                required_k=required_k,
-            )
-            self.events.append(event)
-            return event
-
-        # Generalization failed: try to unlink (Section 6.1 step 2).
-        # Unlinking only helps "before a complete LBQID is matched" — if
-        # the pattern is already complete (possibly completed by this very
-        # request), forwarding an under-generalized context would break
-        # Definition 8 for a matched, link-connected set, so the request
-        # falls through to the at-risk handling even when the pseudonym
-        # can still be rotated to protect the future.
-        outcome = self.unlinker.attempt_unlink(user_id, location)
-        too_late = state.monitor.matched
-        rotated = False
-        if outcome.success:
-            self.pseudonyms.rotate(user_id)
-            self._reset_user(user_id)
-            rotated = True
-            if self.quiet_period > 0:
-                self._quiet_until[user_id] = (
-                    location.t + self.quiet_period
-                )
-            if not too_late:
-                # Forward under the old pseudonym (already on `request`);
-                # that pseudonym is now retired with the LBQID incomplete.
-                event = AnonymizerEvent(
-                    request=request.with_context(result.box),
-                    decision=Decision.UNLINKED,
-                    forwarded=True,
-                    lbqid_name=lbqid_name,
-                    hk_anonymity=False,
-                    lbqid_matched=match.lbqid_matched,
-                    generalization=result,
-                    step=step,
-                    required_k=required_k,
-                    pseudonym_rotated=True,
-                )
-                self.events.append(event)
-                return event
-
-        # The user is at risk of identification: notify, then suppress or
-        # forward according to policy.
-        suppress = profile.on_risk is RiskAction.SUPPRESS
-        event = AnonymizerEvent(
-            request=request.with_context(result.box),
-            decision=(
-                Decision.SUPPRESSED
-                if suppress
-                else Decision.AT_RISK_FORWARDED
-            ),
-            forwarded=not suppress,
-            lbqid_name=lbqid_name,
-            hk_anonymity=False,
-            lbqid_matched=match.lbqid_matched,
-            generalization=result,
-            step=step,
-            required_k=required_k,
-            pseudonym_rotated=rotated,
-        )
-        self.events.append(event)
-        return event
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-
-    def _feed_monitors(
-        self, user_id: int, location: STPoint
-    ) -> tuple[_LBQIDState | None, MatchEvent | None]:
-        """Feed the location to every monitor of the user.
-
-        Returns the state whose monitor the request matched, per the
-        paper's simplifying assumption "each request can match an element
-        in only one of the LBQIDs defined for a certain user" — with
-        several candidates the most-advanced partial wins.
-        """
-        matched: list[tuple[int, _LBQIDState, MatchEvent]] = []
-        for state in self._states.get(user_id, ()):  # feed them all
-            event = state.monitor.feed(location)
-            if event.matched_any_element:
-                progress = max(
-                    (p.next_index for p in event.advanced), default=1
-                )
-                matched.append((progress, state, event))
-        if not matched:
-            return None, None
-        matched.sort(key=lambda item: item[0], reverse=True)
-        _progress, state, event = matched[0]
-        return state, event
-
-    def _generalize(
-        self,
-        user_id: int,
-        state: _LBQIDState,
-        match: MatchEvent,
-        location: STPoint,
-        profile: PrivacyProfile,
-        tolerance: ToleranceConstraint,
-    ) -> GeneralizationResult:
-        """Run the right Algorithm 1 branch for this match."""
-        step = state.steps
-        required_k = profile.required_k_at_step(step)
-        initial_k = profile.required_k_at_step(0)
-
-        if self.scope is AnonymitySetScope.PER_LBQID:
-            if state.anonymity_ids is None:
-                result = self.generalizer.generalize_initial(
-                    location, initial_k, tolerance, requester=user_id
-                )
-                if result.hk_anonymity:
-                    # Cache the set only when the selection succeeded, so
-                    # a failed attempt is retried from scratch next time
-                    # (new candidates may have appeared by then).
-                    state.anonymity_ids = result.selected_ids
-                return result
-            result = self.generalizer.generalize_subsequent(
-                location,
-                state.anonymity_ids,
-                tolerance,
-                required=max(required_k - 1, 0),
-            )
-            if result.hk_anonymity:
-                # k' schedule: permanently drop the users not kept at
-                # this step, so the per-step anonymity sets are *nested*
-                # and the survivors stay LT-consistent with every
-                # context of the trace ("decreasing its value at each
-                # point in the trace", Section 6.2).
-                state.anonymity_ids = result.selected_ids
-            return result
-
-        # PER_OBSERVATION scope: the id set lives on each partial match.
-        partial = self._advanced_partial(match)
-        if partial is not None and "anon_ids" in partial.payload:
-            result = self.generalizer.generalize_subsequent(
-                location,
-                partial.payload["anon_ids"],
-                tolerance,
-                required=max(required_k - 1, 0),
-            )
-            if result.hk_anonymity:
-                partial.payload["anon_ids"] = result.selected_ids
-            return result
-        result = self.generalizer.generalize_initial(
-            location, initial_k, tolerance, requester=user_id
-        )
-        if match.started is not None and result.hk_anonymity:
-            match.started.payload["anon_ids"] = result.selected_ids
-        return result
-
-    @staticmethod
-    def _advanced_partial(match: MatchEvent) -> PartialMatch | None:
-        """The most-progressed partial this request extended, if any."""
-        if not match.advanced:
-            return None
-        return max(match.advanced, key=lambda p: p.next_index)
-
-    def _reset_user(self, user_id: int) -> None:
-        """Reset all pattern state after a successful unlinking."""
-        for state in self._states.get(user_id, ()):  # Section 6.1 step 2
-            state.monitor.reset()
-            state.anonymity_ids = None
-            state.steps = 0
+        return self.engine.process(user_id, location, service, data)
 
     # ------------------------------------------------------------------
     # evaluation helpers
@@ -530,20 +241,12 @@ class TrustedAnonymizer:
 
     def sp_log(self, service: str | None = None) -> list[SPRequest]:
         """The requests a service provider actually received."""
-        return [
-            event.request.sp_view()
-            for event in self.events
-            if event.forwarded
-            and (service is None or event.request.service == service)
-        ]
+        return self.engine.sp_log(service)
 
     def forwarded_requests(self) -> list[Request]:
         """TS-side records of all forwarded requests (evaluation only)."""
-        return [event.request for event in self.events if event.forwarded]
+        return self.engine.forwarded_requests()
 
     def decision_counts(self) -> dict[Decision, int]:
         """Histogram of decisions over all processed requests."""
-        counts = {decision: 0 for decision in Decision}
-        for event in self.events:
-            counts[event.decision] += 1
-        return counts
+        return self.engine.decision_counts()

@@ -1,0 +1,88 @@
+"""Bounded audit-trail retention for the engine.
+
+The pre-engine anonymizer kept every :class:`AnonymizerEvent` forever —
+correct for the paper's fortnight-sized experiments, unbounded for the
+ROADMAP's million-user simulations.  :class:`AuditTrail` makes retention
+a policy:
+
+* ``"full"`` (default) — identical to the historical behaviour: every
+  event is retained, the SP log and decision tallies derive from it;
+* ``"counts"`` — per-request events are *not* retained; only the
+  O(decisions) tally and the SP-visible request log survive.  Memory is
+  then bounded by forwarded traffic (each entry a small frozen
+  ``SPRequest``), not by TS-side ground truth.
+
+Either way :meth:`record` returns nothing and never copies: the caller
+keeps the event it just built, so online consumers (telemetry, SLO
+monitoring) are unaffected by the retention mode.
+"""
+
+from __future__ import annotations
+
+from repro.core.requests import Request, SPRequest
+from repro.engine.context import AnonymizerEvent, Decision
+
+#: The accepted retention modes.
+AUDIT_MODES = ("full", "counts")
+
+
+class AuditTrail:
+    """Decision tallies, the SP log, and (optionally) full events."""
+
+    def __init__(self, mode: str = "full") -> None:
+        if mode not in AUDIT_MODES:
+            raise ValueError(
+                f"audit mode must be one of {AUDIT_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        #: Retained ground-truth events; stays empty in ``"counts"``.
+        self.events: list[AnonymizerEvent] = []
+        self._counts: dict[Decision, int] = {
+            decision: 0 for decision in Decision
+        }
+        self._sp_log: list[SPRequest] = []
+        self._forwarded: list[Request] = []
+
+    @property
+    def retains_events(self) -> bool:
+        """Whether per-request events are kept (``"full"`` mode)."""
+        return self.mode == "full"
+
+    def record(self, event: AnonymizerEvent) -> None:
+        """Account for one processed request."""
+        self._counts[event.decision] += 1
+        if event.forwarded:
+            self._sp_log.append(event.request.sp_view())
+        if self.mode == "full":
+            self.events.append(event)
+
+    def decision_counts(self) -> dict[Decision, int]:
+        """Histogram of decisions over all processed requests."""
+        return dict(self._counts)
+
+    def sp_log(self, service: str | None = None) -> list[SPRequest]:
+        """The requests a service provider actually received."""
+        if service is None:
+            return list(self._sp_log)
+        return [
+            request
+            for request in self._sp_log
+            if request.service == service
+        ]
+
+    def forwarded_requests(self) -> list[Request]:
+        """TS-side records of all forwarded requests (evaluation only).
+
+        Requires ``"full"`` retention: the TS-side :class:`Request`
+        (exact location, ground-truth user id) is exactly what
+        ``"counts"`` mode discards.
+        """
+        if self.mode != "full":
+            raise RuntimeError(
+                "forwarded_requests() needs audit='full'; audit="
+                f"{self.mode!r} retains only the SP-visible log "
+                "(use sp_log())"
+            )
+        return [
+            event.request for event in self.events if event.forwarded
+        ]

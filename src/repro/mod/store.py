@@ -90,12 +90,36 @@ class TrajectoryStore:
         if self.index is not None:
             self.index.insert(user_id, point)
 
+    def add_points(
+        self, user_id: int, points: Iterable[STPoint]
+    ) -> int:
+        """Batch-ingest location updates for one user.
+
+        Equivalent to calling :meth:`add_point` per point except that
+        ``version`` is bumped **once** for the whole batch and index
+        inserts are grouped, so version-keyed consumer caches (e.g. the
+        SLO monitor's incremental anonymity-set candidates) are
+        invalidated once per batch instead of once per point during bulk
+        replay.  Returns the number of points ingested; an empty batch
+        ingests nothing and does not bump ``version``.
+        """
+        history = self.history(user_id)
+        count = 0
+        index = self.index
+        for point in points:
+            history.add(point)
+            if index is not None:
+                index.insert(user_id, point)
+            count += 1
+        if count:
+            self.version += 1
+        return count
+
     def add_trajectory(
         self, user_id: int, points: Iterable[STPoint]
     ) -> None:
         """Ingest a batch of location updates for one user."""
-        for point in points:
-            self.add_point(user_id, point)
+        self.add_points(user_id, points)
 
     def closest_point(
         self, user_id: int, target: STPoint

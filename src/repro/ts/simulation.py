@@ -31,6 +31,8 @@ from repro.core.generalization import ToleranceConstraint
 from repro.core.policy import PolicyTable
 from repro.core.randomization import BoxRandomizer
 from repro.core.unlinking import UnlinkingProvider
+from repro.engine.pipeline import BatchItem, Engine
+from repro.engine.session import SessionStore
 from repro.geometry.point import STPoint
 from repro.mobility.population import SyntheticCity
 from repro.mod.store import TrajectoryStore
@@ -138,6 +140,8 @@ class LBSSimulation:
         telemetry: "Telemetry | TelemetryConfig | None" = None,
         slo_rules: "Iterable[SloRule | str] | None" = None,
         slo_window_s: float = 2 * 3600.0,
+        session_store: "SessionStore | None" = None,
+        audit: str = "full",
         seed: int = 97,
     ) -> None:
         self.city = city
@@ -146,6 +150,10 @@ class LBSSimulation:
         #: One telemetry pipeline shared by the store, the grid index,
         #: the anonymizer, and every LBQID monitor.
         self.telemetry = resolve_telemetry(telemetry)
+        #: ``session_store`` picks the engine's per-user state backend
+        #: (e.g. ``ShardedSessionStore(n_shards=4)``); ``audit`` bounds
+        #: the audit trail (``"counts"`` drops per-request event
+        #: retention for long / million-user runs).
         self.anonymizer = TrustedAnonymizer(
             store=TrajectoryStore(telemetry=self.telemetry),
             policy=policy,
@@ -155,7 +163,12 @@ class LBSSimulation:
             randomizer=randomizer,
             quiet_period=quiet_period,
             telemetry=self.telemetry,
+            sessions=session_store,
+            audit=audit,
         )
+        #: The staged engine the replay actually drives (the anonymizer
+        #: is its byte-compatible facade).
+        self.engine: Engine = self.anonymizer.engine
         #: Online privacy auditing: subscribe a PrivacyMonitor to the
         #: shared pipeline.  Rules require telemetry — the monitor
         #: consumes the anonymizer's streamed decision events.
@@ -207,17 +220,29 @@ class LBSSimulation:
                 "sim.users", len(list(self.city.store.user_ids()))
             )
         with telemetry.span("sim.run", service=profile.service):
-            for user_id, sample in self._timeline():
-                if self._is_request(user_id, sample):
-                    event = self.anonymizer.request(
-                        user_id, sample, service=profile.service
-                    )
-                    report.requests_issued += 1
-                    if event.forwarded:
-                        provider.receive(event.request.sp_view())
-                else:
-                    self.anonymizer.report_location(user_id, sample)
-                    report.location_updates += 1
+            # The timeline becomes one engine batch: requests drain the
+            # buffered location updates before running, so every request
+            # sees exactly the store state of one-at-a-time replay while
+            # update runs pay a single store-version bump each.
+            items = [
+                BatchItem(
+                    user_id=user_id,
+                    location=sample,
+                    service=(
+                        profile.service
+                        if self._is_request(user_id, sample)
+                        else None
+                    ),
+                )
+                for user_id, sample in self._timeline()
+            ]
+            report.location_updates = sum(
+                1 for item in items if not item.is_request
+            )
+            for event in self.engine.process_batch(items):
+                report.requests_issued += 1
+                if event.forwarded:
+                    provider.receive(event.request.sp_view())
         report.events = list(self.anonymizer.events)
         telemetry.gauge("sim.requests_issued", report.requests_issued)
         if self.privacy_monitor is not None:

@@ -103,6 +103,70 @@ class TestMultipleLBQIDs:
         assert event.decision is Decision.FORWARDED
 
 
+PARK = Rect(400, 0, 500, 100)
+ALL_DAY = UnanchoredInterval(0.0, 86_399.0)
+
+
+def two_step(name, first, second):
+    """A two-element anytime LBQID ``first -> second``."""
+    return LBQID(
+        name,
+        [LBQIDElement(first, ALL_DAY), LBQIDElement(second, ALL_DAY)],
+    )
+
+
+class TestMonitorTieBreaking:
+    """Attribution when one request matches several LBQIDs at once.
+
+    The selection rule (now ``MonitorMatch.select_match``): every
+    monitor is fed, the most-advanced partial wins, and equal progress
+    breaks deterministically toward the earliest-registered LBQID
+    (the sort is stable).
+    """
+
+    def test_advanced_partial_beats_fresh_start(self):
+        """OFFICE extends home->office (progress 2) and starts
+        office->park (progress 1); the extension wins even though the
+        fresh starter was registered first."""
+        ts = make_ts()
+        ts.register_lbqid(USER, two_step("office-park", OFFICE, PARK))
+        ts.register_lbqid(USER, two_step("home-office", HOME, OFFICE))
+        ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        event = ts.request(USER, STPoint(950, 950, time_at(hour=8.5)))
+        assert event.decision is Decision.GENERALIZED
+        assert event.lbqid_name == "home-office"
+
+    def test_all_monitors_are_fed_even_when_losing(self):
+        """The losing LBQID still advances its own automaton — the tie
+        break picks the attribution, not which monitors observe."""
+        ts = make_ts()
+        ts.register_lbqid(USER, two_step("office-park", OFFICE, PARK))
+        ts.register_lbqid(USER, two_step("home-office", HOME, OFFICE))
+        ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        ts.request(USER, STPoint(950, 950, time_at(hour=8.5)))
+        office_park = ts._states[USER][0]
+        assert office_park.monitor.partials
+
+    def test_equal_progress_attributed_to_earliest_registered(self):
+        """HOME starts both patterns at progress 1; registration order
+        decides, deterministically."""
+        ts = make_ts()
+        ts.register_lbqid(USER, two_step("alpha", HOME, OFFICE))
+        ts.register_lbqid(USER, two_step("beta", HOME, PARK))
+        event = ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        assert event.decision is Decision.GENERALIZED
+        assert event.lbqid_name == "alpha"
+
+    def test_equal_progress_tie_follows_registration_order(self):
+        """Swapping the registration order swaps the attribution: the
+        tie break is positional, not name- or content-based."""
+        ts = make_ts()
+        ts.register_lbqid(USER, two_step("beta", HOME, PARK))
+        ts.register_lbqid(USER, two_step("alpha", HOME, OFFICE))
+        event = ts.request(USER, STPoint(50, 50, time_at(hour=7.5)))
+        assert event.lbqid_name == "beta"
+
+
 class TestRandomizedForwarding:
     def test_randomized_context_contains_location(self):
         ts = make_ts(

@@ -1,0 +1,38 @@
+"""Regenerate the engine-equivalence golden fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests/engine python tests/engine/generate_fixtures.py
+
+The committed fixtures were produced by the pre-refactor
+``TrustedAnonymizer._process`` monolith (commit 58784ca); regenerating
+them against the staged engine is only legitimate when a *deliberate*
+semantic change has been reviewed and documented — the whole point of
+the fixture is to catch accidental drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.anonymizer import AnonymitySetScope
+
+import workload
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+
+def main() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for scope in AnonymitySetScope:
+        record = workload.run_workload(scope)
+        path = FIXTURE_DIR / f"equivalence_{scope.value}.json"
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({len(record['events'])} events)")
+
+
+if __name__ == "__main__":
+    main()

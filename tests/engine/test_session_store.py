@@ -1,0 +1,173 @@
+"""Session-store backends: in-memory vs sharded equivalence.
+
+The Section 6.1 strategy reads only the requester's own session, so
+partitioning users across shards must be invisible to every decision.
+The end-to-end test runs the E1 service-model workload (``k=5``,
+``AlwaysUnlink``) through both backends and asserts identical decision
+sequences and forwarded contexts; pseudonym *strings* differ by design
+(each shard issues under its own ``p<i>.`` prefix so pseudonyms stay
+globally unique without cross-shard coordination).
+"""
+
+import pytest
+
+from repro.core.anonymizer import AnonymitySetScope
+from repro.core.unlinking import AlwaysUnlink
+from repro.engine.session import (
+    InMemorySessionStore,
+    SessionStore,
+    ShardedSessionStore,
+    UserSession,
+)
+from repro.experiments.workloads import make_policy
+from repro.mobility.population import CityConfig, SyntheticCity
+from repro.obs.config import TelemetryConfig
+from repro.ts.simulation import LBSSimulation
+
+E1_CITY = CityConfig(seed=7, n_commuters=30, n_wanderers=12)
+N_SHARDS = 4
+
+
+def run_e1(session_store=None, telemetry=None):
+    """The E1 service-model workload on a smoke-sized city."""
+    simulation = LBSSimulation(
+        SyntheticCity.generate(E1_CITY),
+        policy=make_policy(k=5),
+        unlinker=AlwaysUnlink(),
+        scope=AnonymitySetScope.PER_LBQID,
+        session_store=session_store,
+        telemetry=telemetry,
+        seed=97,
+    )
+    return simulation.run()
+
+
+def decision_trace(report):
+    """Everything a backend could plausibly perturb, except pseudonyms."""
+    return [
+        (
+            event.request.user_id,
+            event.request.t,
+            event.decision,
+            event.forwarded,
+            event.lbqid_name,
+            event.step,
+            event.required_k,
+            event.pseudonym_rotated,
+            (
+                event.request.context.rect.x_min,
+                event.request.context.rect.y_min,
+                event.request.context.rect.x_max,
+                event.request.context.rect.y_max,
+                event.request.context.interval.start,
+                event.request.context.interval.end,
+            ),
+        )
+        for event in report.events
+    ]
+
+
+class TestShardedEquivalence:
+    def test_sharded_store_matches_in_memory_on_e1(self):
+        baseline = run_e1()
+        sharded = run_e1(
+            session_store=ShardedSessionStore(n_shards=N_SHARDS)
+        )
+        assert decision_trace(sharded) == decision_trace(baseline)
+        assert sharded.decision_counts() == baseline.decision_counts()
+
+    def test_sharded_pseudonyms_are_globally_unique(self):
+        report = run_e1(
+            session_store=ShardedSessionStore(n_shards=N_SHARDS)
+        )
+        store = report.anonymizer.engine.sessions
+        issued = [
+            pseudonym
+            for user_id in store.users()
+            for pseudonym in store.pseudonyms_of(user_id)
+        ]
+        assert len(issued) == len(set(issued))
+        assert len(issued) == store.pseudonyms_issued
+
+
+class TestShardedRouting:
+    def test_routing_is_user_id_modulo_shards(self):
+        store = ShardedSessionStore(n_shards=4)
+        for user_id in (0, 1, 5, 42, 103):
+            shard = store.shard_for(user_id)
+            assert shard is store.shards[user_id % 4]
+            assert store.session(user_id) is shard.session(user_id)
+
+    def test_every_operation_stays_on_one_shard(self):
+        store = ShardedSessionStore(n_shards=4)
+        store.session(6)
+        store.pseudonym(6)
+        store.rotate_pseudonym(6)
+        assert len(store.shards[2]) == 1
+        assert all(
+            len(shard) == 0
+            for index, shard in enumerate(store.shards)
+            if index != 2
+        )
+
+    def test_shard_prefixes_label_the_owning_shard(self):
+        store = ShardedSessionStore(n_shards=4)
+        assert store.pseudonym(9).startswith("p1.")
+        assert store.rotate_pseudonym(9).startswith("p1.")
+
+    def test_pseudonym_owner_searches_all_shards(self):
+        store = ShardedSessionStore(n_shards=4)
+        pseudonyms = {store.pseudonym(user): user for user in range(8)}
+        for pseudonym, user in pseudonyms.items():
+            assert store.pseudonym_owner(pseudonym) == user
+        assert store.pseudonym_owner("p0.nope") is None
+
+    def test_len_and_users_span_shards(self):
+        store = ShardedSessionStore(n_shards=3)
+        for user in range(7):
+            store.session(user)
+        assert len(store) == 7
+        assert sorted(store.users()) == list(range(7))
+
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedSessionStore(n_shards=0)
+
+
+class TestSessionStoreProtocol:
+    @pytest.mark.parametrize(
+        "store",
+        [InMemorySessionStore(), ShardedSessionStore(n_shards=2)],
+        ids=["in-memory", "sharded"],
+    )
+    def test_backends_satisfy_the_protocol(self, store):
+        assert isinstance(store, SessionStore)
+
+    def test_session_created_on_first_access(self):
+        store = InMemorySessionStore()
+        assert store.get(3) is None
+        session = store.session(3)
+        assert isinstance(session, UserSession)
+        assert session.user_id == 3
+        assert store.get(3) is session
+        assert session.lbqids == []
+        assert session.quiet_until is None
+
+
+class TestStageTelemetryInSummary:
+    def test_stage_ms_histograms_reach_the_report_summary(self):
+        report = run_e1(telemetry=TelemetryConfig(enabled=True))
+        summary = report.summary()
+        assert "engine.stage_ms" in summary
+        snapshot = report.metrics_snapshot()
+        for stage in (
+            "quiet_gate",
+            "monitor_match",
+            "generalize",
+            "audit",
+        ):
+            histogram = snapshot.histogram_summary(
+                "engine.stage_ms", stage=stage
+            )
+            assert histogram is not None, stage
+            assert histogram.count > 0

@@ -31,6 +31,57 @@ class TestIngest:
         assert len(store) == 2
 
 
+class TestBatchIngest:
+    def test_add_points_bumps_version_once(self):
+        store = TrajectoryStore()
+        ingested = store.add_points(
+            1, [STPoint(0, 0, t) for t in range(5)]
+        )
+        assert ingested == 5
+        assert len(store.history(1)) == 5
+        assert store.version == 1
+
+    def test_add_point_bumps_version_per_point(self):
+        store = TrajectoryStore()
+        for t in range(5):
+            store.add_point(1, STPoint(0, 0, t))
+        assert store.version == 5
+
+    def test_empty_batch_does_not_bump_version(self):
+        store = TrajectoryStore()
+        assert store.add_points(1, []) == 0
+        assert store.version == 0
+        # The empty history is still materialized, as with history().
+        assert 1 in store
+
+    def test_add_trajectory_delegates_to_add_points(self):
+        store = TrajectoryStore()
+        store.add_trajectory(1, [STPoint(0, 0, t) for t in range(3)])
+        assert store.version == 1
+        assert len(store.history(1)) == 3
+
+    def test_batch_ingest_feeds_the_grid_index(self):
+        batch = TrajectoryStore(index_cell_size=100.0)
+        single = TrajectoryStore(index_cell_size=100.0)
+        points = [STPoint(50.0 * t, 0.0, 60.0 * t) for t in range(6)]
+        batch.add_points(1, points)
+        for point in points:
+            single.add_point(1, point)
+        target = STPoint(120.0, 10.0, 150.0)
+        assert batch.nearest_users(target, 1) == single.nearest_users(
+            target, 1
+        )
+
+    def test_batch_and_single_ingest_agree(self):
+        batch = TrajectoryStore()
+        single = TrajectoryStore()
+        points = [STPoint(float(t), float(-t), 10.0 * t) for t in range(4)]
+        batch.add_points(2, points)
+        for point in points:
+            single.add_point(2, point)
+        assert list(batch.history(2)) == list(single.history(2))
+
+
 class TestClosestPoint:
     def test_unknown_user(self):
         assert TrajectoryStore().closest_point(9, STPoint(0, 0, 0)) is None

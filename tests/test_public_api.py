@@ -10,6 +10,7 @@ SUBPACKAGES = [
     "repro.geometry",
     "repro.granularity",
     "repro.core",
+    "repro.engine",
     "repro.mod",
     "repro.mobility",
     "repro.ts",
