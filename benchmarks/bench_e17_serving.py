@@ -1,0 +1,187 @@
+"""E17 — the serving frontend: throughput, latency, graceful overload.
+
+Three passes of the open-loop load generator against a self-hosted
+TCP Trusted Server (``repro.serve``):
+
+* **steady** — a sustainable arrival rate with verification on: the
+  served per-user decision streams must match the offline
+  ``Engine.process_batch`` replay exactly, and nothing may be shed.
+  The decision tallies land in the gated metrics (they are seeded and
+  deterministic);
+* **capacity** — requests-only at an effectively infinite offered rate
+  with a wide-open queue: completed decisions per second is the
+  sustained serving throughput (informational latency data, but the
+  ≥1k req/s bar is asserted here);
+* **overload** — the measured capacity offered at 4x against a small
+  queue: the server must degrade by *shedding* (``overloaded`` +
+  ``retry_after``), never by protocol/internal errors or an unclean
+  shutdown.
+
+Timing-dependent numbers (throughput, percentiles, shed rate) are
+exported in the artifact's informational ``latency`` section; the
+gate sees only the deterministic decision metrics and the structural
+pass/fail indicators.
+"""
+
+import asyncio
+
+from repro.experiments.harness import Table
+from repro.serve.loadgen import LoadgenConfig, WorkloadConfig, run_loadgen
+from repro.serve.server import ServeConfig
+
+from benchmarks.conftest import BENCH_SMOKE
+
+SERVING_WORKLOAD = WorkloadConfig()  # seed 11, 12 commuters, 6 wanderers
+STEADY_REQUESTS = 300 if BENCH_SMOKE else 1200
+CAPACITY_REQUESTS = 400 if BENCH_SMOKE else 2000
+OVERLOAD_FACTOR = 4.0
+
+WIDE_OPEN = ServeConfig(max_queue_depth=1 << 17, max_inflight=1 << 17)
+SMALL_QUEUE = ServeConfig(max_queue_depth=64, max_inflight=32)
+
+
+def run_e17():
+    steady = asyncio.run(
+        run_loadgen(
+            LoadgenConfig(
+                workload=SERVING_WORKLOAD,
+                serve=WIDE_OPEN,
+                requests=STEADY_REQUESTS,
+                clients=8,
+                rate=20_000.0,
+                transport="tcp",
+                verify=True,
+            )
+        )
+    )
+    capacity = asyncio.run(
+        run_loadgen(
+            LoadgenConfig(
+                workload=SERVING_WORKLOAD,
+                serve=WIDE_OPEN,
+                requests=CAPACITY_REQUESTS,
+                clients=8,
+                rate=1e6,
+                transport="tcp",
+                include_updates=False,
+                telemetry_enabled=False,
+            )
+        )
+    )
+    overload = asyncio.run(
+        run_loadgen(
+            LoadgenConfig(
+                workload=SERVING_WORKLOAD,
+                serve=SMALL_QUEUE,
+                requests=CAPACITY_REQUESTS,
+                clients=8,
+                rate=max(2000.0, capacity.throughput_rps)
+                * OVERLOAD_FACTOR,
+                transport="tcp",
+                include_updates=False,
+                telemetry_enabled=False,
+            )
+        )
+    )
+    return steady, capacity, overload
+
+
+def test_e17_serving(benchmark, bench_export):
+    steady, capacity, overload = benchmark.pedantic(
+        run_e17, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "E17: serving frontend (open-loop loadgen over TCP)",
+        [
+            "pass",
+            "requests",
+            "decisions",
+            "shed",
+            "errors",
+            "req/s",
+            "p95 ms",
+            "verified",
+        ],
+    )
+    for name, report in (
+        ("steady", steady),
+        ("capacity", capacity),
+        ("overload", overload),
+    ):
+        table.add_row(
+            (
+                name,
+                report.requests_sent,
+                report.decisions,
+                report.shed,
+                report.protocol_errors + report.internal_errors,
+                round(report.throughput_rps),
+                round(report.latency_ms.get("p95", 0.0), 2),
+                {True: 1, False: 0, None: "-"}[report.verified],
+            )
+        )
+    table.print()
+
+    metrics = {
+        "steady_requests": float(STEADY_REQUESTS),
+        "steady_verified": 1.0 if steady.verified else 0.0,
+        "steady_mismatches": float(steady.mismatches),
+        "steady_shed": float(steady.shed),
+        "steady_errors": float(
+            steady.protocol_errors + steady.internal_errors
+        ),
+        "overload_sheds": 1.0 if overload.shed > 0 else 0.0,
+        "overload_graceful": (
+            1.0
+            if (
+                overload.protocol_errors == 0
+                and overload.internal_errors == 0
+                and overload.clean_shutdown
+            )
+            else 0.0
+        ),
+    }
+    for decision, count in sorted(steady.decision_counts.items()):
+        metrics[f"steady_decisions_{decision}"] = float(count)
+    latency = {
+        "serve.steady_latency_ms": {
+            "p50": steady.latency_ms.get("p50", 0.0),
+            "p95": steady.latency_ms.get("p95", 0.0),
+            "p99": steady.latency_ms.get("p99", 0.0),
+        },
+        "serve.throughput_rps": {
+            "steady": steady.throughput_rps,
+            "capacity": capacity.throughput_rps,
+            "overload": overload.throughput_rps,
+        },
+        "serve.overload": {
+            "offered_x": OVERLOAD_FACTOR,
+            "shed_rate": overload.shed_rate,
+        },
+    }
+    bench_export(
+        "e17",
+        metrics,
+        workload={
+            "serving_seed": SERVING_WORKLOAD.seed,
+            "serving_commuters": SERVING_WORKLOAD.n_commuters,
+            "serving_wanderers": SERVING_WORKLOAD.n_wanderers,
+            "serving_days": SERVING_WORKLOAD.days,
+            "steady_requests": STEADY_REQUESTS,
+            "capacity_requests": CAPACITY_REQUESTS,
+        },
+        latency=latency,
+    )
+
+    # Serving must be faithful: the online decision stream is the
+    # offline decision stream.
+    assert steady.verified is True and steady.mismatches == 0
+    assert steady.shed == 0 and steady.ok
+    # The acceptance bar: at least 1k sustained decisions per second.
+    assert capacity.throughput_rps >= 1000.0, capacity.to_dict()
+    # Overload degrades into explicit backpressure, never failure.
+    assert overload.shed > 0
+    assert overload.protocol_errors == 0
+    assert overload.internal_errors == 0
+    assert overload.clean_shutdown

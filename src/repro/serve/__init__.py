@@ -1,0 +1,87 @@
+"""repro.serve — the asyncio serving frontend of the Trusted Server.
+
+Layers (bottom-up):
+
+* :mod:`repro.serve.protocol` — the NDJSON wire frames and strict codec;
+* :mod:`repro.serve.server` — :class:`TrustedServer`: admission control,
+  the bounded single-sequencer dispatch queue, drain/shutdown;
+* :mod:`repro.serve.transports` — TCP daemon and in-process loopback;
+* :mod:`repro.serve.client` — pipelined async client;
+* :mod:`repro.serve.loadgen` — open-loop load generation and
+  serving-vs-offline equivalence verification.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    WorkloadConfig,
+    build_engine,
+    build_workload,
+    decision_key,
+    offline_replay,
+    run_loadgen,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    DecisionReply,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Frame,
+    Hello,
+    LocationUpdate,
+    ProtocolError,
+    ServiceRequest,
+    StatsReply,
+    StatsRequest,
+    UpdateAck,
+    Welcome,
+    decode_reply,
+    decode_request,
+    encode_frame,
+)
+from repro.serve.server import ClientSession, ServeConfig, TrustedServer
+from repro.serve.transports import (
+    LoopbackConnection,
+    LoopbackTransport,
+    TcpTransport,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ClientSession",
+    "DecisionReply",
+    "DrainReply",
+    "DrainRequest",
+    "ErrorReply",
+    "Frame",
+    "Hello",
+    "LoadReport",
+    "LoadgenConfig",
+    "LocationUpdate",
+    "LoopbackConnection",
+    "LoopbackTransport",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServiceRequest",
+    "StatsReply",
+    "StatsRequest",
+    "TcpTransport",
+    "TrustedServer",
+    "UpdateAck",
+    "Welcome",
+    "WorkloadConfig",
+    "build_engine",
+    "build_workload",
+    "decision_key",
+    "decode_reply",
+    "decode_request",
+    "encode_frame",
+    "offline_replay",
+    "run_loadgen",
+]

@@ -1,0 +1,241 @@
+"""Async client for the Trusted Server wire protocol.
+
+:class:`ServeClient` speaks the NDJSON protocol over TCP with full
+pipelining: :meth:`post` writes a frame synchronously (so the on-wire
+order of a single client is exactly its call order) and returns a
+future resolved by a background reader task when the correlated reply
+arrives.  The awaitable convenience wrappers (:meth:`request`,
+:meth:`update`, :meth:`stats`, :meth:`drain`) post and wait.
+
+Shed replies (``code="overloaded"``) are returned, not raised — they
+are the server's explicit backpressure signal and carry the
+``retry_after`` hint; only transport failures and handshake rejections
+raise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Frame,
+    Hello,
+    LocationUpdate,
+    ProtocolError,
+    ServiceRequest,
+    StatsReply,
+    StatsRequest,
+    Welcome,
+    decode_reply,
+    encode_frame,
+)
+
+
+class ServeClientError(ConnectionError):
+    """Handshake failure or transport loss (not a shed)."""
+
+
+class ServeClient:
+    """One pipelined NDJSON connection to a Trusted Server."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        welcome: Welcome,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.welcome = welcome
+        self._max_frame_bytes = max_frame_bytes
+        self._pending: dict[int, "asyncio.Future[Frame]"] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="repro-serve-client-reader"
+        )
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        client: str = "client",
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> "ServeClient":
+        """Open a connection and perform the version handshake."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=max_frame_bytes
+        )
+        writer.write(encode_frame(Hello(client=client), max_frame_bytes))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            writer.close()
+            raise ServeClientError("server closed during handshake")
+        reply = decode_reply(line, max_frame_bytes)
+        if not isinstance(reply, Welcome):
+            writer.close()
+            raise ServeClientError(f"handshake rejected: {reply!r}")
+        return cls(reader, writer, reply, max_frame_bytes)
+
+    # -- pipelined sends ----------------------------------------------
+
+    def post(self, frame: Frame) -> "asyncio.Future[Frame]":
+        """Write one frame now; future resolves with its reply."""
+        if self._closed:
+            raise ServeClientError("client is closed")
+        future: "asyncio.Future[Frame]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        frame_id = getattr(frame, "id", None)
+        if frame_id is not None:
+            self._pending[int(frame_id)] = future
+        self._writer.write(encode_frame(frame, self._max_frame_bytes))
+        if frame_id is None:
+            future.set_result(
+                ErrorReply(
+                    id=None,
+                    code="bad_frame",
+                    message="frame has no correlation id",
+                )
+            )
+        return future
+
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def post_request(
+        self,
+        user_id: int,
+        x: float,
+        y: float,
+        t: float,
+        service: str = "default",
+    ) -> "asyncio.Future[Frame]":
+        """Pipeline one service request (open-loop send)."""
+        return self.post(
+            ServiceRequest(
+                id=self.next_id(),
+                user_id=user_id,
+                x=x,
+                y=y,
+                t=t,
+                service=service,
+            )
+        )
+
+    def post_update(
+        self, user_id: int, x: float, y: float, t: float
+    ) -> "asyncio.Future[Frame]":
+        """Pipeline one location update."""
+        return self.post(
+            LocationUpdate(id=self.next_id(), user_id=user_id, x=x, y=y, t=t)
+        )
+
+    # -- awaitable wrappers -------------------------------------------
+
+    async def request(
+        self,
+        user_id: int,
+        x: float,
+        y: float,
+        t: float,
+        service: str = "default",
+    ) -> Frame:
+        """Issue one service request; returns DecisionReply or ErrorReply."""
+        future = self.post_request(user_id, x, y, t, service)
+        await self._writer.drain()
+        return await future
+
+    async def update(
+        self, user_id: int, x: float, y: float, t: float
+    ) -> Frame:
+        """Report one location update; returns UpdateAck or ErrorReply."""
+        future = self.post_update(user_id, x, y, t)
+        await self._writer.drain()
+        return await future
+
+    async def stats(self) -> StatsReply:
+        """Fetch the server's live serving counters."""
+        reply = await self._roundtrip(StatsRequest(id=self.next_id()))
+        if not isinstance(reply, StatsReply):
+            raise ServeClientError(f"unexpected stats reply: {reply!r}")
+        return reply
+
+    async def drain(self) -> DrainReply:
+        """Ask the server to drain; resolves when the queue is empty."""
+        reply = await self._roundtrip(DrainRequest(id=self.next_id()))
+        if not isinstance(reply, DrainReply):
+            raise ServeClientError(f"unexpected drain reply: {reply!r}")
+        return reply
+
+    async def _roundtrip(self, frame: Frame) -> Frame:
+        future = self.post(frame)
+        await self._writer.drain()
+        return await future
+
+    @property
+    def pending(self) -> int:
+        """Posted frames still waiting for a reply."""
+        return len(self._pending)
+
+    # -- reader and teardown ------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    reply = decode_reply(line, self._max_frame_bytes)
+                except ProtocolError as exc:
+                    self._fail_pending(
+                        ServeClientError(f"undecodable reply: {exc}")
+                    )
+                    break
+                reply_id = getattr(reply, "id", None)
+                if reply_id is None:
+                    # Connection-level error: fail everything pending.
+                    self._fail_pending(
+                        ServeClientError(f"connection error: {reply!r}")
+                    )
+                    continue
+                future = self._pending.pop(int(reply_id), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_pending(
+                ServeClientError("connection closed with replies pending")
+            )
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def close(self) -> None:
+        """Close the connection; pending futures fail."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

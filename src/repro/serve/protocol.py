@@ -1,0 +1,374 @@
+"""The newline-delimited-JSON wire protocol of the serving frontend.
+
+One frame per line: a JSON object carrying an ``op`` discriminator plus
+the fields of the matching dataclass below.  The codec is deliberately
+strict — this is the trust boundary of a long-running daemon:
+
+* frames longer than ``max_bytes`` raise ``frame_too_large`` *before*
+  parsing (and :func:`encode_frame` refuses to produce them);
+* non-JSON, non-object, and non-finite-number payloads raise
+  ``bad_json`` / ``bad_frame`` (``NaN``/``Infinity`` literals are
+  rejected — they would not survive a strict peer);
+* missing, mistyped, or *unknown* fields raise ``bad_field``; unknown
+  ``op`` values raise ``unknown_op``.
+
+Every failure is a :class:`ProtocolError`, never a stray exception —
+the connection handler turns it into an :class:`ErrorReply` and keeps
+the connection alive (NDJSON re-synchronizes at the next newline), so a
+malformed frame can never take the daemon down.
+
+Versioning: the first frame of a connection must be :class:`Hello`
+carrying ``version``; the server answers :class:`Welcome` or a
+``bad_version`` error.  The codec itself is version-1 and
+:data:`PROTOCOL_VERSION` is bumped with any incompatible layout change.
+
+Requests and replies use disjoint registries
+(:func:`decode_request` / :func:`decode_reply`), so a confused peer
+echoing a reply at the server is a protocol error, not a dispatch bug.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, ClassVar, Mapping, TypeVar
+
+#: Bumped on any incompatible change to the frame layout.
+PROTOCOL_VERSION = 1
+
+#: Default per-frame size limit (bytes, including the newline).
+MAX_FRAME_BYTES = 64 * 1024
+
+
+class ProtocolError(Exception):
+    """A frame violated the wire protocol.
+
+    ``code`` is the machine-readable discriminator that travels back to
+    the peer inside an :class:`ErrorReply`.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class Frame:
+    """Base class of all wire frames; ``op`` is set by :func:`_frame`."""
+
+    op: ClassVar[str] = ""
+
+
+_F = TypeVar("_F", bound=type)
+
+#: op -> frame class, one registry per direction.
+REQUEST_TYPES: dict[str, type] = {}
+REPLY_TYPES: dict[str, type] = {}
+
+
+def _frame(op: str, registry: dict[str, type]) -> Callable[[_F], _F]:
+    def register(cls: _F) -> _F:
+        cls.op = op  # type: ignore[attr-defined]
+        registry[op] = cls
+        return cls
+
+    return register
+
+
+# ---------------------------------------------------------------------
+# client -> server
+# ---------------------------------------------------------------------
+
+
+@_frame("hello", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class Hello(Frame):
+    """Connection opener; must be the first frame on the wire."""
+
+    version: int = PROTOCOL_VERSION
+    client: str = "client"
+
+
+@_frame("update", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class LocationUpdate(Frame):
+    """A location update that is not a service request (Section 6.1)."""
+
+    id: int
+    user_id: int
+    x: float
+    y: float
+    t: float
+
+
+@_frame("request", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class ServiceRequest(Frame):
+    """A service request at an exact ``⟨x, y, t⟩``."""
+
+    id: int
+    user_id: int
+    x: float
+    y: float
+    t: float
+    service: str = "default"
+
+
+@_frame("stats", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class StatsRequest(Frame):
+    """Ask the server for its live serving counters."""
+
+    id: int
+
+
+@_frame("drain", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class DrainRequest(Frame):
+    """Ask the server to drain: stop admitting, flush, final audit."""
+
+    id: int
+
+
+# ---------------------------------------------------------------------
+# server -> client
+# ---------------------------------------------------------------------
+
+
+@_frame("welcome", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class Welcome(Frame):
+    """Successful hello: negotiated version plus admission limits."""
+
+    version: int
+    server: str
+    session: str
+    max_inflight: int
+    max_queue_depth: int
+
+
+@_frame("ack", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class UpdateAck(Frame):
+    """A location update was ingested."""
+
+    id: int
+
+
+@_frame("decision", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class DecisionReply(Frame):
+    """The Trusted Server's decision on one service request.
+
+    ``context`` is the forwarded ``(x_min, y_min, x_max, y_max,
+    t_start, t_end)`` box (for a suppressed request: the context that
+    *would* have been sent).  ``msgid`` is the TS-side message id.
+    """
+
+    id: int
+    msgid: int
+    pseudonym: str
+    decision: str
+    forwarded: bool
+    context: tuple[float, ...] | None = None
+    lbqid: str | None = None
+    step: int | None = None
+    required_k: int | None = None
+    rotated: bool = False
+
+
+@_frame("error", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class ErrorReply(Frame):
+    """Anything that is not a successful reply.
+
+    ``id`` echoes the offending request when known (``None`` for
+    connection-level framing errors).  ``retry_after`` (seconds) is set
+    on load-shedding replies (``code="overloaded"``) — the one error a
+    well-behaved client should back off and retry.
+    """
+
+    id: int | None
+    code: str
+    message: str
+    retry_after: float | None = None
+
+    @property
+    def is_shed(self) -> bool:
+        return self.code == "overloaded"
+
+
+@_frame("stats_reply", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class StatsReply(Frame):
+    """Live serving counters (one gauge sample, not a stream)."""
+
+    id: int
+    accepted: int
+    served: int
+    shed: int
+    rejected: int
+    protocol_errors: int
+    queue_depth: int
+    sessions: int
+
+
+@_frame("drained", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class DrainReply(Frame):
+    """Drain finished: totals at the moment the queue emptied."""
+
+    id: int
+    served: int
+    shed: int
+    rejected: int
+    pending: int
+
+
+# ---------------------------------------------------------------------
+# codec
+# ---------------------------------------------------------------------
+
+
+def _reject_constant(value: str) -> float:
+    raise ProtocolError(
+        "bad_json", f"non-finite JSON number {value!r} is not allowed"
+    )
+
+
+def _check_int(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            "bad_field", f"field {name!r} must be an integer"
+        )
+    return value
+
+
+def _check_float(value: object, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            "bad_field", f"field {name!r} must be a number"
+        )
+    return float(value)
+
+
+def _check_str(value: object, name: str) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(
+            "bad_field", f"field {name!r} must be a string"
+        )
+    return value
+
+
+def _check_bool(value: object, name: str) -> bool:
+    if not isinstance(value, bool):
+        raise ProtocolError(
+            "bad_field", f"field {name!r} must be a boolean"
+        )
+    return value
+
+
+def _check_box(value: object, name: str) -> tuple[float, ...]:
+    if not isinstance(value, (list, tuple)) or len(value) != 6:
+        raise ProtocolError(
+            "bad_field", f"field {name!r} must be a 6-number box"
+        )
+    return tuple(_check_float(item, name) for item in value)
+
+
+def _optional(
+    check: Callable[[object, str], object],
+) -> Callable[[object, str], object]:
+    def checked(value: object, name: str) -> object:
+        if value is None:
+            return None
+        return check(value, name)
+
+    return checked
+
+
+#: Validator per annotation string (modules use PEP 563 annotations, so
+#: ``dataclasses.fields(...)[i].type`` is the literal source text).
+_VALIDATORS: dict[str, Callable[[object, str], object]] = {
+    "int": _check_int,
+    "float": _check_float,
+    "str": _check_str,
+    "bool": _check_bool,
+    "int | None": _optional(_check_int),
+    "float | None": _optional(_check_float),
+    "str | None": _optional(_check_str),
+    "tuple[float, ...] | None": _optional(_check_box),
+}
+
+
+def encode_frame(frame: Frame, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one frame to its wire line (JSON + newline)."""
+    payload: dict[str, object] = {"op": frame.op}
+    payload.update(dataclasses.asdict(frame))  # type: ignore[call-overload]
+    data = json.dumps(
+        payload, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    if len(data) + 1 > max_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"frame of {len(data) + 1} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    return data + b"\n"
+
+
+def _decode(
+    line: bytes, registry: Mapping[str, type], max_bytes: int
+) -> Frame:
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"frame of {len(line)} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    try:
+        payload = json.loads(line, parse_constant=_reject_constant)
+    except ProtocolError:
+        raise
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad_json", f"malformed JSON frame: {exc}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad_frame", "frame must be a JSON object"
+        )
+    op = payload.pop("op", None)
+    if not isinstance(op, str):
+        raise ProtocolError("bad_frame", "frame is missing its 'op'")
+    cls = registry.get(op)
+    if cls is None:
+        raise ProtocolError("unknown_op", f"unknown op {op!r}")
+    kwargs: dict[str, object] = {}
+    for field in dataclasses.fields(cls):
+        if field.name in payload:
+            validate = _VALIDATORS[str(field.type)]
+            kwargs[field.name] = validate(
+                payload.pop(field.name), field.name
+            )
+        elif field.default is dataclasses.MISSING:
+            raise ProtocolError(
+                "bad_field",
+                f"op {op!r} is missing required field {field.name!r}",
+            )
+    if payload:
+        unknown = ", ".join(sorted(payload))
+        raise ProtocolError(
+            "bad_field", f"op {op!r} got unknown fields: {unknown}"
+        )
+    return cls(**kwargs)
+
+
+def decode_request(
+    line: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> Frame:
+    """Decode one client→server line; raises :class:`ProtocolError`."""
+    return _decode(line, REQUEST_TYPES, max_bytes)
+
+
+def decode_reply(line: bytes, max_bytes: int = MAX_FRAME_BYTES) -> Frame:
+    """Decode one server→client line; raises :class:`ProtocolError`."""
+    return _decode(line, REPLY_TYPES, max_bytes)

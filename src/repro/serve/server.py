@@ -1,0 +1,447 @@
+"""The online Trusted Server: admission control over the staged engine.
+
+:class:`TrustedServer` turns the PR-3 :class:`~repro.engine.pipeline.
+Engine` into a long-running concurrent service.  The concurrency model
+is a *single sequencer*: every admitted operation (location update or
+service request) is queued into one bounded FIFO and executed by one
+dispatcher task, so the engine — which is deliberately synchronous and
+per-user-ordered — never sees concurrent mutation and the served
+decision stream stays equivalent to an offline
+:meth:`~repro.engine.pipeline.Engine.process_batch` replay of the same
+per-user-ordered workload (``tests/serve/test_determinism.py``).
+
+Admission control happens *before* the queue:
+
+* a session with ``max_inflight`` operations outstanding is shed
+  (``overloaded`` / reason ``inflight``) — one client cannot occupy the
+  whole queue;
+* a full queue sheds with reason ``queue`` and a ``retry_after`` hint
+  derived from the queue depth times an EMA of recent service time —
+  overload degrades into explicit backpressure, never into unbounded
+  memory or timeouts;
+* a draining server rejects new work with ``draining`` (not a shed:
+  the client should reconnect elsewhere, not retry here).
+
+Graceful drain (:meth:`TrustedServer.drain`): stop admitting, let the
+dispatcher flush every queued job, then emit the final
+``serve.drained`` audit event carrying the serving totals and the
+engine's decision tallies.
+
+Observability rides the engine's own telemetry pipeline: queue-depth /
+connection gauges, ``serve.request_ms`` / ``serve.queue_wait_ms``
+histograms, ``serve.shed`` counters — and every decision still flows
+through the ``ts.decision`` event channel, so a
+:class:`~repro.obs.slo.PrivacyMonitor` attached via ``slo_rules``
+audits the online server exactly as it audits offline replays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.engine.pipeline import Engine
+from repro.geometry.point import STPoint
+from repro.obs.slo import PrivacyMonitor, SloRule
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    DecisionReply,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Frame,
+    Hello,
+    LocationUpdate,
+    ServiceRequest,
+    StatsReply,
+    StatsRequest,
+    UpdateAck,
+    Welcome,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Admission-control and framing limits of one server."""
+
+    #: Bound of the dispatch queue; beyond it requests are shed.
+    max_queue_depth: int = 1024
+    #: Per-session cap on queued-but-unanswered operations.
+    max_inflight: int = 64
+    #: Per-frame wire size limit (bytes, including the newline).
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Lower bound of the ``retry_after`` backoff hint (seconds).
+    retry_after_floor_s: float = 0.01
+    #: Advertised in the Welcome frame.
+    server_name: str = "repro-ts"
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+
+class ClientSession:
+    """Per-connection serving state (the pseudonymous client identity).
+
+    The wire never authenticates users — like the paper's TS, the
+    frontend is inside the trust boundary — but each connection gets an
+    opaque ``session_id`` used in telemetry and limits, never the
+    client-supplied name.
+    """
+
+    __slots__ = ("session_id", "client", "inflight", "accepted", "shed")
+
+    def __init__(self, session_id: str, client: str) -> None:
+        self.session_id = session_id
+        self.client = client
+        #: Operations admitted but not yet answered.
+        self.inflight = 0
+        self.accepted = 0
+        self.shed = 0
+
+
+class _Job:
+    """One admitted operation waiting in the dispatch queue."""
+
+    __slots__ = ("session", "frame", "future", "enqueued_at")
+
+    def __init__(
+        self,
+        session: ClientSession,
+        frame: Frame,
+        future: "asyncio.Future[Frame]",
+    ) -> None:
+        self.session = session
+        self.frame = frame
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class TrustedServer:
+    """Serving frontend over one :class:`Engine` (see module doc)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ServeConfig | None = None,
+        slo_rules: "Iterable[SloRule | str] | None" = None,
+        slo_window_s: float = 2 * 3600.0,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.telemetry = engine.telemetry
+        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
+            maxsize=self.config.max_queue_depth
+        )
+        self._sessions: dict[str, ClientSession] = {}
+        self._session_seq = 0
+        self._dispatcher: "asyncio.Task[None] | None" = None
+        self._draining = False
+        self._closed = False
+        #: EMA of recent service time, seeding the retry_after hint.
+        self._ema_service_s = 0.001
+        # Serving totals (mirrored as serve.* counters when telemetry
+        # is enabled; kept as plain ints so stats work without it).
+        self.accepted = 0
+        self.served = 0
+        self.shed_total = 0
+        self.rejected = 0
+        self.protocol_errors = 0
+        self.privacy_monitor: PrivacyMonitor | None = None
+        if slo_rules is not None:
+            if not self.telemetry.enabled:
+                raise ValueError(
+                    "slo_rules require enabled telemetry; build the "
+                    "engine with telemetry=TelemetryConfig(enabled=True)"
+                )
+            self.privacy_monitor = PrivacyMonitor(
+                store=engine.store,
+                rules=slo_rules,
+                window_s=slo_window_s,
+            ).attach(self.telemetry)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> "TrustedServer":
+        """Spawn the dispatcher; idempotent."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(
+                self._dispatch_loop(), name="repro-serve-dispatcher"
+            )
+        return self
+
+    async def drain(self) -> DrainReply:
+        """Stop admitting, flush the queue, emit the final audit."""
+        first = not self._draining
+        self._draining = True
+        await self._queue.join()
+        reply = DrainReply(
+            id=0,
+            served=self.served,
+            shed=self.shed_total,
+            rejected=self.rejected,
+            pending=self._queue.qsize(),
+        )
+        if first:
+            if self.privacy_monitor is not None:
+                self.privacy_monitor.evaluate()
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.gauge("serve.queue_depth", 0)
+                telemetry.event(
+                    "serve.drained",
+                    served=self.served,
+                    shed=self.shed_total,
+                    rejected=self.rejected,
+                    protocol_errors=self.protocol_errors,
+                    decisions={
+                        decision.value: count
+                        for decision, count in (
+                            self.engine.decision_counts().items()
+                        )
+                        if count
+                    },
+                )
+        return reply
+
+    async def close(self) -> None:
+        """Drain, then stop the dispatcher.  Idempotent."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+
+    # -- sessions ------------------------------------------------------
+
+    def open_session(self, client: str = "client") -> ClientSession:
+        """Register one connection; returns its pseudonymous session."""
+        self._session_seq += 1
+        session = ClientSession(f"s{self._session_seq}", client)
+        self._sessions[session.session_id] = session
+        self.telemetry.gauge("serve.connections", len(self._sessions))
+        return session
+
+    def close_session(self, session: ClientSession) -> None:
+        self._sessions.pop(session.session_id, None)
+        self.telemetry.gauge("serve.connections", len(self._sessions))
+
+    def welcome(self, session: ClientSession, hello: Hello) -> Frame:
+        """Answer a Hello: version check, then the negotiated limits."""
+        if hello.version != PROTOCOL_VERSION:
+            return ErrorReply(
+                id=None,
+                code="bad_version",
+                message=(
+                    f"protocol version {hello.version} not supported; "
+                    f"server speaks {PROTOCOL_VERSION}"
+                ),
+            )
+        session.client = hello.client
+        return Welcome(
+            version=PROTOCOL_VERSION,
+            server=self.config.server_name,
+            session=session.session_id,
+            max_inflight=self.config.max_inflight,
+            max_queue_depth=self.config.max_queue_depth,
+        )
+
+    def note_protocol_error(self) -> None:
+        """Transports report undecodable frames here."""
+        self.protocol_errors += 1
+        self.telemetry.count("serve.protocol_errors")
+
+    # -- admission and dispatch ----------------------------------------
+
+    async def submit(self, session: ClientSession, frame: Frame) -> Frame:
+        """Admit one decoded frame; resolves to its reply frame.
+
+        This is the single entry point shared by every transport: the
+        loopback connection and the TCP handler both land here, so
+        admission control and shedding behave identically with and
+        without sockets.
+        """
+        if isinstance(frame, Hello):
+            return self.welcome(session, frame)
+        if isinstance(frame, StatsRequest):
+            return self._stats_reply(frame.id)
+        if isinstance(frame, DrainRequest):
+            reply = await self.drain()
+            return DrainReply(
+                id=frame.id,
+                served=reply.served,
+                shed=reply.shed,
+                rejected=reply.rejected,
+                pending=reply.pending,
+            )
+        if not isinstance(frame, (LocationUpdate, ServiceRequest)):
+            self.note_protocol_error()
+            return ErrorReply(
+                id=getattr(frame, "id", None),
+                code="unknown_op",
+                message=f"frame {frame.op!r} is not servable",
+            )
+        reply_or_job = self._admit(session, frame)
+        if isinstance(reply_or_job, ErrorReply):
+            return reply_or_job
+        return await reply_or_job.future
+
+    def _admit(
+        self,
+        session: ClientSession,
+        frame: "LocationUpdate | ServiceRequest",
+    ) -> "_Job | ErrorReply":
+        telemetry = self.telemetry
+        if self._draining or self._closed:
+            self.rejected += 1
+            telemetry.count("serve.rejected", reason="draining")
+            return ErrorReply(
+                id=frame.id,
+                code="draining",
+                message="server is draining; no new work admitted",
+            )
+        if session.inflight >= self.config.max_inflight:
+            return self._shed(session, frame, reason="inflight")
+        future: "asyncio.Future[Frame]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        job = _Job(session, frame, future)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            return self._shed(session, frame, reason="queue")
+        session.inflight += 1
+        session.accepted += 1
+        self.accepted += 1
+        if telemetry.enabled:
+            telemetry.gauge("serve.queue_depth", self._queue.qsize())
+        return job
+
+    def _shed(
+        self,
+        session: ClientSession,
+        frame: "LocationUpdate | ServiceRequest",
+        reason: str,
+    ) -> ErrorReply:
+        """Load-shed one operation: explicit backpressure, not failure."""
+        session.shed += 1
+        self.shed_total += 1
+        self.telemetry.count("serve.shed", reason=reason)
+        retry_after = max(
+            self.config.retry_after_floor_s,
+            self._queue.qsize() * self._ema_service_s,
+        )
+        return ErrorReply(
+            id=frame.id,
+            code="overloaded",
+            message=f"shed ({reason}); retry after {retry_after:.3f}s",
+            retry_after=retry_after,
+        )
+
+    def _stats_reply(self, reply_id: int) -> StatsReply:
+        return StatsReply(
+            id=reply_id,
+            accepted=self.accepted,
+            served=self.served,
+            shed=self.shed_total,
+            rejected=self.rejected,
+            protocol_errors=self.protocol_errors,
+            queue_depth=self._queue.qsize(),
+            sessions=len(self._sessions),
+        )
+
+    async def _dispatch_loop(self) -> None:
+        """The single sequencer draining the admission queue."""
+        while True:
+            job = await self._queue.get()
+            try:
+                reply = self._execute(job)
+            except Exception as exc:  # engine bug: answer, keep serving
+                reply = ErrorReply(
+                    id=getattr(job.frame, "id", None),
+                    code="internal",
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+            job.session.inflight -= 1
+            if not job.future.done():
+                job.future.set_result(reply)
+            self._queue.task_done()
+            if self.telemetry.enabled:
+                self.telemetry.gauge(
+                    "serve.queue_depth", self._queue.qsize()
+                )
+
+    def _execute(self, job: _Job) -> Frame:
+        """Run one queued operation through the engine (synchronous)."""
+        start = time.perf_counter()
+        wait_ms = (start - job.enqueued_at) * 1000.0
+        frame = job.frame
+        reply: Frame
+        if isinstance(frame, ServiceRequest):
+            event = self.engine.process(
+                frame.user_id,
+                STPoint(frame.x, frame.y, frame.t),
+                frame.service,
+            )
+            request = event.request
+            context = request.context
+            reply = DecisionReply(
+                id=frame.id,
+                msgid=request.msgid,
+                pseudonym=request.pseudonym,
+                decision=event.decision.value,
+                forwarded=event.forwarded,
+                context=(
+                    context.rect.x_min,
+                    context.rect.y_min,
+                    context.rect.x_max,
+                    context.rect.y_max,
+                    context.interval.start,
+                    context.interval.end,
+                ),
+                lbqid=event.lbqid_name,
+                step=event.step,
+                required_k=event.required_k,
+                rotated=event.pseudonym_rotated,
+            )
+        else:
+            assert isinstance(frame, LocationUpdate)
+            self.engine.report_location(
+                frame.user_id, STPoint(frame.x, frame.y, frame.t)
+            )
+            reply = UpdateAck(id=frame.id)
+        self.served += 1
+        service_s = time.perf_counter() - start
+        self._ema_service_s += 0.05 * (service_s - self._ema_service_s)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            kind = "request" if isinstance(frame, ServiceRequest) else (
+                "update"
+            )
+            telemetry.count("serve.served", kind=kind)
+            telemetry.observe("serve.queue_wait_ms", wait_ms)
+            telemetry.observe(
+                "serve.request_ms", wait_ms + service_s * 1000.0
+            )
+        return reply

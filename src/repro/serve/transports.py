@@ -1,0 +1,241 @@
+"""Transports binding :class:`TrustedServer` to actual connections.
+
+Two implementations of the same connection contract:
+
+* :class:`TcpTransport` — the production daemon: one asyncio TCP
+  listener, one handler task per connection, per-message worker tasks
+  so a single connection can pipeline many outstanding operations
+  (responses correlate by ``id``, so ordering on the wire is free to
+  differ from submission order — except that the server's FIFO queue
+  preserves it for well-ordered clients);
+* :class:`LoopbackTransport` — the same protocol with no sockets: every
+  frame still round-trips through :func:`encode_frame` /
+  :func:`decode_request` (and the reply through the reply codec), so
+  tests exercise the exact wire bytes while staying in-process and
+  deterministic.
+
+Framing errors are answered, not fatal: an undecodable line produces an
+:class:`ErrorReply` with ``id=None`` and the connection continues at
+the next newline.  The two exceptions that do close the connection are
+oversized frames (the stream may be mid-garbage; there is no safe
+resynchronization point within the truncated line) and a failed
+version handshake.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Set
+
+from repro.serve.protocol import (
+    ErrorReply,
+    Frame,
+    Hello,
+    ProtocolError,
+    Welcome,
+    decode_reply,
+    decode_request,
+    encode_frame,
+)
+from repro.serve.server import ClientSession, TrustedServer
+
+
+class LoopbackConnection:
+    """One in-process client connection (see :class:`LoopbackTransport`)."""
+
+    def __init__(self, server: TrustedServer, session: ClientSession):
+        self._server = server
+        self.session = session
+        self._closed = False
+
+    async def send(self, frame: Frame) -> Frame:
+        """Submit one frame through the full codec path; await reply."""
+        if self._closed:
+            raise ConnectionError("loopback connection is closed")
+        max_bytes = self._server.config.max_frame_bytes
+        try:
+            decoded = decode_request(
+                encode_frame(frame, max_bytes), max_bytes
+            )
+        except ProtocolError as exc:
+            self._server.note_protocol_error()
+            return ErrorReply(id=None, code=exc.code, message=exc.message)
+        reply = await self._server.submit(self.session, decoded)
+        return decode_reply(encode_frame(reply, max_bytes), max_bytes)
+
+    def post(self, frame: Frame) -> "asyncio.Task[Frame]":
+        """Fire-and-collect variant of :meth:`send` (open-loop sends).
+
+        Scheduling is FIFO, so frames posted in order are admitted in
+        order — the property the determinism test leans on.
+        """
+        return asyncio.get_running_loop().create_task(self.send(frame))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._server.close_session(self.session)
+
+
+class LoopbackTransport:
+    """Socket-free transport: connections straight into the server."""
+
+    def __init__(self, server: TrustedServer) -> None:
+        self.server = server
+
+    def connect(self, client: str = "loopback") -> LoopbackConnection:
+        return LoopbackConnection(
+            self.server, self.server.open_session(client)
+        )
+
+
+class TcpTransport:
+    """The TCP daemon frontend (``asyncio.start_server``)."""
+
+    def __init__(
+        self,
+        server: TrustedServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._listener: asyncio.AbstractServer | None = None
+        self._handlers: Set["asyncio.Task[None]"] = set()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        await self.server.start()
+        self._listener = await asyncio.start_server(
+            self._handle,
+            self.host,
+            self.port,
+            limit=self.server.config.max_frame_bytes,
+        )
+        sockname = self._listener.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop listening and wait for open connections to finish."""
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        if self._handlers:
+            await asyncio.gather(
+                *tuple(self._handlers), return_exceptions=True
+            )
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        peer = writer.get_extra_info("peername")
+        session = self.server.open_session(client=f"tcp:{peer}")
+        write_lock = asyncio.Lock()
+        workers: Set["asyncio.Task[None]"] = set()
+        max_bytes = self.server.config.max_frame_bytes
+        greeted = False
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The line exceeded the stream limit; the remainder
+                    # of the stream is unframed garbage — report, close.
+                    self.server.note_protocol_error()
+                    await self._write(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            id=None,
+                            code="frame_too_large",
+                            message=(
+                                f"frame exceeds the {max_bytes}-byte "
+                                "limit"
+                            ),
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                try:
+                    frame = decode_request(line, max_bytes)
+                except ProtocolError as exc:
+                    self.server.note_protocol_error()
+                    await self._write(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            id=None, code=exc.code, message=exc.message
+                        ),
+                    )
+                    if exc.code == "frame_too_large":
+                        break
+                    continue
+                if isinstance(frame, Hello):
+                    reply = self.server.welcome(session, frame)
+                    await self._write(writer, write_lock, reply)
+                    if not isinstance(reply, Welcome):
+                        break
+                    greeted = True
+                    continue
+                if not greeted:
+                    self.server.note_protocol_error()
+                    await self._write(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            id=getattr(frame, "id", None),
+                            code="hello_required",
+                            message="first frame must be 'hello'",
+                        ),
+                    )
+                    continue
+                worker = asyncio.create_task(
+                    self._serve_one(session, frame, writer, write_lock)
+                )
+                workers.add(worker)
+                worker.add_done_callback(workers.discard)
+        finally:
+            if workers:
+                await asyncio.gather(
+                    *tuple(workers), return_exceptions=True
+                )
+            self.server.close_session(session)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(
+        self,
+        session: ClientSession,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        reply = await self.server.submit(session, frame)
+        await self._write(writer, write_lock, reply)
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        reply: Frame,
+    ) -> None:
+        data = encode_frame(reply, self.server.config.max_frame_bytes)
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(data)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass

@@ -13,6 +13,7 @@ the fixture is to catch accidental drift.
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 
@@ -27,10 +28,13 @@ def main() -> None:
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
     for scope in AnonymitySetScope:
         record = workload.run_workload(scope)
-        path = FIXTURE_DIR / f"equivalence_{scope.value}.json"
-        with path.open("w", encoding="utf-8") as fh:
-            json.dump(record, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        path = FIXTURE_DIR / f"equivalence_{scope.value}.json.gz"
+        payload = json.dumps(record, indent=1, sort_keys=True) + "\n"
+        # mtime=0 keeps the archive byte-stable across regenerations,
+        # so an unchanged fixture produces no diff.
+        with open(path, "wb") as fh:
+            with gzip.GzipFile(fileobj=fh, mode="wb", mtime=0) as gz:
+                gz.write(payload.encode("utf-8"))
         print(f"wrote {path} ({len(record['events'])} events)")
 
 

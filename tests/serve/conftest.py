@@ -1,0 +1,48 @@
+"""Shared serving-test fixtures.
+
+The serving workload is session-scoped (city generation is the slow
+part); engines are function-scoped because serving mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.config import TelemetryConfig
+from repro.serve.loadgen import (
+    WorkloadConfig,
+    build_engine,
+    build_workload,
+)
+
+#: Small enough to keep every serving test sub-second.
+SMALL_WORKLOAD = WorkloadConfig(
+    seed=11, n_commuters=8, n_wanderers=4, days=4
+)
+
+
+@pytest.fixture(scope="session")
+def workload_config() -> WorkloadConfig:
+    return SMALL_WORKLOAD
+
+
+@pytest.fixture(scope="session")
+def workload(workload_config):
+    """Read-only serving timeline shared by the whole module."""
+    return build_workload(workload_config, max_requests=120)
+
+
+@pytest.fixture()
+def engine(workload, workload_config):
+    """A fresh warm-store engine (no telemetry)."""
+    return build_engine(workload, workload_config)
+
+
+@pytest.fixture()
+def telemetry_engine(workload, workload_config):
+    """A fresh warm-store engine with a ring-buffered event stream."""
+    return build_engine(
+        workload,
+        workload_config,
+        TelemetryConfig(enabled=True, ring_buffer=8192),
+    )

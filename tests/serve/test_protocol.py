@@ -1,0 +1,197 @@
+"""Unit tests of the NDJSON wire codec (strictness, error codes)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    DecisionReply,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Hello,
+    LocationUpdate,
+    ProtocolError,
+    ServiceRequest,
+    StatsReply,
+    StatsRequest,
+    UpdateAck,
+    Welcome,
+    decode_reply,
+    decode_request,
+    encode_frame,
+)
+
+
+def test_request_frames_round_trip():
+    frames = [
+        Hello(version=PROTOCOL_VERSION, client="t"),
+        LocationUpdate(id=1, user_id=3, x=1.5, y=-2.25, t=100.0),
+        ServiceRequest(id=2, user_id=3, x=0.0, y=0.0, t=7.5, service="poi"),
+        StatsRequest(id=3),
+        DrainRequest(id=4),
+    ]
+    for frame in frames:
+        line = encode_frame(frame)
+        assert line.endswith(b"\n")
+        assert decode_request(line) == frame
+
+
+def test_reply_frames_round_trip():
+    frames = [
+        Welcome(
+            version=1,
+            server="ts",
+            session="s1",
+            max_inflight=4,
+            max_queue_depth=16,
+        ),
+        UpdateAck(id=9),
+        DecisionReply(
+            id=1,
+            msgid=12,
+            pseudonym="p4",
+            decision="generalized",
+            forwarded=True,
+            context=(0.0, 1.0, 2.0, 3.0, 4.0, 5.0),
+            lbqid="commute",
+            step=2,
+            required_k=5,
+            rotated=False,
+        ),
+        DecisionReply(
+            id=2,
+            msgid=13,
+            pseudonym="p5",
+            decision="suppressed",
+            forwarded=False,
+        ),
+        ErrorReply(id=None, code="bad_json", message="nope"),
+        ErrorReply(
+            id=7, code="overloaded", message="shed", retry_after=0.25
+        ),
+        StatsReply(
+            id=5,
+            accepted=10,
+            served=8,
+            shed=1,
+            rejected=1,
+            protocol_errors=0,
+            queue_depth=2,
+            sessions=3,
+        ),
+        DrainReply(id=6, served=8, shed=1, rejected=1, pending=0),
+    ]
+    for frame in frames:
+        assert decode_reply(encode_frame(frame)) == frame
+
+
+def test_registries_are_disjoint():
+    # A reply echoed at the server is a protocol error, not dispatch.
+    line = encode_frame(UpdateAck(id=1))
+    with pytest.raises(ProtocolError) as err:
+        decode_request(line)
+    assert err.value.code == "unknown_op"
+    with pytest.raises(ProtocolError) as err:
+        decode_reply(encode_frame(StatsRequest(id=1)))
+    assert err.value.code == "unknown_op"
+
+
+def test_is_shed_marks_only_overload():
+    assert ErrorReply(id=1, code="overloaded", message="").is_shed
+    assert not ErrorReply(id=1, code="draining", message="").is_shed
+
+
+@pytest.mark.parametrize(
+    "line, code",
+    [
+        (b"not json at all\n", "bad_json"),
+        (b'{"op": "hello", "version": NaN}\n', "bad_json"),
+        (b'{"op": "hello", "version": Infinity}\n', "bad_json"),
+        (b'[1, 2, 3]\n', "bad_frame"),
+        (b'"hello"\n', "bad_frame"),
+        (b'{"version": 1}\n', "bad_frame"),
+        (b'{"op": 7}\n', "bad_frame"),
+        (b'{"op": "teleport"}\n', "unknown_op"),
+        (b'{"op": "stats"}\n', "bad_field"),
+        (b'{"op": "stats", "id": "one"}\n', "bad_field"),
+        (b'{"op": "stats", "id": true}\n', "bad_field"),
+        (b'{"op": "stats", "id": 1, "extra": 2}\n', "bad_field"),
+        (
+            b'{"op": "update", "id": 1, "user_id": 2, "x": "a", '
+            b'"y": 0, "t": 0}\n',
+            "bad_field",
+        ),
+        (
+            b'{"op": "hello", "version": 1, "client": 42}\n',
+            "bad_field",
+        ),
+    ],
+)
+def test_strict_decode_error_codes(line, code):
+    with pytest.raises(ProtocolError) as err:
+        decode_request(line)
+    assert err.value.code == code
+
+
+def test_decision_context_must_be_a_six_box():
+    payload = {
+        "op": "decision",
+        "id": 1,
+        "msgid": 1,
+        "pseudonym": "p",
+        "decision": "forwarded",
+        "forwarded": True,
+        "context": [1.0, 2.0],
+    }
+    with pytest.raises(ProtocolError) as err:
+        decode_reply(json.dumps(payload).encode() + b"\n")
+    assert err.value.code == "bad_field"
+
+
+def test_int_accepted_where_float_expected():
+    line = (
+        b'{"op": "update", "id": 1, "user_id": 2, "x": 3, "y": 4, '
+        b'"t": 5}\n'
+    )
+    frame = decode_request(line)
+    assert isinstance(frame, LocationUpdate)
+    assert frame.x == 3.0 and isinstance(frame.x, float)
+
+
+def test_oversized_frames_rejected_both_ways():
+    big = ServiceRequest(
+        id=1, user_id=2, x=0.0, y=0.0, t=0.0, service="x" * 512
+    )
+    with pytest.raises(ProtocolError) as err:
+        encode_frame(big, max_bytes=128)
+    assert err.value.code == "frame_too_large"
+    line = encode_frame(big, max_bytes=MAX_FRAME_BYTES)
+    with pytest.raises(ProtocolError) as err:
+        decode_request(line, max_bytes=128)
+    assert err.value.code == "frame_too_large"
+
+
+def test_encoder_refuses_non_finite_numbers():
+    frame = LocationUpdate(
+        id=1, user_id=2, x=float("nan"), y=0.0, t=0.0
+    )
+    with pytest.raises(ValueError):
+        encode_frame(frame)
+
+
+def test_optional_fields_may_be_null_or_absent():
+    line = (
+        b'{"op": "decision", "id": 1, "msgid": 2, "pseudonym": "p", '
+        b'"decision": "suppressed", "forwarded": false, '
+        b'"context": null}\n'
+    )
+    frame = decode_reply(line)
+    assert isinstance(frame, DecisionReply)
+    assert frame.context is None
+    assert frame.lbqid is None
+    assert frame.rotated is False

@@ -1,0 +1,179 @@
+"""Property-based tests of the wire codec.
+
+Two invariants a long-running daemon lives or dies by:
+
+* **round-trip identity** — every encodable frame decodes back to an
+  equal frame (the wire loses nothing);
+* **total strictness** — whatever bytes arrive (random garbage,
+  truncated frames, shape-shifted JSON), the decoder either returns a
+  frame or raises :class:`ProtocolError`.  No other exception type may
+  escape, because the connection handlers turn exactly that type into
+  an error reply and anything else would take the daemon down.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.protocol import (
+    DecisionReply,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Frame,
+    Hello,
+    LocationUpdate,
+    ProtocolError,
+    ServiceRequest,
+    StatsReply,
+    StatsRequest,
+    UpdateAck,
+    Welcome,
+    decode_reply,
+    decode_request,
+    encode_frame,
+)
+
+ids = st.integers(min_value=0, max_value=2**53)
+counts = st.integers(min_value=0, max_value=2**32)
+finite = st.floats(allow_nan=False, allow_infinity=False)
+texts = st.text(max_size=40)
+boxes = st.tuples(finite, finite, finite, finite, finite, finite)
+
+request_frames = st.one_of(
+    st.builds(Hello, version=st.integers(0, 1000), client=texts),
+    st.builds(
+        LocationUpdate, id=ids, user_id=ids, x=finite, y=finite, t=finite
+    ),
+    st.builds(
+        ServiceRequest,
+        id=ids,
+        user_id=ids,
+        x=finite,
+        y=finite,
+        t=finite,
+        service=texts,
+    ),
+    st.builds(StatsRequest, id=ids),
+    st.builds(DrainRequest, id=ids),
+)
+
+reply_frames = st.one_of(
+    st.builds(
+        Welcome,
+        version=st.integers(0, 1000),
+        server=texts,
+        session=texts,
+        max_inflight=counts,
+        max_queue_depth=counts,
+    ),
+    st.builds(UpdateAck, id=ids),
+    st.builds(
+        DecisionReply,
+        id=ids,
+        msgid=ids,
+        pseudonym=texts,
+        decision=texts,
+        forwarded=st.booleans(),
+        context=st.none() | boxes,
+        lbqid=st.none() | texts,
+        step=st.none() | counts,
+        required_k=st.none() | counts,
+        rotated=st.booleans(),
+    ),
+    st.builds(
+        ErrorReply,
+        id=st.none() | ids,
+        code=texts,
+        message=texts,
+        retry_after=st.none()
+        | st.floats(
+            min_value=0.0, allow_nan=False, allow_infinity=False
+        ),
+    ),
+    st.builds(
+        StatsReply,
+        id=ids,
+        accepted=counts,
+        served=counts,
+        shed=counts,
+        rejected=counts,
+        protocol_errors=counts,
+        queue_depth=counts,
+        sessions=counts,
+    ),
+    st.builds(
+        DrainReply,
+        id=ids,
+        served=counts,
+        shed=counts,
+        rejected=counts,
+        pending=counts,
+    ),
+)
+
+
+@given(request_frames)
+def test_request_round_trip_identity(frame: Frame):
+    assert decode_request(encode_frame(frame)) == frame
+
+
+@given(reply_frames)
+def test_reply_round_trip_identity(frame: Frame):
+    assert decode_reply(encode_frame(frame)) == frame
+
+
+@given(request_frames | reply_frames, st.data())
+def test_truncated_frames_raise_protocol_error(frame: Frame, data):
+    """Any cut into the JSON body must fail loudly, never misparse."""
+    line = encode_frame(frame)
+    # Cutting only the trailing newline still leaves a complete JSON
+    # document, so truncate strictly inside the body.
+    cut = data.draw(st.integers(min_value=0, max_value=len(line) - 2))
+    with pytest.raises(ProtocolError):
+        decode_request(line[:cut])
+    with pytest.raises(ProtocolError):
+        decode_reply(line[:cut])
+
+
+@settings(max_examples=300)
+@given(st.binary(max_size=200))
+def test_garbage_bytes_never_escape_protocol_error(blob: bytes):
+    for decode in (decode_request, decode_reply):
+        try:
+            result = decode(blob + b"\n")
+        except ProtocolError:
+            continue
+        assert isinstance(result, Frame)
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | finite
+    | texts,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(texts, children, max_size=4),
+    max_leaves=10,
+)
+
+
+@settings(max_examples=300)
+@given(
+    st.dictionaries(texts, json_values, max_size=6),
+    st.none() | st.sampled_from(["hello", "update", "request", "stats"]),
+)
+def test_shapeshifted_json_never_escapes_protocol_error(payload, op):
+    """Valid JSON with arbitrary shape: decode or ProtocolError."""
+    if op is not None:
+        payload = {**payload, "op": op}
+    line = json.dumps(payload).encode("utf-8") + b"\n"
+    try:
+        result = decode_request(line)
+    except ProtocolError:
+        return
+    assert isinstance(result, Frame)

@@ -1,0 +1,316 @@
+"""Unit tests of the serving core: admission, shedding, drain, SLOs."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine.context import Decision
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    DecisionReply,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Hello,
+    LocationUpdate,
+    ServiceRequest,
+    StatsReply,
+    StatsRequest,
+    UpdateAck,
+    Welcome,
+)
+from repro.serve.server import ServeConfig, TrustedServer
+
+
+def request_frames(workload, count, start_id=1):
+    """The first ``count`` service requests of the timeline, as frames."""
+    frames = []
+    for item in workload.timeline:
+        if not item.is_request:
+            continue
+        frames.append(
+            ServiceRequest(
+                id=start_id + len(frames),
+                user_id=item.user_id,
+                x=item.location.x,
+                y=item.location.y,
+                t=item.location.t,
+                service=item.service,
+            )
+        )
+        if len(frames) == count:
+            break
+    return frames
+
+
+def update_frame(workload, frame_id=1):
+    item = next(i for i in workload.timeline if not i.is_request)
+    return LocationUpdate(
+        id=frame_id,
+        user_id=item.user_id,
+        x=item.location.x,
+        y=item.location.y,
+        t=item.location.t,
+    )
+
+
+def test_serve_config_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(max_queue_depth=0)
+    with pytest.raises(ValueError):
+        ServeConfig(max_inflight=0)
+
+
+def test_welcome_and_version_check(engine):
+    async def run():
+        server = TrustedServer(engine)
+        session = server.open_session("t")
+        good = server.welcome(session, Hello(client="good-client"))
+        assert isinstance(good, Welcome)
+        assert good.version == PROTOCOL_VERSION
+        assert good.session == session.session_id
+        assert good.max_inflight == server.config.max_inflight
+        assert session.client == "good-client"
+        bad = server.welcome(session, Hello(version=99))
+        assert isinstance(bad, ErrorReply)
+        assert bad.code == "bad_version"
+
+    asyncio.run(run())
+
+
+def test_update_and_request_round_trip(engine, workload):
+    async def run():
+        server = await TrustedServer(engine).start()
+        session = server.open_session("t")
+        ack = await server.submit(session, update_frame(workload))
+        assert ack == UpdateAck(id=1)
+        (frame,) = request_frames(workload, 1, start_id=2)
+        reply = await server.submit(session, frame)
+        assert isinstance(reply, DecisionReply)
+        assert reply.id == 2
+        assert reply.msgid >= 1
+        assert reply.decision in {d.value for d in Decision}
+        assert reply.context is not None and len(reply.context) == 6
+        assert session.inflight == 0
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_full_queue_sheds_with_retry_after(engine, workload):
+    async def run():
+        # Dispatcher deliberately not started: the queue fills
+        # deterministically.
+        server = TrustedServer(
+            engine,
+            ServeConfig(
+                max_queue_depth=2,
+                max_inflight=10,
+                retry_after_floor_s=0.05,
+            ),
+        )
+        session = server.open_session("t")
+        frames = request_frames(workload, 3)
+        tasks = [
+            asyncio.ensure_future(server.submit(session, frame))
+            for frame in frames[:2]
+        ]
+        await asyncio.sleep(0)  # let both reach the queue
+        shed = await server.submit(session, frames[2])
+        assert isinstance(shed, ErrorReply)
+        assert shed.is_shed
+        assert shed.id == frames[2].id
+        assert shed.retry_after is not None
+        assert shed.retry_after >= 0.05
+        assert server.shed_total == 1 and session.shed == 1
+        # Once the dispatcher runs, the queued jobs are served.
+        await server.start()
+        replies = await asyncio.gather(*tasks)
+        assert all(isinstance(r, DecisionReply) for r in replies)
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_per_session_inflight_cap_sheds(engine, workload):
+    async def run():
+        server = TrustedServer(
+            engine, ServeConfig(max_queue_depth=100, max_inflight=1)
+        )
+        greedy = server.open_session("greedy")
+        other = server.open_session("other")
+        frames = request_frames(workload, 3)
+        first = asyncio.ensure_future(server.submit(greedy, frames[0]))
+        await asyncio.sleep(0)
+        shed = await server.submit(greedy, frames[1])
+        assert isinstance(shed, ErrorReply) and shed.is_shed
+        assert "inflight" in shed.message
+        # The cap is per session: another client still gets in.
+        second = asyncio.ensure_future(server.submit(other, frames[2]))
+        await asyncio.sleep(0)
+        assert other.inflight == 1
+        await server.start()
+        assert isinstance(await first, DecisionReply)
+        assert isinstance(await second, DecisionReply)
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_draining_rejects_new_work(engine, workload):
+    async def run():
+        server = await TrustedServer(engine).start()
+        session = server.open_session("t")
+        drained = await server.drain()
+        assert isinstance(drained, DrainReply)
+        assert drained.pending == 0
+        (frame,) = request_frames(workload, 1)
+        rejected = await server.submit(session, frame)
+        assert isinstance(rejected, ErrorReply)
+        assert rejected.code == "draining"
+        assert not rejected.is_shed
+        assert server.rejected == 1
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_stats_and_drain_via_submit(engine, workload):
+    async def run():
+        server = await TrustedServer(engine).start()
+        session = server.open_session("t")
+        for frame in request_frames(workload, 3):
+            await server.submit(session, frame)
+        stats = await server.submit(session, StatsRequest(id=77))
+        assert isinstance(stats, StatsReply)
+        assert stats.id == 77
+        assert stats.accepted == 3 and stats.served == 3
+        assert stats.queue_depth == 0 and stats.sessions == 1
+        drained = await server.submit(session, DrainRequest(id=78))
+        assert isinstance(drained, DrainReply)
+        assert drained.id == 78
+        assert drained.served == 3 and drained.pending == 0
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_engine_exception_becomes_internal_error(engine, workload):
+    async def run():
+        server = await TrustedServer(engine).start()
+        session = server.open_session("t")
+        frames = request_frames(workload, 2)
+        original = engine.process
+        engine.process = lambda *a, **k: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        reply = await server.submit(session, frames[0])
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "internal"
+        assert "boom" in reply.message
+        # The dispatcher survives an engine bug and keeps serving.
+        engine.process = original
+        assert isinstance(
+            await server.submit(session, frames[1]), DecisionReply
+        )
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_serving_telemetry(telemetry_engine, workload):
+    async def run():
+        server = await TrustedServer(
+            telemetry_engine, ServeConfig(max_queue_depth=2)
+        ).start()
+        session = server.open_session("t")
+        await server.submit(session, update_frame(workload))
+        for frame in request_frames(workload, 2, start_id=2):
+            await server.submit(session, frame)
+        snap = telemetry_engine.telemetry.snapshot()
+        assert snap.counter_value("serve.served", kind="request") == 2
+        assert snap.counter_value("serve.served", kind="update") == 1
+        assert snap.gauge_value("serve.connections") == 1
+        assert snap.gauge_value("serve.queue_depth") == 0
+        request_ms = snap.histogram_summary("serve.request_ms")
+        assert request_ms is not None and request_ms.count == 3
+        await server.drain()
+        ring = telemetry_engine.telemetry.ring()
+        assert ring is not None
+        events = {e["type"] for e in ring.events}
+        assert "ts.decision" in events
+        drained = [
+            e for e in ring.events if e["type"] == "serve.drained"
+        ]
+        assert len(drained) == 1
+        assert drained[0]["served"] == 3
+        assert sum(drained[0]["decisions"].values()) == 2
+        server.close_session(session)
+        snap = telemetry_engine.telemetry.snapshot()
+        assert snap.gauge_value("serve.connections") == 0
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_shed_telemetry_counter(telemetry_engine, workload):
+    async def run():
+        server = TrustedServer(
+            telemetry_engine,
+            ServeConfig(max_queue_depth=1, max_inflight=1),
+        )
+        session = server.open_session("t")
+        frames = request_frames(workload, 2)
+        task = asyncio.ensure_future(server.submit(session, frames[0]))
+        await asyncio.sleep(0)
+        shed = await server.submit(session, frames[1])
+        assert isinstance(shed, ErrorReply) and shed.is_shed
+        snap = telemetry_engine.telemetry.snapshot()
+        assert snap.counter_value("serve.shed", reason="inflight") == 1
+        await server.start()
+        await task
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_slo_rules_require_enabled_telemetry(engine):
+    with pytest.raises(ValueError):
+        TrustedServer(engine, slo_rules=["k_attainment >= 0.0"])
+
+
+def test_slo_monitor_audits_the_online_stream(
+    telemetry_engine, workload
+):
+    async def run():
+        server = await TrustedServer(
+            telemetry_engine,
+            slo_rules=["unlink_rate <= 1e9 /min"],
+        ).start()
+        assert server.privacy_monitor is not None
+        session = server.open_session("t")
+        for frame in request_frames(workload, 4):
+            await server.submit(session, frame)
+        await server.drain()
+        # Drain forced a final evaluation; the lax rule cannot breach.
+        assert server.privacy_monitor.alerts == []
+        ring = telemetry_engine.telemetry.ring()
+        assert any(
+            e["type"] == "ts.decision" for e in ring.events
+        )
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_close_is_idempotent(engine):
+    async def run():
+        server = await TrustedServer(engine).start()
+        await server.close()
+        await server.close()
+        with pytest.raises(RuntimeError):
+            await server.start()
+
+    asyncio.run(run())

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.mining",
     "repro.experiments",
     "repro.obs",
+    "repro.serve",
 ]
 
 

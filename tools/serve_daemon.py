@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Run the Trusted Server as a long-running TCP daemon.
+
+Builds the seeded city workload engine (warm store, LBQIDs registered,
+sessions pre-opened — the same construction the load generator and the
+serving tests use), binds the NDJSON frontend, prints the bound
+address, and serves until a client sends ``drain`` or the process gets
+SIGINT/SIGTERM, whichever comes first.  Either path performs a graceful
+drain: stop admitting, flush the dispatch queue, emit the final
+``serve.drained`` audit event.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_daemon.py --port 7411
+    PYTHONPATH=src python tools/loadgen.py --host 127.0.0.1 --port 7411
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.config import TelemetryConfig  # noqa: E402
+from repro.serve.loadgen import (  # noqa: E402
+    WorkloadConfig,
+    build_engine,
+    build_workload,
+)
+from repro.serve.server import ServeConfig, TrustedServer  # noqa: E402
+from repro.serve.transports import TcpTransport  # noqa: E402
+
+
+def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Trusted Server NDJSON daemon"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default: 0 = ephemeral, printed on start)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11, help="workload seed (default: 11)"
+    )
+    parser.add_argument("--max-queue-depth", type=int, default=1024)
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="attach a privacy SLO rule (repeatable)",
+    )
+    return parser.parse_args(argv)
+
+
+async def serve(args: argparse.Namespace) -> int:
+    workload_config = WorkloadConfig(seed=args.seed)
+    workload = build_workload(workload_config)
+    engine = build_engine(
+        workload, workload_config, TelemetryConfig(enabled=True)
+    )
+    server = TrustedServer(
+        engine,
+        ServeConfig(
+            max_queue_depth=args.max_queue_depth,
+            max_inflight=args.max_inflight,
+        ),
+        slo_rules=args.slo,
+    )
+    transport = TcpTransport(server, args.host, args.port)
+    host, port = await transport.start()
+    print(f"repro-ts listening on {host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+    await stop.wait()
+    print("repro-ts draining", flush=True)
+    reply = await server.drain()
+    await transport.stop()
+    await server.close()
+    print(
+        f"repro-ts drained: served={reply.served} shed={reply.shed} "
+        f"rejected={reply.rejected}",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return asyncio.run(serve(parse_args(argv)))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
