@@ -226,6 +226,10 @@ class Engine:
             self.stages = pipeline.build(self)
         else:
             self.stages = PipelineBuilder(pipeline).build(self)
+        # Span names are per-request hot-path strings; build them once.
+        self._stage_spans = tuple(
+            (stage, f"engine.{stage.name}") for stage in self.stages
+        )
         self._msgid = 0
 
     # ------------------------------------------------------------------
@@ -391,15 +395,55 @@ class Engine:
     def _run_instrumented(
         self, ctx: RequestContext, telemetry: Telemetry
     ) -> None:
-        """The same walk, timing every stage that actually ran."""
-        for stage in self.stages:
+        """The same walk, timing every stage that actually ran.
+
+        When the request arrived with a distributed trace (the serve
+        dispatcher activated a remote span around :meth:`process`), each
+        stage additionally gets its own ``engine.<stage>`` span in that
+        tree and the ``engine.stage_ms`` observation carries the
+        trace_id as a bucket exemplar.  Local (non-wire) runs keep the
+        exact pre-trace span volume.
+        """
+        trace_id = telemetry.active_trace_id()
+        # The enclosing ts.request span — stage spans are leaves under
+        # it, emitted via the cheap path (no Span object per stage).
+        # Without a sink no record could be delivered, so the walk
+        # stays on the span-free branch (exemplars still carry
+        # ``trace_id``).
+        parent = (
+            telemetry.tracer.current()
+            if trace_id is not None and telemetry.tracer.sinks
+            else None
+        )
+        for stage, span_name in self._stage_spans:
             if ctx.decision is not None and not stage.terminal:
                 continue
             start = time.perf_counter()
-            decision = stage.handle(ctx)
-            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            if parent is None:
+                decision = stage.handle(ctx)
+                end = time.perf_counter()
+            else:
+                try:
+                    decision = stage.handle(ctx)
+                except BaseException:
+                    telemetry.emit_span(
+                        span_name, start, time.perf_counter(), parent
+                    )
+                    raise
+                end = time.perf_counter()
+                if decision is not None:
+                    telemetry.emit_span(
+                        span_name, start, end, parent,
+                        decision=decision.value,
+                    )
+                else:
+                    telemetry.emit_span(span_name, start, end, parent)
+            elapsed_ms = (end - start) * 1000.0
             telemetry.observe(
-                "engine.stage_ms", elapsed_ms, stage=stage.name
+                "engine.stage_ms",
+                elapsed_ms,
+                trace_id=trace_id,
+                stage=stage.name,
             )
             if decision is not None and ctx.decision is None:
                 ctx.decision = decision
@@ -435,8 +479,7 @@ class Engine:
                 "ts.box_duration_s", result.box.interval.duration
             )
         context = event.request.context
-        telemetry.event(
-            "ts.decision",
+        fields: dict[str, object] = dict(
             t=event.request.t,
             user_id=event.request.user_id,
             pseudonym=event.request.pseudonym,
@@ -457,6 +500,12 @@ class Engine:
                 context.interval.end,
             ),
         )
+        # Only traced (wire-propagated) requests grow the event schema —
+        # offline replays keep producing byte-identical decision events.
+        trace_id = telemetry.active_trace_id()
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
+        telemetry.event("ts.decision", **fields)
 
     # ------------------------------------------------------------------
     # evaluation helpers

@@ -18,6 +18,9 @@ per-request telemetry a production anonymizer needs:
   every operation costs a single ``enabled`` branch;
 * :mod:`repro.obs.render` — fixed-width text rendering of metric
   snapshots for examples and benchmark output;
+* :mod:`repro.obs.export` — Prometheus text exposition of the metrics
+  registry (with OpenMetrics trace exemplars) plus the matching parser
+  used by tests and the ``tools/obstop.py`` dashboard;
 * :mod:`repro.obs.slo` — the second observability layer: a streaming
   :class:`PrivacyMonitor` consuming the anonymizer's decision events
   and evaluating declarative :class:`SloRule` thresholds (alerting
@@ -46,6 +49,11 @@ from repro.obs.config import (
     TelemetryConfig,
     resolve_telemetry,
 )
+from repro.obs.export import (
+    parse_prometheus,
+    quantile_from_buckets,
+    render_prometheus,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -72,7 +80,7 @@ from repro.obs.slo import (
     SloStatus,
     parse_slo,
 )
-from repro.obs.tracing import Span, SpanRecord, Tracer
+from repro.obs.tracing import Span, SpanRecord, TraceContext, Tracer
 
 __all__ = [
     "TelemetryConfig",
@@ -89,6 +97,10 @@ __all__ = [
     "Tracer",
     "Span",
     "SpanRecord",
+    "TraceContext",
+    "render_prometheus",
+    "parse_prometheus",
+    "quantile_from_buckets",
     "TelemetrySink",
     "RingBufferSink",
     "JsonlSink",

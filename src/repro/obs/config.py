@@ -32,7 +32,7 @@ from repro.obs.sinks import (
     RingBufferSink,
     TelemetrySink,
 )
-from repro.obs.tracing import Span, Tracer
+from repro.obs.tracing import Span, TraceContext, Tracer
 
 
 class _NullSpan:
@@ -47,6 +47,9 @@ class _NullSpan:
         return None
 
     def annotate(self, **attributes: object) -> "_NullSpan":
+        return self
+
+    def end(self) -> "_NullSpan":
         return self
 
 
@@ -87,19 +90,80 @@ class Telemetry:
         enabled: bool = True,
         sinks: Iterable[TelemetrySink] = (),
         buckets: Iterable[float] | None = None,
+        trace_sample_rate: float = 1.0,
+        trace_seed: int | None = None,
+        worker: str | None = None,
+        shard: str | None = None,
     ) -> None:
         self.enabled = enabled
         self.sinks: tuple[TelemetrySink, ...] = tuple(sinks)
         self.metrics = MetricsRegistry(default_buckets=buckets)
-        self.tracer = Tracer(sinks=self.sinks)
+        common: dict[str, object] = {}
+        if worker is not None:
+            common["worker"] = worker
+        if shard is not None:
+            common["shard"] = shard
+        self.tracer = Tracer(
+            sinks=self.sinks,
+            sample_rate=trace_sample_rate,
+            seed=trace_seed,
+            common_attributes=common,
+        )
 
     # -- recording (hot path) ------------------------------------------
 
-    def span(self, name: str, **attributes: object) -> Span | _NullSpan:
-        """Open a tracing span (context manager)."""
+    def span(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        **attributes: object,
+    ) -> Span | _NullSpan:
+        """Open a tracing span (context manager).
+
+        ``parent`` grafts the span under a remote (wire-propagated)
+        :class:`TraceContext` instead of the task-local parent.
+        """
         if not self.enabled:
             return _NULL_SPAN
-        return self.tracer.span(name, **attributes)
+        return self.tracer.span(name, parent=parent, **attributes)
+
+    def start_span(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        **attributes: object,
+    ) -> Span | _NullSpan:
+        """Open a detached span (finish with ``.end()``); see
+        :meth:`Tracer.start_span`."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.start_span(name, parent=parent, **attributes)
+
+    def active_trace(self) -> TraceContext | None:
+        """The wire-propagated trace the calling task is inside."""
+        if not self.enabled:
+            return None
+        return self.tracer.active_trace()
+
+    def active_trace_id(self) -> str | None:
+        """Just the active wire trace's id (exemplar hot path)."""
+        if not self.enabled:
+            return None
+        return self.tracer.active_trace_id()
+
+    def emit_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: "Span | TraceContext",
+        **attributes: object,
+    ) -> None:
+        """Emit an already-timed leaf span; see
+        :meth:`Tracer.emit_span`."""
+        if not self.enabled:
+            return
+        self.tracer.emit_span(name, start, end, parent, **attributes)
 
     def timer(self, name: str, **labels: object) -> _TimerSpan | _NullSpan:
         """Context manager recording elapsed ms into histogram ``name``."""
@@ -136,11 +200,22 @@ class Telemetry:
             return
         self.metrics.gauge(name, **labels).set(value)
 
-    def observe(self, name: str, value: float, **labels: object) -> None:
-        """Record ``value`` into histogram ``name``."""
+    def observe(
+        self,
+        name: str,
+        value: float,
+        trace_id: str | None = None,
+        **labels: object,
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``trace_id`` optionally attaches the observation as a bucket
+        exemplar — the trace behind the worst value in the bucket's
+        current window (see :class:`~repro.obs.metrics.Histogram`).
+        """
         if not self.enabled:
             return
-        self.metrics.histogram(name, **labels).record(value)
+        self.metrics.histogram(name, **labels).record(value, trace_id)
 
     # -- inspection and lifecycle --------------------------------------
 
@@ -208,6 +283,12 @@ class TelemetryConfig:
     ``console`` echoes events through ``logging.getLogger("repro.obs")``.
     With ``enabled=False`` (the default) :meth:`build` returns the
     shared :data:`NULL_TELEMETRY` no-op.
+
+    ``trace_sample_rate`` is the head-sampling probability applied when
+    a new distributed trace is minted (1.0 = trace every request);
+    ``trace_seed`` makes trace/span ids reproducible.  ``worker`` and
+    ``shard`` are stamped onto every span record — the identity slot
+    the sharded multi-worker serving arc fills in.
     """
 
     enabled: bool = False
@@ -216,6 +297,10 @@ class TelemetryConfig:
     jsonl_flush_every: int = 0
     console: bool = False
     buckets: tuple[float, ...] | None = None
+    trace_sample_rate: float = 1.0
+    trace_seed: int | None = None
+    worker: str | None = None
+    shard: str | None = None
 
     def build(self) -> Telemetry:
         """Wire sinks, registry, and tracer per this configuration."""
@@ -232,7 +317,15 @@ class TelemetryConfig:
             )
         if self.console:
             sinks.append(ConsoleSink())
-        return Telemetry(enabled=True, sinks=sinks, buckets=self.buckets)
+        return Telemetry(
+            enabled=True,
+            sinks=sinks,
+            buckets=self.buckets,
+            trace_sample_rate=self.trace_sample_rate,
+            trace_seed=self.trace_seed,
+            worker=self.worker,
+            shard=self.shard,
+        )
 
 
 def resolve_telemetry(

@@ -123,7 +123,7 @@ class Histogram:
 
     __slots__ = (
         "name", "labels", "bounds", "counts",
-        "count", "total", "minimum", "maximum",
+        "count", "total", "minimum", "maximum", "exemplars",
     )
 
     def __init__(
@@ -144,9 +144,20 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        #: bucket index → ``(value, trace_id)`` of the worst traced
+        #: observation in the bucket's current window (see
+        #: :meth:`drain_exemplars`).
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
-    def record(self, value: float) -> None:
-        """Record one observation."""
+    def record(self, value: float, trace_id: str | None = None) -> None:
+        """Record one observation.
+
+        ``trace_id`` (optional) keeps the observation as the bucket's
+        exemplar when it is the worst value the bucket has seen this
+        window — the breadcrumb that turns "p99 spiked" into a concrete
+        trace to pull from the JSONL sink.  Untraced observations pay
+        one predicate for the feature, never an allocation.
+        """
         value = float(value)
         self.count += 1
         self.total += value
@@ -154,7 +165,18 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
-        self.counts[self._bucket_of(value)] += 1
+        bucket = self._bucket_of(value)
+        self.counts[bucket] += 1
+        if trace_id is not None:
+            worst = self.exemplars.get(bucket)
+            if worst is None or value >= worst[0]:
+                self.exemplars[bucket] = (value, trace_id)
+
+    def drain_exemplars(self) -> dict[int, tuple[float, str]]:
+        """Return and reset the per-bucket exemplars (window roll)."""
+        drained = self.exemplars
+        self.exemplars = {}
+        return drained
 
     def _bucket_of(self, value: float) -> int:
         # Binary search for the first bound >= value.

@@ -155,7 +155,13 @@ def parse_slo(text: str) -> SloRule:
 
 @dataclass(frozen=True)
 class SloAlert:
-    """One SLO state transition (breach or recovery)."""
+    """One SLO state transition (breach or recovery).
+
+    ``exemplar_trace_ids`` — on a breach, the distributed trace ids of
+    the most recent decisions inside the violated window (when the
+    serving stack propagated them), so "k_attainment breached" comes
+    with concrete request trees to pull from the JSONL sink.
+    """
 
     rule: str
     metric: str
@@ -163,6 +169,7 @@ class SloAlert:
     value: float
     threshold: float
     t: float
+    exemplar_trace_ids: tuple[str, ...] = ()
 
     def to_event(self) -> dict:
         return {
@@ -173,6 +180,7 @@ class SloAlert:
             "value": self.value,
             "threshold": self.threshold,
             "t": self.t,
+            "exemplar_trace_ids": list(self.exemplar_trace_ids),
         }
 
 
@@ -282,6 +290,8 @@ class PrivacyMonitor(TelemetrySink):
         self._unlinks: deque[float] = deque()
         self._qos: deque[tuple[float, float, float]] = deque()
         self._group_activity: deque[tuple[float, tuple]] = deque()
+        #: Trace ids of recent traced decisions — alert exemplars.
+        self._trace_log: deque[tuple[float, str]] = deque()
 
         # All-time state.
         self.decision_totals: Counter[str] = Counter()
@@ -334,6 +344,9 @@ class PrivacyMonitor(TelemetrySink):
             self._next_eval = t + self.eval_every_s
 
         self._decisions.append((t, decision))
+        trace_id = event.get("trace_id")
+        if trace_id is not None:
+            self._trace_log.append((t, str(trace_id)))
         self.decision_totals[decision] += 1
         if event.get("rotated"):
             self._unlinks.append(t)
@@ -400,7 +413,12 @@ class PrivacyMonitor(TelemetrySink):
         horizon = now - self._max_window
         while self._unlinks and self._unlinks[0] < horizon:
             self._unlinks.popleft()
-        for dq in (self._decisions, self._qos, self._group_activity):
+        for dq in (
+            self._decisions,
+            self._qos,
+            self._group_activity,
+            self._trace_log,
+        ):
             while dq and dq[0][0] < horizon:
                 dq.popleft()
 
@@ -580,10 +598,14 @@ class PrivacyMonitor(TelemetrySink):
 
         Called automatically on window roll-over; call directly for a
         final end-of-run evaluation.  Returns the alerts raised by
-        *this* evaluation.
+        *this* evaluation.  An explicit ``now`` advances event time, so
+        the rule windows (and breach exemplars) are anchored at ``now``
+        — events older than a window genuinely fall out of it.
         """
         if now is None:
             now = self._now
+        else:
+            self._now = max(self._now, now)
         raised: list[SloAlert] = []
         for rule in self.rules:
             status = self.status[rule.name]
@@ -601,6 +623,11 @@ class PrivacyMonitor(TelemetrySink):
                     value=value,
                     threshold=rule.threshold,
                     t=now,
+                    exemplar_trace_ids=(
+                        ()
+                        if ok
+                        else self._windowed_traces(rule.window_s)
+                    ),
                 )
                 self.alerts.append(alert)
                 raised.append(alert)
@@ -654,6 +681,21 @@ class PrivacyMonitor(TelemetrySink):
 
     def _window(self, window_s: float | None) -> float:
         return self.window_s if window_s is None else window_s
+
+    def _windowed_traces(
+        self, window_s: float | None, limit: int = 5
+    ) -> tuple[str, ...]:
+        """Most recent distinct trace ids inside the window (≤ limit)."""
+        horizon = self._now - self._window(window_s)
+        picked: list[str] = []
+        for t, trace_id in reversed(self._trace_log):
+            if t < horizon:
+                break
+            if trace_id not in picked:
+                picked.append(trace_id)
+            if len(picked) >= limit:
+                break
+        return tuple(picked)
 
     def _active_groups(self, window_s: float | None) -> set[tuple]:
         horizon = self._now - self._window(window_s)

@@ -30,12 +30,18 @@ from repro.serve.protocol import (
     DrainRequest,
     ErrorReply,
     Frame,
+    HealthReply,
+    HealthRequest,
     Hello,
     LocationUpdate,
+    MetricsReply,
+    MetricsRequest,
     ProtocolError,
     ServiceRequest,
     StatsReply,
     StatsRequest,
+    TracesReply,
+    TracesRequest,
     UpdateAck,
     Welcome,
     decode_reply,
@@ -58,8 +64,14 @@ __all__ = [
     "DrainRequest",
     "ErrorReply",
     "Frame",
+    "HealthReply",
+    "HealthRequest",
     "Hello",
     "LoadReport",
+    "MetricsReply",
+    "MetricsRequest",
+    "TracesReply",
+    "TracesRequest",
     "LoadgenConfig",
     "LocationUpdate",
     "LoopbackConnection",

@@ -10,29 +10,45 @@ arrives.  The awaitable convenience wrappers (:meth:`request`,
 Shed replies (``code="overloaded"``) are returned, not raised — they
 are the server's explicit backpressure signal and carry the
 ``retry_after`` hint; only transport failures and handshake rejections
-raise.
+raise.  The awaitable wrappers optionally retry sheds with bounded
+exponential backoff honoring that hint (``retries=N``).
+
+Distributed tracing: pass an enabled ``telemetry`` and ``trace=True``
+to :meth:`connect` and every sampled request mints a ``client.request``
+root span whose context rides the frame's ``trace`` field — the root
+of the causal tree the server's admission/queue/dispatch/engine spans
+hang under.  Tracing is negotiated in hello/welcome; when either side
+declines, the client sends no contexts and pays no tracing cost.
 """
 
 from __future__ import annotations
 
 import asyncio
 
+from repro.obs.config import Telemetry
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     DrainReply,
     DrainRequest,
     ErrorReply,
     Frame,
+    HealthReply,
+    HealthRequest,
     Hello,
     LocationUpdate,
+    MetricsReply,
+    MetricsRequest,
     ProtocolError,
     ServiceRequest,
     StatsReply,
     StatsRequest,
+    TracesReply,
+    TracesRequest,
     Welcome,
     decode_reply,
     encode_frame,
 )
+from repro.obs.tracing import Span
 
 
 class ServeClientError(ConnectionError):
@@ -48,11 +64,20 @@ class ServeClient:
         writer: asyncio.StreamWriter,
         welcome: Welcome,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self.welcome = welcome
         self._max_frame_bytes = max_frame_bytes
+        self._telemetry = telemetry
+        #: True only when tracing was negotiated (hello asked, welcome
+        #: agreed) *and* this client can record spans locally.
+        self.trace_enabled = bool(
+            welcome.trace
+            and telemetry is not None
+            and telemetry.enabled
+        )
         self._pending: dict[int, "asyncio.Future[Frame]"] = {}
         self._next_id = 0
         self._closed = False
@@ -67,12 +92,26 @@ class ServeClient:
         port: int,
         client: str = "client",
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        telemetry: Telemetry | None = None,
+        trace: bool = False,
     ) -> "ServeClient":
-        """Open a connection and perform the version handshake."""
+        """Open a connection and perform the version handshake.
+
+        ``trace=True`` (with an enabled ``telemetry``) asks the server
+        to accept trace contexts; the Welcome's ``trace`` echo decides
+        whether they actually flow.
+        """
         reader, writer = await asyncio.open_connection(
             host, port, limit=max_frame_bytes
         )
-        writer.write(encode_frame(Hello(client=client), max_frame_bytes))
+        want_trace = bool(
+            trace and telemetry is not None and telemetry.enabled
+        )
+        writer.write(
+            encode_frame(
+                Hello(client=client, trace=want_trace), max_frame_bytes
+            )
+        )
         await writer.drain()
         line = await reader.readline()
         if not line:
@@ -82,7 +121,9 @@ class ServeClient:
         if not isinstance(reply, Welcome):
             writer.close()
             raise ServeClientError(f"handshake rejected: {reply!r}")
-        return cls(reader, writer, reply, max_frame_bytes)
+        return cls(
+            reader, writer, reply, max_frame_bytes, telemetry=telemetry
+        )
 
     # -- pipelined sends ----------------------------------------------
 
@@ -111,6 +152,45 @@ class ServeClient:
         self._next_id += 1
         return self._next_id
 
+    def _mint_trace(self, op: str) -> "tuple[str | None, Span | None]":
+        """Wire context (+ root span when recording) for one send.
+
+        Returns ``(wire, span)``: ``wire`` goes on the frame's
+        ``trace`` field, ``span`` is the open ``client.request`` root
+        to finish when the reply lands.  With no sink attached the
+        root span record could never be delivered, so only the wire
+        identity is minted — the server still records exemplars and
+        introspection entries for the trace.
+        """
+        if not self.trace_enabled:
+            return None, None
+        assert self._telemetry is not None
+        tracer = self._telemetry.tracer
+        if not tracer.sample():
+            return None, None
+        if not tracer.sinks:
+            return tracer.new_wire(), None
+        span = self._telemetry.start_span("client.request", op=op)
+        if not isinstance(span, Span):
+            return None, None
+        return f"{span.trace_id}-{span.span_id}", span
+
+    @staticmethod
+    def _finish_span(
+        span: Span, future: "asyncio.Future[Frame]"
+    ) -> None:
+        """Close the client root span when its reply lands."""
+        if future.cancelled() or future.exception() is not None:
+            span.annotate(error="transport")
+        else:
+            reply = future.result()
+            decision = getattr(reply, "decision", None)
+            if decision is not None:
+                span.annotate(decision=decision)
+            elif isinstance(reply, ErrorReply):
+                span.annotate(error=reply.code)
+        span.end()
+
     def post_request(
         self,
         user_id: int,
@@ -120,7 +200,8 @@ class ServeClient:
         service: str = "default",
     ) -> "asyncio.Future[Frame]":
         """Pipeline one service request (open-loop send)."""
-        return self.post(
+        wire, span = self._mint_trace("request")
+        future = self.post(
             ServiceRequest(
                 id=self.next_id(),
                 user_id=user_id,
@@ -128,16 +209,35 @@ class ServeClient:
                 y=y,
                 t=t,
                 service=service,
+                trace=wire,
             )
         )
+        if span is not None:
+            future.add_done_callback(
+                lambda f, s=span: self._finish_span(s, f)
+            )
+        return future
 
     def post_update(
         self, user_id: int, x: float, y: float, t: float
     ) -> "asyncio.Future[Frame]":
         """Pipeline one location update."""
-        return self.post(
-            LocationUpdate(id=self.next_id(), user_id=user_id, x=x, y=y, t=t)
+        wire, span = self._mint_trace("update")
+        future = self.post(
+            LocationUpdate(
+                id=self.next_id(),
+                user_id=user_id,
+                x=x,
+                y=y,
+                t=t,
+                trace=wire,
+            )
         )
+        if span is not None:
+            future.add_done_callback(
+                lambda f, s=span: self._finish_span(s, f)
+            )
+        return future
 
     # -- awaitable wrappers -------------------------------------------
 
@@ -148,19 +248,71 @@ class ServeClient:
         y: float,
         t: float,
         service: str = "default",
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 5.0,
     ) -> Frame:
-        """Issue one service request; returns DecisionReply or ErrorReply."""
-        future = self.post_request(user_id, x, y, t, service)
-        await self._writer.drain()
-        return await future
+        """Issue one service request; returns DecisionReply or ErrorReply.
+
+        ``retries`` resubmits load-shed replies (``code="overloaded"``)
+        up to that many times with bounded exponential backoff, waiting
+        the larger of the server's ``retry_after`` hint and
+        ``backoff_base_s · 2^attempt``, capped at ``backoff_cap_s``.
+        Only sheds are retried — every other reply (including
+        ``draining``) is final.
+        """
+
+        def send() -> "asyncio.Future[Frame]":
+            return self.post_request(user_id, x, y, t, service)
+
+        return await self._send_with_retry(
+            send, retries, backoff_base_s, backoff_cap_s
+        )
 
     async def update(
-        self, user_id: int, x: float, y: float, t: float
+        self,
+        user_id: int,
+        x: float,
+        y: float,
+        t: float,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 5.0,
     ) -> Frame:
-        """Report one location update; returns UpdateAck or ErrorReply."""
-        future = self.post_update(user_id, x, y, t)
-        await self._writer.drain()
-        return await future
+        """Report one location update; returns UpdateAck or ErrorReply.
+
+        Retry semantics match :meth:`request`.
+        """
+
+        def send() -> "asyncio.Future[Frame]":
+            return self.post_update(user_id, x, y, t)
+
+        return await self._send_with_retry(
+            send, retries, backoff_base_s, backoff_cap_s
+        )
+
+    async def _send_with_retry(
+        self,
+        send,
+        retries: int,
+        backoff_base_s: float,
+        backoff_cap_s: float,
+    ) -> Frame:
+        attempt = 0
+        while True:
+            future = send()
+            await self._writer.drain()
+            reply = await future
+            shed = isinstance(reply, ErrorReply) and reply.is_shed
+            if not shed or attempt >= retries:
+                return reply
+            hint = reply.retry_after or 0.0
+            delay = min(
+                backoff_cap_s,
+                max(hint, backoff_base_s * 2.0**attempt),
+            )
+            await asyncio.sleep(delay)
+            attempt += 1
 
     async def stats(self) -> StatsReply:
         """Fetch the server's live serving counters."""
@@ -174,6 +326,31 @@ class ServeClient:
         reply = await self._roundtrip(DrainRequest(id=self.next_id()))
         if not isinstance(reply, DrainReply):
             raise ServeClientError(f"unexpected drain reply: {reply!r}")
+        return reply
+
+    async def metrics(self, format: str = "prometheus") -> MetricsReply:
+        """Scrape the server's metrics registry (text exposition)."""
+        reply = await self._roundtrip(
+            MetricsRequest(id=self.next_id(), format=format)
+        )
+        if not isinstance(reply, MetricsReply):
+            raise ServeClientError(f"unexpected metrics reply: {reply!r}")
+        return reply
+
+    async def health(self) -> HealthReply:
+        """One-frame liveness/readiness probe."""
+        reply = await self._roundtrip(HealthRequest(id=self.next_id()))
+        if not isinstance(reply, HealthReply):
+            raise ServeClientError(f"unexpected health reply: {reply!r}")
+        return reply
+
+    async def traces(self, limit: int = 20) -> TracesReply:
+        """Fetch the server's recent completed traces (JSON body)."""
+        reply = await self._roundtrip(
+            TracesRequest(id=self.next_id(), limit=limit)
+        )
+        if not isinstance(reply, TracesReply):
+            raise ServeClientError(f"unexpected traces reply: {reply!r}")
         return reply
 
     async def _roundtrip(self, frame: Frame) -> Frame:

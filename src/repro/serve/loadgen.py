@@ -81,6 +81,9 @@ class WorkloadConfig:
     tolerance_side: float = 700.0
     tolerance_duration: float = 1800.0
     quiet_period: float = 900.0
+    #: Cell size (meters) of the store's grid index; ``None`` serves
+    #: without one (the E9 speedup stays off).
+    index_cell_size: float | None = None
 
     def tolerance(self) -> ToleranceConstraint:
         return ToleranceConstraint.square(
@@ -166,7 +169,9 @@ def build_engine(
     replay, so the two runs differ only in how operations arrive.
     """
     engine = Engine(
-        TrajectoryStore(telemetry=telemetry),
+        TrajectoryStore(
+            index_cell_size=config.index_cell_size, telemetry=telemetry
+        ),
         policy=make_policy(
             config.k, tolerance=config.tolerance(), service=SERVICE
         ),
@@ -253,6 +258,12 @@ class LoadgenConfig:
     #: Compare the served decision stream against the offline replay.
     verify: bool = False
     telemetry_enabled: bool = True
+    #: Resubmit shed operations up to this many times (bounded
+    #: exponential backoff honoring the server's ``retry_after`` hint).
+    retries: int = 0
+    #: Negotiate distributed tracing and attach contexts to every
+    #: frame (requires ``telemetry_enabled`` on a self-hosted run).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.transport not in ("tcp", "loopback"):
@@ -278,6 +289,10 @@ class LoadReport:
     rejected: int = 0
     protocol_errors: int = 0
     internal_errors: int = 0
+    #: Shed operations that were resubmitted (``retries > 0``).
+    retried: int = 0
+    #: Retried operations that ultimately got a non-shed reply.
+    recovered: int = 0
     elapsed_s: float = 0.0
     throughput_rps: float = 0.0
     latency_ms: dict[str, float] = field(default_factory=dict)
@@ -305,6 +320,8 @@ class LoadReport:
             "rejected": self.rejected,
             "protocol_errors": self.protocol_errors,
             "internal_errors": self.internal_errors,
+            "retried": self.retried,
+            "recovered": self.recovered,
             "elapsed_s": self.elapsed_s,
             "throughput_rps": self.throughput_rps,
             "latency_ms": dict(self.latency_ms),
@@ -330,6 +347,10 @@ class LoadReport:
                 f"internal_errors: {self.internal_errors}"
             ),
         ]
+        if self.retried:
+            lines.append(
+                f"retried: {self.retried}  recovered: {self.recovered}"
+            )
         if self.latency_ms:
             lines.append(
                 "latency ms: "
@@ -383,7 +404,31 @@ class _Connection:
         return self._next_id
 
     def post(self, frame: Frame) -> "asyncio.Future[Frame]":
-        return self.raw.post(frame)
+        # Loadgen builds frames itself, bypassing the client's traced
+        # post_request/post_update wrappers — mint the root span here
+        # so traced TCP runs still carry contexts on every frame.
+        raw = self.raw
+        if (
+            isinstance(raw, ServeClient)
+            and raw.trace_enabled
+            and isinstance(frame, (LocationUpdate, ServiceRequest))
+            and frame.trace is None
+        ):
+            wire, span = raw._mint_trace(frame.op)
+            if wire is not None:
+                # A cheap clone beats dataclasses.replace on this
+                # per-operation path (replace re-runs __init__).
+                clone = object.__new__(type(frame))
+                clone.__dict__.update(frame.__dict__)
+                clone.__dict__["trace"] = wire
+                frame = clone
+                future = raw.post(frame)
+                if span is not None:
+                    future.add_done_callback(
+                        lambda f, s=span: ServeClient._finish_span(s, f)
+                    )
+                return future
+        return raw.post(frame)
 
     async def roundtrip(self, frame: Frame) -> Frame:
         if isinstance(self.raw, ServeClient):
@@ -415,6 +460,26 @@ def _percentiles(samples: "list[float]") -> dict[str, float]:
     }
 
 
+def _frame_for(item: BatchItem, conn: _Connection) -> Frame:
+    """Build the wire frame of one timeline item (fresh id per send)."""
+    if item.is_request:
+        return ServiceRequest(
+            id=conn.next_id(),
+            user_id=item.user_id,
+            x=item.location.x,
+            y=item.location.y,
+            t=item.location.t,
+            service=item.service or SERVICE,
+        )
+    return LocationUpdate(
+        id=conn.next_id(),
+        user_id=item.user_id,
+        x=item.location.x,
+        y=item.location.y,
+        t=item.location.t,
+    )
+
+
 async def _client_run(
     conn: _Connection,
     items: "Sequence[tuple[int, BatchItem]]",
@@ -430,23 +495,7 @@ async def _client_run(
         delay = due - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        if item.is_request:
-            frame: Frame = ServiceRequest(
-                id=conn.next_id(),
-                user_id=item.user_id,
-                x=item.location.x,
-                y=item.location.y,
-                t=item.location.t,
-                service=item.service or SERVICE,
-            )
-        else:
-            frame = LocationUpdate(
-                id=conn.next_id(),
-                user_id=item.user_id,
-                x=item.location.x,
-                y=item.location.y,
-                t=item.location.t,
-            )
+        frame = _frame_for(item, conn)
         sent_at = loop.time()
         future = conn.post(frame)
         if item.is_request:
@@ -459,6 +508,50 @@ async def _client_run(
             )
         sent.append((item, future))
     return sent
+
+
+async def _retry_shed(
+    flat: "list[tuple[BatchItem, _Connection]]",
+    replies: "list[object]",
+    retries: int,
+    report: LoadReport,
+    backoff_base_s: float = 0.05,
+    backoff_cap_s: float = 5.0,
+) -> None:
+    """Resubmit shed operations with bounded exponential backoff.
+
+    Waits the larger of the server's ``retry_after`` hint (the worst
+    over this round's sheds) and ``backoff_base_s · 2^attempt``, capped
+    at ``backoff_cap_s``; updates ``replies`` in place so the caller's
+    tallying sees post-retry outcomes.
+    """
+    for attempt in range(retries):
+        shed_idx = [
+            index
+            for index, reply in enumerate(replies)
+            if isinstance(reply, ErrorReply) and reply.is_shed
+        ]
+        if not shed_idx:
+            return
+        hint = max(
+            getattr(replies[index], "retry_after", None) or 0.0
+            for index in shed_idx
+        )
+        await asyncio.sleep(
+            min(backoff_cap_s, max(hint, backoff_base_s * 2.0**attempt))
+        )
+        futures = []
+        for index in shed_idx:
+            item, conn = flat[index]
+            futures.append(conn.post(_frame_for(item, conn)))
+        report.retried += len(shed_idx)
+        fresh = await asyncio.gather(*futures, return_exceptions=True)
+        for index, reply in zip(shed_idx, fresh):
+            if isinstance(reply, BaseException):
+                continue
+            replies[index] = reply
+            if not (isinstance(reply, ErrorReply) and reply.is_shed):
+                report.recovered += 1
 
 
 async def run_loadgen(
@@ -503,18 +596,30 @@ async def run_loadgen(
 
     connections: "list[_Connection]" = []
     try:
+        client_telemetry: "Telemetry | None" = None
+        if config.trace:
+            # Self-hosted runs share the engine's telemetry, so client
+            # and server spans land in one sink set (single-file trace
+            # reconstruction); external daemons get a local recorder.
+            client_telemetry = report.telemetry or (
+                TelemetryConfig(enabled=True).build()
+            )
         for index in range(config.clients):
             if config.transport == "tcp":
                 assert host is not None and port is not None
                 raw: "ServeClient | LoopbackConnection" = (
                     await ServeClient.connect(
-                        host, port, client=f"loadgen-{index}"
+                        host,
+                        port,
+                        client=f"loadgen-{index}",
+                        telemetry=client_telemetry,
+                        trace=config.trace,
                     )
                 )
             else:
                 assert server is not None
                 raw = LoopbackTransport(server).connect(
-                    client=f"loadgen-{index}"
+                    client=f"loadgen-{index}", trace=config.trace
                 )
             connections.append(_Connection(raw, index))
 
@@ -547,11 +652,30 @@ async def run_loadgen(
                 for conn in connections
             )
         )
-        flat = [pair for batch in results for pair in batch]
-        replies = await asyncio.gather(
-            *(future for _item, future in flat), return_exceptions=True
+        flat: "list[tuple[BatchItem, asyncio.Future[Frame]]]" = []
+        flat_conn: "list[_Connection]" = []
+        for conn, batch in zip(connections, results):
+            for item, future in batch:
+                flat.append((item, future))
+                flat_conn.append(conn)
+        replies = list(
+            await asyncio.gather(
+                *(future for _item, future in flat),
+                return_exceptions=True,
+            )
         )
         report.elapsed_s = loop.time() - started
+
+        if config.retries > 0:
+            await _retry_shed(
+                [
+                    (item, conn)
+                    for (item, _future), conn in zip(flat, flat_conn)
+                ],
+                replies,
+                config.retries,
+                report,
+            )
 
         per_user_replies: "dict[int, list[Frame]]" = {}
         for (item, _future), reply in zip(flat, replies):

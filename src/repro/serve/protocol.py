@@ -83,28 +83,47 @@ def _frame(op: str, registry: dict[str, type]) -> Callable[[_F], _F]:
 @_frame("hello", REQUEST_TYPES)
 @dataclasses.dataclass(frozen=True)
 class Hello(Frame):
-    """Connection opener; must be the first frame on the wire."""
+    """Connection opener; must be the first frame on the wire.
+
+    ``trace`` asks the server to accept and echo distributed trace
+    contexts on this connection; the server's :class:`Welcome` answers
+    with the negotiated value (``False`` when its telemetry is off), so
+    both peers know whether ``trace`` fields carry meaning.  Old peers
+    simply omit the field — the codec default keeps them compatible.
+    """
 
     version: int = PROTOCOL_VERSION
     client: str = "client"
+    trace: bool = False
 
 
 @_frame("update", REQUEST_TYPES)
 @dataclasses.dataclass(frozen=True)
 class LocationUpdate(Frame):
-    """A location update that is not a service request (Section 6.1)."""
+    """A location update that is not a service request (Section 6.1).
+
+    ``trace`` is the optional wire trace context
+    (``"<trace_id>-<span_id>"``, see
+    :class:`repro.obs.tracing.TraceContext`) linking this frame into
+    the sender's causal tree; only meaningful after trace negotiation.
+    """
 
     id: int
     user_id: int
     x: float
     y: float
     t: float
+    trace: str | None = None
 
 
 @_frame("request", REQUEST_TYPES)
 @dataclasses.dataclass(frozen=True)
 class ServiceRequest(Frame):
-    """A service request at an exact ``⟨x, y, t⟩``."""
+    """A service request at an exact ``⟨x, y, t⟩``.
+
+    ``trace`` — optional wire trace context, as on
+    :class:`LocationUpdate`.
+    """
 
     id: int
     user_id: int
@@ -112,6 +131,7 @@ class ServiceRequest(Frame):
     y: float
     t: float
     service: str = "default"
+    trace: str | None = None
 
 
 @_frame("stats", REQUEST_TYPES)
@@ -130,6 +150,41 @@ class DrainRequest(Frame):
     id: int
 
 
+@_frame("metrics", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class MetricsRequest(Frame):
+    """Ask for the full metrics registry in an exposition format.
+
+    ``format`` currently accepts only ``"prometheus"`` (text
+    exposition); anything else earns a ``bad_field`` error, keeping the
+    field free for future formats.
+    """
+
+    id: int
+    format: str = "prometheus"
+
+
+@_frame("health", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class HealthRequest(Frame):
+    """One-frame liveness/readiness probe."""
+
+    id: int
+
+
+@_frame("traces", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class TracesRequest(Frame):
+    """Ask for the server's ring of recently completed traces.
+
+    ``limit`` caps how many (most recent first); the server clamps it
+    to its own buffer size.
+    """
+
+    id: int
+    limit: int = 20
+
+
 # ---------------------------------------------------------------------
 # server -> client
 # ---------------------------------------------------------------------
@@ -145,14 +200,20 @@ class Welcome(Frame):
     session: str
     max_inflight: int
     max_queue_depth: int
+    trace: bool = False
 
 
 @_frame("ack", REPLY_TYPES)
 @dataclasses.dataclass(frozen=True)
 class UpdateAck(Frame):
-    """A location update was ingested."""
+    """A location update was ingested.
+
+    ``trace`` echoes the request's wire trace context, so the client
+    can close its send span against the right tree.
+    """
 
     id: int
+    trace: str | None = None
 
 
 @_frame("decision", REPLY_TYPES)
@@ -175,6 +236,7 @@ class DecisionReply(Frame):
     step: int | None = None
     required_k: int | None = None
     rotated: bool = False
+    trace: str | None = None
 
 
 @_frame("error", REPLY_TYPES)
@@ -192,6 +254,7 @@ class ErrorReply(Frame):
     code: str
     message: str
     retry_after: float | None = None
+    trace: str | None = None
 
     @property
     def is_shed(self) -> bool:
@@ -223,6 +286,56 @@ class DrainReply(Frame):
     shed: int
     rejected: int
     pending: int
+
+
+@_frame("metrics_reply", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class MetricsReply(Frame):
+    """The metrics registry rendered in the requested format.
+
+    ``body`` is the complete exposition text (Prometheus text format
+    for ``format="prometheus"``) — scrape-ready as-is.
+    """
+
+    id: int
+    format: str
+    body: str
+
+
+@_frame("health_reply", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class HealthReply(Frame):
+    """Liveness/readiness snapshot.
+
+    ``status`` is ``"ok"``, ``"draining"``, or ``"degraded"`` (an SLO
+    window is currently in breach); ``slo_ok`` is False only when a
+    privacy monitor reports an active breach, and ``breaches`` counts
+    alerts raised since start.
+    """
+
+    id: int
+    status: str
+    uptime_s: float
+    queue_depth: int
+    sessions: int
+    served: int
+    shed: int
+    slo_ok: bool
+    breaches: int
+
+
+@_frame("traces_reply", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class TracesReply(Frame):
+    """Recently completed request traces, most recent first.
+
+    ``body`` is a JSON array of ``{trace_id, op, decision, queue_ms,
+    total_ms, shed}`` objects — kept as an opaque string so the frame
+    codec stays flat and strict.
+    """
+
+    id: int
+    body: str
 
 
 # ---------------------------------------------------------------------

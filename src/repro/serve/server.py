@@ -38,13 +38,17 @@ audits the online server exactly as it audits offline replays.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.engine.pipeline import Engine
 from repro.geometry.point import STPoint
+from repro.obs.export import render_prometheus
 from repro.obs.slo import PrivacyMonitor, SloRule
+from repro.obs.tracing import TraceContext
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -53,11 +57,17 @@ from repro.serve.protocol import (
     DrainRequest,
     ErrorReply,
     Frame,
+    HealthReply,
+    HealthRequest,
     Hello,
     LocationUpdate,
+    MetricsReply,
+    MetricsRequest,
     ServiceRequest,
     StatsReply,
     StatsRequest,
+    TracesReply,
+    TracesRequest,
     UpdateAck,
     Welcome,
 )
@@ -98,7 +108,9 @@ class ClientSession:
     client-supplied name.
     """
 
-    __slots__ = ("session_id", "client", "inflight", "accepted", "shed")
+    __slots__ = (
+        "session_id", "client", "inflight", "accepted", "shed", "trace",
+    )
 
     def __init__(self, session_id: str, client: str) -> None:
         self.session_id = session_id
@@ -107,12 +119,27 @@ class ClientSession:
         self.inflight = 0
         self.accepted = 0
         self.shed = 0
+        #: Whether trace propagation was negotiated in hello/welcome.
+        self.trace = False
+
+
+def _with_trace(reply: Frame, wire: str) -> Frame:
+    """Clone a frozen reply frame with its ``trace`` field set.
+
+    Equivalent to ``dataclasses.replace(reply, trace=wire)`` but ~15x
+    cheaper — this runs once per traced operation, and ``replace``
+    re-drives the whole generated ``__init__``.
+    """
+    clone = object.__new__(type(reply))
+    clone.__dict__.update(reply.__dict__)
+    clone.__dict__["trace"] = wire
+    return clone
 
 
 class _Job:
     """One admitted operation waiting in the dispatch queue."""
 
-    __slots__ = ("session", "frame", "future", "enqueued_at")
+    __slots__ = ("session", "frame", "future", "enqueued_at", "trace")
 
     def __init__(
         self,
@@ -124,6 +151,9 @@ class _Job:
         self.frame = frame
         self.future = future
         self.enqueued_at = time.perf_counter()
+        #: Wire trace context of a traced request (else None); the
+        #: dispatcher emits the queue-wait span from ``enqueued_at``.
+        self.trace: TraceContext | None = None
 
 
 class TrustedServer:
@@ -156,6 +186,10 @@ class TrustedServer:
         self.shed_total = 0
         self.rejected = 0
         self.protocol_errors = 0
+        #: Monotonic start time, for the ``health`` op's uptime.
+        self.started_at = time.monotonic()
+        #: Ring of recently completed traced requests (``traces`` op).
+        self.recent_traces: deque[dict] = deque(maxlen=64)
         self.privacy_monitor: PrivacyMonitor | None = None
         if slo_rules is not None:
             if not self.telemetry.enabled:
@@ -259,12 +293,16 @@ class TrustedServer:
                 ),
             )
         session.client = hello.client
+        # Trace propagation is on only when both peers want it: the
+        # client asked and this server's telemetry can record spans.
+        session.trace = bool(hello.trace and self.telemetry.enabled)
         return Welcome(
             version=PROTOCOL_VERSION,
             server=self.config.server_name,
             session=session.session_id,
             max_inflight=self.config.max_inflight,
             max_queue_depth=self.config.max_queue_depth,
+            trace=session.trace,
         )
 
     def note_protocol_error(self) -> None:
@@ -286,6 +324,12 @@ class TrustedServer:
             return self.welcome(session, frame)
         if isinstance(frame, StatsRequest):
             return self._stats_reply(frame.id)
+        if isinstance(frame, MetricsRequest):
+            return self._metrics_reply(frame)
+        if isinstance(frame, HealthRequest):
+            return self._health_reply(frame)
+        if isinstance(frame, TracesRequest):
+            return self._traces_reply(frame)
         if isinstance(frame, DrainRequest):
             reply = await self.drain()
             return DrainReply(
@@ -302,10 +346,63 @@ class TrustedServer:
                 code="unknown_op",
                 message=f"frame {frame.op!r} is not servable",
             )
+        ctx: TraceContext | None = None
+        if session.trace and frame.trace is not None:
+            try:
+                ctx = TraceContext.from_wire(frame.trace)
+            except ValueError as exc:
+                self.note_protocol_error()
+                return ErrorReply(
+                    id=frame.id, code="bad_field", message=str(exc)
+                )
+        # Admission spans only exist when a sink can receive them; the
+        # trace identity itself (exemplars, introspection, the reply
+        # echo) costs nothing extra here.
+        record = ctx is not None and self.telemetry.tracer.sinks
+        if record:
+            admit_start = time.perf_counter()
         reply_or_job = self._admit(session, frame)
+        if record:
+            assert ctx is not None
+            if isinstance(reply_or_job, ErrorReply):
+                self.telemetry.emit_span(
+                    "serve.admission",
+                    admit_start,
+                    time.perf_counter(),
+                    ctx,
+                    op=frame.op,
+                    outcome=reply_or_job.code,
+                )
+            else:
+                self.telemetry.emit_span(
+                    "serve.admission",
+                    admit_start,
+                    time.perf_counter(),
+                    ctx,
+                    op=frame.op,
+                    outcome="admitted",
+                    queue_depth=self._queue.qsize(),
+                )
         if isinstance(reply_or_job, ErrorReply):
+            if ctx is not None:
+                self.recent_traces.append(
+                    {
+                        "trace_id": ctx.trace_id,
+                        "op": frame.op,
+                        "decision": None,
+                        "queue_ms": 0.0,
+                        "total_ms": 0.0,
+                        "shed": reply_or_job.is_shed,
+                    }
+                )
+                return _with_trace(reply_or_job, ctx.to_wire())
             return reply_or_job
-        return await reply_or_job.future
+        job = reply_or_job
+        if ctx is not None:
+            # The queue-wait span is emitted by the dispatcher from
+            # ``enqueued_at`` — no open Span object crosses the tasks.
+            job.trace = ctx
+        return await job.future
 
     def _admit(
         self,
@@ -371,6 +468,80 @@ class TrustedServer:
             sessions=len(self._sessions),
         )
 
+    # -- introspection ops ---------------------------------------------
+
+    def _metrics_reply(self, frame: MetricsRequest) -> Frame:
+        """Render the registry for the ``metrics`` op (scrape point)."""
+        if frame.format != "prometheus":
+            return ErrorReply(
+                id=frame.id,
+                code="bad_field",
+                message=(
+                    f"unknown metrics format {frame.format!r}; "
+                    "this server speaks 'prometheus'"
+                ),
+            )
+        if not self.telemetry.enabled:
+            return ErrorReply(
+                id=frame.id,
+                code="no_telemetry",
+                message="telemetry is disabled on this server",
+            )
+        body = render_prometheus(self.telemetry.metrics)
+        # The exposition must fit one frame; refuse rather than hand
+        # the transport an encode-time frame_too_large surprise.
+        if len(body.encode("utf-8")) > self.config.max_frame_bytes - 256:
+            return ErrorReply(
+                id=frame.id,
+                code="frame_too_large",
+                message=(
+                    "metrics exposition exceeds the frame size limit; "
+                    "raise max_frame_bytes"
+                ),
+            )
+        return MetricsReply(id=frame.id, format="prometheus", body=body)
+
+    def _health_reply(self, frame: HealthRequest) -> HealthReply:
+        """One-frame liveness/readiness snapshot (``health`` op)."""
+        slo_ok = True
+        breaches = 0
+        if self.privacy_monitor is not None:
+            slo_ok = all(
+                status.ok
+                for status in self.privacy_monitor.status.values()
+            )
+            breaches = sum(
+                1
+                for alert in self.privacy_monitor.alerts
+                if alert.state == "breach"
+            )
+        if self._draining or self._closed:
+            status_text = "draining"
+        elif not slo_ok:
+            status_text = "degraded"
+        else:
+            status_text = "ok"
+        return HealthReply(
+            id=frame.id,
+            status=status_text,
+            uptime_s=time.monotonic() - self.started_at,
+            queue_depth=self._queue.qsize(),
+            sessions=len(self._sessions),
+            served=self.served,
+            shed=self.shed_total,
+            slo_ok=slo_ok,
+            breaches=breaches,
+        )
+
+    def _traces_reply(self, frame: TracesRequest) -> TracesReply:
+        """Recently completed traces, most recent first."""
+        limit = max(0, min(frame.limit, len(self.recent_traces)))
+        entries = list(self.recent_traces)[-limit:][::-1] if limit else []
+        return TracesReply(
+            id=frame.id,
+            body=json.dumps(entries, separators=(",", ":")),
+        )
+
     async def _dispatch_loop(self) -> None:
         """The single sequencer draining the admission queue."""
         while True:
@@ -398,6 +569,71 @@ class TrustedServer:
         wait_ms = (start - job.enqueued_at) * 1000.0
         frame = job.frame
         reply: Frame
+        if job.trace is not None:
+            telemetry = self.telemetry
+            if telemetry.tracer.sinks:
+                telemetry.emit_span(
+                    "serve.queue_wait",
+                    job.enqueued_at,
+                    start,
+                    job.trace,
+                    op=frame.op,
+                    wait_ms=wait_ms,
+                )
+                # Activated (not detached) so the engine's ts.request /
+                # stage spans parent under it via the contextvar chain.
+                with telemetry.span(
+                    "serve.dispatch", parent=job.trace, op=frame.op
+                ) as dispatch:
+                    reply = self._serve(frame)
+                    decision = getattr(reply, "decision", None)
+                    if decision is not None:
+                        dispatch.annotate(decision=decision)
+            else:
+                # No sink: span records are undeliverable — activate
+                # the identity only, so exemplars, ts.decision events,
+                # and the introspection ring still see the trace.
+                token = telemetry.tracer.activate(job.trace)
+                try:
+                    reply = self._serve(frame)
+                finally:
+                    telemetry.tracer.deactivate(token)
+            reply = _with_trace(reply, job.trace.to_wire())
+        else:
+            reply = self._serve(frame)
+        self.served += 1
+        service_s = time.perf_counter() - start
+        self._ema_service_s += 0.05 * (service_s - self._ema_service_s)
+        trace_id = job.trace.trace_id if job.trace is not None else None
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            kind = "request" if isinstance(frame, ServiceRequest) else (
+                "update"
+            )
+            telemetry.count("serve.served", kind=kind)
+            telemetry.observe(
+                "serve.queue_wait_ms", wait_ms, trace_id=trace_id
+            )
+            telemetry.observe(
+                "serve.request_ms",
+                wait_ms + service_s * 1000.0,
+                trace_id=trace_id,
+            )
+        if trace_id is not None:
+            self.recent_traces.append(
+                {
+                    "trace_id": trace_id,
+                    "op": frame.op,
+                    "decision": getattr(reply, "decision", None),
+                    "queue_ms": wait_ms,
+                    "total_ms": wait_ms + service_s * 1000.0,
+                    "shed": False,
+                }
+            )
+        return reply
+
+    def _serve(self, frame: Frame) -> Frame:
+        """The engine call behind one admitted frame."""
         if isinstance(frame, ServiceRequest):
             event = self.engine.process(
                 frame.user_id,
@@ -406,7 +642,7 @@ class TrustedServer:
             )
             request = event.request
             context = request.context
-            reply = DecisionReply(
+            return DecisionReply(
                 id=frame.id,
                 msgid=request.msgid,
                 pseudonym=request.pseudonym,
@@ -425,23 +661,8 @@ class TrustedServer:
                 required_k=event.required_k,
                 rotated=event.pseudonym_rotated,
             )
-        else:
-            assert isinstance(frame, LocationUpdate)
-            self.engine.report_location(
-                frame.user_id, STPoint(frame.x, frame.y, frame.t)
-            )
-            reply = UpdateAck(id=frame.id)
-        self.served += 1
-        service_s = time.perf_counter() - start
-        self._ema_service_s += 0.05 * (service_s - self._ema_service_s)
-        telemetry = self.telemetry
-        if telemetry.enabled:
-            kind = "request" if isinstance(frame, ServiceRequest) else (
-                "update"
-            )
-            telemetry.count("serve.served", kind=kind)
-            telemetry.observe("serve.queue_wait_ms", wait_ms)
-            telemetry.observe(
-                "serve.request_ms", wait_ms + service_s * 1000.0
-            )
-        return reply
+        assert isinstance(frame, LocationUpdate)
+        self.engine.report_location(
+            frame.user_id, STPoint(frame.x, frame.y, frame.t)
+        )
+        return UpdateAck(id=frame.id)

@@ -31,7 +31,9 @@ from repro.serve.protocol import (
     ErrorReply,
     Frame,
     Hello,
+    LocationUpdate,
     ProtocolError,
+    ServiceRequest,
     Welcome,
     decode_reply,
     decode_request,
@@ -41,17 +43,54 @@ from repro.serve.server import ClientSession, TrustedServer
 
 
 class LoopbackConnection:
-    """One in-process client connection (see :class:`LoopbackTransport`)."""
+    """One in-process client connection (see :class:`LoopbackTransport`).
 
-    def __init__(self, server: TrustedServer, session: ClientSession):
+    With ``trace=True`` (and enabled server telemetry) the connection
+    behaves like a traced :class:`~repro.serve.client.ServeClient`:
+    each sampled update/request frame gets a ``client.request`` root
+    span (recorded on the *server's* tracer — loopback is in-process)
+    and carries its context on the wire, so loopback tests reconstruct
+    the same causal trees the TCP daemon produces.
+    """
+
+    def __init__(
+        self,
+        server: TrustedServer,
+        session: ClientSession,
+        trace: bool = False,
+    ):
         self._server = server
         self.session = session
         self._closed = False
+        self.trace = bool(trace and server.telemetry.enabled)
+        if self.trace:
+            session.trace = True
 
     async def send(self, frame: Frame) -> Frame:
         """Submit one frame through the full codec path; await reply."""
         if self._closed:
             raise ConnectionError("loopback connection is closed")
+        span = None
+        if (
+            self.trace
+            and isinstance(frame, (LocationUpdate, ServiceRequest))
+            and frame.trace is None
+            and self._server.telemetry.tracer.sample()
+        ):
+            tracer = self._server.telemetry.tracer
+            if tracer.sinks:
+                span = self._server.telemetry.start_span(
+                    "client.request", op=frame.op
+                )
+                wire = f"{span.trace_id}-{span.span_id}"
+            else:
+                # No sink: the root record is undeliverable — mint the
+                # wire identity only (same fast path as ServeClient).
+                wire = tracer.new_wire()
+            clone = object.__new__(type(frame))
+            clone.__dict__.update(frame.__dict__)
+            clone.__dict__["trace"] = wire
+            frame = clone
         max_bytes = self._server.config.max_frame_bytes
         try:
             decoded = decode_request(
@@ -59,8 +98,17 @@ class LoopbackConnection:
             )
         except ProtocolError as exc:
             self._server.note_protocol_error()
+            if span is not None:
+                span.annotate(error=exc.code).end()
             return ErrorReply(id=None, code=exc.code, message=exc.message)
         reply = await self._server.submit(self.session, decoded)
+        if span is not None:
+            decision = getattr(reply, "decision", None)
+            if decision is not None:
+                span.annotate(decision=decision)
+            elif isinstance(reply, ErrorReply):
+                span.annotate(error=reply.code)
+            span.end()
         return decode_reply(encode_frame(reply, max_bytes), max_bytes)
 
     def post(self, frame: Frame) -> "asyncio.Task[Frame]":
@@ -83,9 +131,11 @@ class LoopbackTransport:
     def __init__(self, server: TrustedServer) -> None:
         self.server = server
 
-    def connect(self, client: str = "loopback") -> LoopbackConnection:
+    def connect(
+        self, client: str = "loopback", trace: bool = False
+    ) -> LoopbackConnection:
         return LoopbackConnection(
-            self.server, self.server.open_session(client)
+            self.server, self.server.open_session(client), trace=trace
         )
 
 

@@ -380,3 +380,71 @@ class TestEvaluationAndAlerts:
             PrivacyMonitor(window_s=0.0)
         with pytest.raises(ValueError):
             PrivacyMonitor(eval_every_s=-1.0)
+
+
+class TestBreachExemplars:
+    def test_breach_alert_carries_recent_trace_ids(self):
+        monitor = PrivacyMonitor(
+            rules=["suppression_rate <= 0.1"], window_s=600.0
+        )
+        for i in range(7):
+            event = decision_event(
+                t=float(i), decision="suppressed", forwarded=False
+            )
+            event["trace_id"] = f"{i:016x}"
+            monitor.emit(event)
+        alerts = monitor.evaluate(now=7.0)
+        (alert,) = alerts
+        assert alert.state == "breach"
+        # Most recent first, distinct, capped at 5.
+        assert alert.exemplar_trace_ids == tuple(
+            f"{i:016x}" for i in range(6, 1, -1)
+        )
+        assert "exemplar_trace_ids" in alert.to_event()
+        assert alert.to_event()["exemplar_trace_ids"] == list(
+            alert.exemplar_trace_ids
+        )
+
+    def test_recovery_alert_has_no_exemplars(self):
+        monitor = PrivacyMonitor(
+            rules=["unlink_rate <= 0.5/min"], window_s=600.0
+        )
+        for i in range(10):
+            event = decision_event(t=60.0 * i, rotated=True)
+            event["trace_id"] = f"{i:016x}"
+            monitor.emit(event)
+        (breach,) = monitor.evaluate(now=600.0)
+        assert breach.state == "breach"
+        assert breach.exemplar_trace_ids
+        (recovery,) = monitor.evaluate(now=2600.0)
+        assert recovery.state == "recovered"
+        assert recovery.exemplar_trace_ids == ()
+
+    def test_untraced_decisions_yield_empty_exemplars(self):
+        monitor = PrivacyMonitor(
+            rules=["suppression_rate <= 0.1"], window_s=600.0
+        )
+        monitor.emit(
+            decision_event(t=0.0, decision="suppressed", forwarded=False)
+        )
+        (alert,) = monitor.evaluate(now=0.0)
+        assert alert.state == "breach"
+        assert alert.exemplar_trace_ids == ()
+
+    def test_exemplars_respect_the_rule_window(self):
+        monitor = PrivacyMonitor(
+            rules=["suppression_rate <= 0.1"], window_s=600.0
+        )
+        old = decision_event(
+            t=0.0, decision="suppressed", forwarded=False
+        )
+        old["trace_id"] = "a" * 16
+        monitor.emit(old)
+        fresh = decision_event(
+            t=500.0, decision="suppressed", forwarded=False
+        )
+        fresh["trace_id"] = "b" * 16
+        monitor.emit(fresh)
+        (alert,) = monitor.evaluate(now=700.0)
+        # t=0 fell out of the 600s window ending at 700.
+        assert alert.exemplar_trace_ids == ("b" * 16,)

@@ -195,3 +195,111 @@ def test_optional_fields_may_be_null_or_absent():
     assert frame.context is None
     assert frame.lbqid is None
     assert frame.rotated is False
+
+
+# ---------------------------------------------------------------------
+# tracing fields and introspection ops
+# ---------------------------------------------------------------------
+
+from repro.serve.protocol import (  # noqa: E402
+    HealthReply,
+    HealthRequest,
+    MetricsReply,
+    MetricsRequest,
+    TracesReply,
+    TracesRequest,
+)
+
+
+def test_trace_negotiation_fields_round_trip():
+    hello = Hello(client="t", trace=True)
+    assert decode_request(encode_frame(hello)) == hello
+    welcome = Welcome(
+        version=1,
+        server="ts",
+        session="s1",
+        max_inflight=4,
+        max_queue_depth=16,
+        trace=True,
+    )
+    assert decode_reply(encode_frame(welcome)) == welcome
+    # Absent trace fields default off: old peers stay compatible.
+    old = decode_request(b'{"op": "hello", "version": 1}\n')
+    assert isinstance(old, Hello) and old.trace is False
+
+
+def test_trace_context_rides_requests_and_replies():
+    wire = "0123456789abcdef-fedcba9876543210"
+    frames = [
+        LocationUpdate(id=1, user_id=2, x=0.0, y=0.0, t=1.0, trace=wire),
+        ServiceRequest(
+            id=2, user_id=2, x=0.0, y=0.0, t=1.0, service="poi",
+            trace=wire,
+        ),
+    ]
+    for frame in frames:
+        decoded = decode_request(encode_frame(frame))
+        assert decoded == frame and decoded.trace == wire
+    replies = [
+        UpdateAck(id=1, trace=wire),
+        ErrorReply(id=2, code="overloaded", message="", trace=wire),
+        DecisionReply(
+            id=3,
+            msgid=1,
+            pseudonym="p",
+            decision="suppressed",
+            forwarded=False,
+            trace=wire,
+        ),
+    ]
+    for reply in replies:
+        assert decode_reply(encode_frame(reply)).trace == wire
+    # Untraced frames stay exactly as before (trace defaults to None).
+    bare = decode_request(
+        b'{"op": "update", "id": 1, "user_id": 2, "x": 0, "y": 0, '
+        b'"t": 1}\n'
+    )
+    assert bare.trace is None
+
+
+def test_trace_field_must_be_a_string():
+    with pytest.raises(ProtocolError) as err:
+        decode_request(
+            b'{"op": "update", "id": 1, "user_id": 2, "x": 0, "y": 0, '
+            b'"t": 1, "trace": 7}\n'
+        )
+    assert err.value.code == "bad_field"
+
+
+def test_introspection_frames_round_trip():
+    requests = [
+        MetricsRequest(id=1),
+        MetricsRequest(id=2, format="prometheus"),
+        HealthRequest(id=3),
+        TracesRequest(id=4),
+        TracesRequest(id=5, limit=3),
+    ]
+    for frame in requests:
+        assert decode_request(encode_frame(frame)) == frame
+    replies = [
+        MetricsReply(id=1, format="prometheus", body="a_total 1\n"),
+        HealthReply(
+            id=3,
+            status="ok",
+            uptime_s=1.5,
+            queue_depth=0,
+            sessions=2,
+            served=10,
+            shed=0,
+            slo_ok=True,
+            breaches=0,
+        ),
+        TracesReply(id=4, body="[]"),
+    ]
+    for reply in replies:
+        assert decode_reply(encode_frame(reply)) == reply
+    # The registries stay disjoint for the new ops too.
+    with pytest.raises(ProtocolError):
+        decode_reply(encode_frame(MetricsRequest(id=1)))
+    with pytest.raises(ProtocolError):
+        decode_request(encode_frame(TracesReply(id=1, body="[]")))

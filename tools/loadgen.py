@@ -90,6 +90,23 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         help="compare served decisions against the offline batch replay",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry shed operations up to N times with backoff",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="negotiate trace propagation and mint client root spans",
+    )
+    parser.add_argument(
+        "--index-cell-size",
+        type=float,
+        default=None,
+        help="spatial index cell size for the workload store (degrees)",
+    )
+    parser.add_argument(
         "--max-queue-depth",
         type=int,
         default=1024,
@@ -112,7 +129,9 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
 def main(argv: "list[str] | None" = None) -> int:
     args = parse_args(argv)
     config = LoadgenConfig(
-        workload=WorkloadConfig(seed=args.seed),
+        workload=WorkloadConfig(
+            seed=args.seed, index_cell_size=args.index_cell_size
+        ),
         serve=ServeConfig(
             max_queue_depth=args.max_queue_depth,
             max_inflight=args.max_inflight,
@@ -125,6 +144,8 @@ def main(argv: "list[str] | None" = None) -> int:
         port=args.port,
         include_updates=not args.requests_only,
         verify=args.verify,
+        retries=args.retries,
+        trace=args.trace,
     )
     report = asyncio.run(run_loadgen(config))
     if args.json:

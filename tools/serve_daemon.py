@@ -60,14 +60,52 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         metavar="RULE",
         help="attach a privacy SLO rule (repeatable)",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help="head-sampling probability for new traces (default: 1.0)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append span/event records to this JSONL sink",
+    )
+    parser.add_argument(
+        "--worker",
+        default=None,
+        help="worker identity stamped onto every span record",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        help="shard identity stamped onto every span record",
+    )
+    parser.add_argument(
+        "--index-cell-size",
+        type=float,
+        default=None,
+        help="spatial index cell size for the workload store (degrees)",
+    )
     return parser.parse_args(argv)
 
 
 async def serve(args: argparse.Namespace) -> int:
-    workload_config = WorkloadConfig(seed=args.seed)
+    workload_config = WorkloadConfig(
+        seed=args.seed, index_cell_size=args.index_cell_size
+    )
     workload = build_workload(workload_config)
     engine = build_engine(
-        workload, workload_config, TelemetryConfig(enabled=True)
+        workload,
+        workload_config,
+        TelemetryConfig(
+            enabled=True,
+            jsonl_path=args.trace_jsonl,
+            trace_sample_rate=args.trace_sample_rate,
+            worker=args.worker,
+            shard=args.shard,
+        ),
     )
     server = TrustedServer(
         engine,
