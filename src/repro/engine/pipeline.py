@@ -280,6 +280,35 @@ class Engine:
         telemetry = self.telemetry
         if not telemetry.enabled:
             return self._process(user_id, location, service, data)
+        if not telemetry.profiling:
+            return self._process_traced(
+                user_id, location, service, data, telemetry
+            )
+        # Publish the request bracket for the sampling profiler: the
+        # sampler thread reads this slot at every tick, so samples
+        # between stages land in the "(other)" bucket of request time
+        # rather than leaking into idle.
+        slot = telemetry.activity
+        slot.trace_id = telemetry.active_trace_id()
+        slot.in_request = True
+        try:
+            return self._process_traced(
+                user_id, location, service, data, telemetry
+            )
+        finally:
+            slot.in_request = False
+            slot.stage = None
+            slot.trace_id = None
+
+    def _process_traced(
+        self,
+        user_id: int,
+        location: STPoint,
+        service: str,
+        data: Mapping[str, object] | None,
+        telemetry: Telemetry,
+    ) -> AnonymizerEvent:
+        """The instrumented body of :meth:`process`."""
         with telemetry.span(
             "ts.request", user_id=user_id, service=service
         ) as span:
@@ -415,9 +444,16 @@ class Engine:
             if trace_id is not None and telemetry.tracer.sinks
             else None
         )
+        # Stage attribution for the sampling profiler: the engine
+        # publishes the stage currently in handle() through the shared
+        # activity slot (the stage spans above are emitted *after* the
+        # fact, so the sampler cannot learn the stage any other way).
+        slot = telemetry.activity if telemetry.profiling else None
         for stage, span_name in self._stage_spans:
             if ctx.decision is not None and not stage.terminal:
                 continue
+            if slot is not None:
+                slot.stage = stage.name
             start = time.perf_counter()
             if parent is None:
                 decision = stage.handle(ctx)
@@ -438,6 +474,8 @@ class Engine:
                     )
                 else:
                     telemetry.emit_span(span_name, start, end, parent)
+            if slot is not None:
+                slot.stage = None
             elapsed_ms = (end - start) * 1000.0
             telemetry.observe(
                 "engine.stage_ms",

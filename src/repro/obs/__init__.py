@@ -49,7 +49,19 @@ from repro.obs.config import (
     TelemetryConfig,
     resolve_telemetry,
 )
+from repro.obs.aggregate import (
+    Exemplars,
+    FleetTrace,
+    FleetView,
+    MetricsCollector,
+    WorkerScrape,
+    assemble_traces,
+    merge_exemplars,
+    merge_rule,
+    merge_samples,
+)
 from repro.obs.export import (
+    parse_exposition,
     parse_prometheus,
     quantile_from_buckets,
     render_prometheus,
@@ -63,6 +75,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.profile import (
+    ActivitySlot,
+    CollapsedStack,
+    ProfileReport,
+    SamplingProfiler,
+    StageRow,
+    TraceRow,
+    render_stage_table,
+    report_from_dict,
+)
 from repro.obs.render import render_summary
 from repro.obs.sinks import (
     JSONL_READ_STATS,
@@ -72,6 +94,8 @@ from repro.obs.sinks import (
     RingBufferSink,
     TelemetrySink,
     read_jsonl,
+    read_jsonl_rotated,
+    rotated_paths,
 )
 from repro.obs.slo import (
     PrivacyMonitor,
@@ -100,7 +124,25 @@ __all__ = [
     "TraceContext",
     "render_prometheus",
     "parse_prometheus",
+    "parse_exposition",
     "quantile_from_buckets",
+    "ActivitySlot",
+    "SamplingProfiler",
+    "ProfileReport",
+    "CollapsedStack",
+    "StageRow",
+    "TraceRow",
+    "render_stage_table",
+    "report_from_dict",
+    "Exemplars",
+    "FleetTrace",
+    "FleetView",
+    "MetricsCollector",
+    "WorkerScrape",
+    "assemble_traces",
+    "merge_exemplars",
+    "merge_rule",
+    "merge_samples",
     "TelemetrySink",
     "RingBufferSink",
     "JsonlSink",
@@ -108,6 +150,8 @@ __all__ = [
     "JsonlReadStats",
     "JSONL_READ_STATS",
     "read_jsonl",
+    "read_jsonl_rotated",
+    "rotated_paths",
     "render_summary",
     "PrivacyMonitor",
     "SloRule",

@@ -1,0 +1,342 @@
+"""Fleet-level aggregation of scraped telemetry.
+
+One daemon exposes its registry through the ``metrics`` protocol op;
+a sharded fleet exposes N of them.  This module merges those scrapes
+into one coherent view, operating purely on parsed Prometheus samples
+(:func:`repro.obs.export.parse_prometheus` /
+:func:`~repro.obs.export.parse_exposition`) so it works against any
+worker that speaks the exposition format:
+
+* **counters** (``_total``) and histogram components (``_bucket`` /
+  ``_sum`` / ``_count``) *sum* across workers.  Cumulative bucket
+  series are merged as step functions — a worker elides bounds whose
+  cumulative count did not change, so the merged value at each bound
+  is the sum of every worker's cumulative count *at* that bound, not
+  a naive key-wise sum;
+* **gauges** (and summary ``quantile`` samples, which cannot be
+  combined) keep per-worker identity under an added ``worker`` label;
+* **exemplars** keep the worst observation per bucket across the
+  fleet (the trace id most worth pulling).
+
+:class:`MetricsCollector` polls N workers concurrently through an
+injected async scrape callable (the concrete
+:class:`~repro.serve.client.ServeClient` scraper lives in
+:mod:`repro.serve.fleet` — this module imports nothing from
+``repro.serve``) and assembles the per-worker ``traces`` rings into
+cross-worker :class:`FleetTrace` entries grouped by trace id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Mapping, Sequence
+
+from repro.obs.export import Samples
+
+#: One scraped sample key: ``(name, ((label, value), ...))``.
+SampleKey = tuple[str, tuple[tuple[str, str], ...]]
+
+#: Bucket exemplars per sample key: ``key -> (value, trace_id)``.
+Exemplars = dict[SampleKey, tuple[float, str]]
+
+
+def merge_rule(
+    name: str, labels: Sequence[tuple[str, str]]
+) -> str:
+    """Classify one sample: ``"sum"``, ``"bucket"``, or ``"worker"``.
+
+    The exposition format does not carry instrument types past the
+    ``# TYPE`` comments (which a minimal scrape may drop), so the
+    classification leans on the naming conventions the renderer
+    guarantees: counters end in ``_total``, histogram series in
+    ``_bucket``/``_sum``/``_count``; ``quantile``-labelled summary
+    samples and everything else (gauges) keep per-worker identity.
+    """
+    keys = [key for key, _value in labels]
+    if "quantile" in keys:
+        return "worker"
+    if name.endswith("_bucket") and "le" in keys:
+        return "bucket"
+    if name.endswith(("_total", "_sum", "_count")):
+        return "sum"
+    return "worker"
+
+
+def _cumulative_at(
+    series: Sequence[tuple[float, float]], bound: float
+) -> float:
+    """Step-function read of an elided cumulative bucket series.
+
+    ``series`` is ``(bound, cumulative)`` sorted ascending; the value
+    at an un-rendered bound equals the largest rendered bound at or
+    below it (0 before the first) — exactly the elision rule of
+    :func:`repro.obs.export.render_prometheus`.
+    """
+    value = 0.0
+    for series_bound, cumulative in series:
+        if series_bound > bound:
+            break
+        value = cumulative
+    return value
+
+
+def merge_samples(
+    per_worker: Mapping[str, Samples], worker_label: str = "worker"
+) -> Samples:
+    """Merge N workers' scrapes into one fleet sample set.
+
+    Summed series come back under their (sorted) original labels;
+    per-worker series gain a ``(worker_label, <worker>)`` label.  The
+    merged output of two workers equals what one registry serving the
+    combined workload would expose (the property the aggregate tests
+    pin for counters and histogram buckets).
+    """
+    merged: Samples = {}
+    sums: dict[SampleKey, float] = {}
+    # (name, base labels) -> worker -> [(bound, cum)], le kept as the
+    # original string so merged keys match a native exposition.
+    buckets: dict[
+        tuple[str, tuple[tuple[str, str], ...]],
+        dict[str, list[tuple[float, float, str]]],
+    ] = {}
+    for worker in sorted(per_worker):
+        for (name, labels), value in per_worker[worker].items():
+            rule = merge_rule(name, labels)
+            if rule == "sum":
+                key = (name, tuple(sorted(labels)))
+                sums[key] = sums.get(key, 0.0) + value
+            elif rule == "bucket":
+                base = tuple(
+                    sorted(
+                        (k, v) for k, v in labels if k != "le"
+                    )
+                )
+                le = dict(labels)["le"]
+                buckets.setdefault((name, base), {}).setdefault(
+                    worker, []
+                ).append((float(le), value, le))
+            else:
+                key = (
+                    name,
+                    tuple(
+                        sorted(
+                            tuple(labels)
+                            + ((worker_label, worker),)
+                        )
+                    ),
+                )
+                merged[key] = value
+    merged.update(sums)
+    for (name, base), by_worker in buckets.items():
+        series: dict[str, list[tuple[float, float]]] = {}
+        le_text: dict[float, str] = {}
+        for worker, entries in by_worker.items():
+            entries.sort()
+            series[worker] = [
+                (bound, cum) for bound, cum, _le in entries
+            ]
+            for bound, _cum, le in entries:
+                le_text[bound] = le
+        for bound in sorted(le_text):
+            total = sum(
+                _cumulative_at(worker_series, bound)
+                for worker_series in series.values()
+            )
+            key = (name, base + (("le", le_text[bound]),))
+            merged[key] = total
+    return merged
+
+
+def merge_exemplars(
+    per_worker: Mapping[str, Exemplars],
+) -> Exemplars:
+    """Keep the fleet-wide worst exemplar per bucket series.
+
+    Keys are normalised to sorted labels so they line up with
+    :func:`merge_samples` output; on a value tie the lexically first
+    trace id wins, keeping the merge order-independent.
+    """
+    merged: Exemplars = {}
+    for worker in sorted(per_worker):
+        for (name, labels), (value, trace_id) in (
+            per_worker[worker].items()
+        ):
+            key = (name, tuple(sorted(labels)))
+            kept = merged.get(key)
+            if (
+                kept is None
+                or value > kept[0]
+                or (value == kept[0] and trace_id < kept[1])
+            ):
+                merged[key] = (value, trace_id)
+    return merged
+
+
+@dataclass(frozen=True)
+class FleetTrace:
+    """One trace id's activity across the fleet."""
+
+    trace_id: str
+    workers: tuple[str, ...]
+    op: str | None
+    decision: str | None
+    queue_ms: float
+    total_ms: float
+    shed: bool
+    #: The raw per-worker ring entries (each with a ``worker`` key).
+    entries: tuple[dict, ...]
+
+
+def assemble_traces(
+    per_worker: Mapping[str, Sequence[Mapping]],
+) -> list[FleetTrace]:
+    """Group per-worker ``traces`` ring entries by trace id.
+
+    A request that touched several workers (fan-out, retry on another
+    shard) collapses into one :class:`FleetTrace` listing every worker
+    that saw it; ``total_ms``/``queue_ms`` take the worst observation
+    and ``shed`` is true if any worker shed it.  Sorted slowest first.
+    """
+    grouped: dict[str, list[tuple[str, dict]]] = {}
+    for worker in sorted(per_worker):
+        for entry in per_worker[worker]:
+            trace_id = entry.get("trace_id")
+            if not isinstance(trace_id, str):
+                continue
+            grouped.setdefault(trace_id, []).append(
+                (worker, dict(entry))
+            )
+    fleet: list[FleetTrace] = []
+    for trace_id, entries in grouped.items():
+        op = next(
+            (e.get("op") for _w, e in entries if e.get("op")), None
+        )
+        decision = next(
+            (
+                e.get("decision")
+                for _w, e in entries
+                if e.get("decision")
+            ),
+            None,
+        )
+        fleet.append(
+            FleetTrace(
+                trace_id=trace_id,
+                workers=tuple(
+                    sorted({worker for worker, _e in entries})
+                ),
+                op=op,
+                decision=decision,
+                queue_ms=max(
+                    float(e.get("queue_ms") or 0.0)
+                    for _w, e in entries
+                ),
+                total_ms=max(
+                    float(e.get("total_ms") or 0.0)
+                    for _w, e in entries
+                ),
+                shed=any(bool(e.get("shed")) for _w, e in entries),
+                entries=tuple(
+                    {**e, "worker": worker} for worker, e in entries
+                ),
+            )
+        )
+    fleet.sort(key=lambda t: (-t.total_ms, t.trace_id))
+    return fleet
+
+
+@dataclass
+class WorkerScrape:
+    """Everything one polling round pulled from one worker."""
+
+    worker: str
+    samples: Samples = field(default_factory=dict)
+    exemplars: Exemplars = field(default_factory=dict)
+    #: ``health`` op fields (``status``/``slo_ok``/…), None if not
+    #: fetched.
+    health: dict | None = None
+    traces: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class FleetView:
+    """One merged snapshot of the whole fleet."""
+
+    workers: tuple[str, ...]
+    scrapes: dict[str, WorkerScrape]
+    #: target -> error string for workers that failed to scrape.
+    errors: dict[str, str]
+    samples: Samples
+    exemplars: Exemplars
+    traces: list[FleetTrace]
+
+    @property
+    def healthy(self) -> bool:
+        """Every worker reachable, ``status=="ok"``, and SLOs green."""
+        if self.errors or not self.scrapes:
+            return False
+        for scrape in self.scrapes.values():
+            health = scrape.health
+            if health is None:
+                continue
+            if health.get("status") != "ok":
+                return False
+            if not health.get("slo_ok", True):
+                return False
+        return True
+
+
+class MetricsCollector:
+    """Poll N workers and merge their scrapes into one fleet view.
+
+    ``scrape`` is an async callable ``target -> WorkerScrape`` — the
+    injection point that keeps this module free of any transport
+    dependency (see :func:`repro.serve.fleet.scrape_worker` for the
+    wire implementation).  Unreachable workers land in
+    :attr:`FleetView.errors` instead of failing the round, so one dead
+    shard cannot blind the dashboard to the rest of the fleet.
+    """
+
+    def __init__(
+        self,
+        scrape: Callable[[str], Awaitable[WorkerScrape]],
+        targets: Sequence[str],
+    ) -> None:
+        if not targets:
+            raise ValueError("MetricsCollector needs >= 1 target")
+        self.scrape = scrape
+        self.targets = tuple(targets)
+
+    async def collect(self) -> FleetView:
+        """One concurrent polling round over every target."""
+        results = await asyncio.gather(
+            *(self.scrape(target) for target in self.targets),
+            return_exceptions=True,
+        )
+        scrapes: dict[str, WorkerScrape] = {}
+        errors: dict[str, str] = {}
+        for target, result in zip(self.targets, results):
+            if isinstance(result, BaseException):
+                errors[target] = (
+                    f"{type(result).__name__}: {result}"
+                )
+                continue
+            worker = result.worker
+            if worker in scrapes:
+                worker = f"{worker}#{target}"
+            scrapes[worker] = result
+        return FleetView(
+            workers=tuple(sorted(scrapes)),
+            scrapes=scrapes,
+            errors=errors,
+            samples=merge_samples(
+                {w: s.samples for w, s in scrapes.items()}
+            ),
+            exemplars=merge_exemplars(
+                {w: s.exemplars for w, s in scrapes.items()}
+            ),
+            traces=assemble_traces(
+                {w: s.traces for w, s in scrapes.items()}
+            ),
+        )

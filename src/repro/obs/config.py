@@ -12,7 +12,8 @@ path.  The contract that keeps disabled telemetry free:
   plus one call, never an allocation.
 
 :data:`NULL_TELEMETRY` is the process-wide disabled singleton every
-component defaults to; it is stateless, so sharing it is safe.
+component defaults to; it is never mutated (attaching sinks or
+starting a profiler on it is rejected), so sharing it is safe.
 
 :class:`TelemetryConfig` is the user-facing switchboard: declare what
 you want (ring buffer, JSONL path, console echo) and :meth:`build` wires
@@ -26,6 +27,11 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.profile import (
+    ActivitySlot,
+    ProfileReport,
+    SamplingProfiler,
+)
 from repro.obs.sinks import (
     ConsoleSink,
     JsonlSink,
@@ -109,6 +115,17 @@ class Telemetry:
             seed=trace_seed,
             common_attributes=common,
         )
+        #: True only while a profiler is attached and running; the
+        #: engine guards its activity-slot writes on this plain bool,
+        #: so unprofiled requests pay a single branch.  Never True on
+        #: the disabled singleton (``start_profiler`` rejects it), so
+        #: sharing :data:`NULL_TELEMETRY` stays safe — its slot is
+        #: never written.
+        self.profiling = False
+        #: The beacon the engine writes and the sampler thread reads.
+        self.activity = ActivitySlot()
+        #: The most recent profiler (running or stopped).
+        self.profiler: SamplingProfiler | None = None
 
     # -- recording (hot path) ------------------------------------------
 
@@ -216,6 +233,53 @@ class Telemetry:
         if not self.enabled:
             return
         self.metrics.histogram(name, **labels).record(value, trace_id)
+
+    # -- profiling -----------------------------------------------------
+
+    def start_profiler(
+        self,
+        interval_s: float = 0.005,
+        max_depth: int = 48,
+    ) -> SamplingProfiler:
+        """Start sampling the *calling* thread (the engine's thread).
+
+        Flips :attr:`profiling` so the engine begins publishing its
+        activity (current stage, trace id) through :attr:`activity`;
+        the sampler thread attributes every tick to it.  One capture
+        at a time: starting while a profiler runs raises
+        ``RuntimeError``; profiling disabled telemetry raises
+        ``ValueError`` (the shared singleton must stay inert).
+        """
+        if not self.enabled:
+            raise ValueError(
+                "cannot profile disabled telemetry; build an enabled "
+                "Telemetry first"
+            )
+        if self.profiler is not None and self.profiler.running:
+            raise RuntimeError("a profiler is already running")
+        profiler = SamplingProfiler(
+            slot=self.activity,
+            interval_s=interval_s,
+            max_depth=max_depth,
+        )
+        profiler.start()
+        self.profiler = profiler
+        self.profiling = True
+        return profiler
+
+    def stop_profiler(self) -> ProfileReport | None:
+        """Stop the running profiler; returns its final report.
+
+        Idempotent: with no profiler attached returns None, with a
+        stopped one returns its (unchanged) report.  Clears
+        :attr:`profiling` first so the engine stops touching the
+        activity slot before the sampler thread is joined.
+        """
+        self.profiling = False
+        self.activity.clear()
+        if self.profiler is None:
+            return None
+        return self.profiler.stop()
 
     # -- inspection and lifecycle --------------------------------------
 

@@ -46,7 +46,8 @@ _SAMPLE_RE = re.compile(
     r"""^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)
     (?:\{(?P<labels>[^}]*)\})?
     \s+(?P<value>[^\s#]+)
-    (?:\s+\#\s+\{.*\}\s+\S+)?          # optional OpenMetrics exemplar
+    # optional OpenMetrics exemplar: # {labels} value
+    (?:\s+\#\s+\{(?P<exemplar>[^}]*)\}\s+(?P<exemplar_value>\S+))?
     \s*$""",
     re.VERBOSE,
 )
@@ -186,14 +187,23 @@ def render_prometheus(
     return "\n".join(lines) + "\n"
 
 
-def parse_prometheus(text: str) -> Samples:
-    """Parse text exposition back into ``(name, labels) → value``.
+def parse_exposition(
+    text: str,
+) -> tuple[Samples, dict[tuple[str, tuple[tuple[str, str], ...]],
+                         tuple[float, str]]]:
+    """Parse text exposition, keeping OpenMetrics exemplars.
 
-    Raises ``ValueError`` on any line that is neither a comment, blank,
-    nor a well-formed sample — the strictness the exposition tests
-    lean on.
+    Returns ``(samples, exemplars)``: the same ``(name, labels) →
+    value`` map :func:`parse_prometheus` yields, plus ``(name,
+    labels) → (value, trace_id)`` for every bucket line that carried a
+    ``# {trace_id="..."} value`` exemplar — the raw material of the
+    fleet-level worst-exemplar merge in :mod:`repro.obs.aggregate`.
+    Raises ``ValueError`` on any malformed line.
     """
     samples: Samples = {}
+    exemplars: dict[
+        tuple[str, tuple[tuple[str, str], ...]], tuple[float, str]
+    ] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
@@ -216,7 +226,35 @@ def parse_prometheus(text: str) -> Samples:
             raise ValueError(
                 f"line {lineno}: bad sample value {raw!r}"
             ) from None
-        samples[(match["name"], labels)] = value
+        key = (match["name"], labels)
+        samples[key] = value
+        if match["exemplar"] is not None:
+            exemplar_labels = dict(
+                (m["key"], m["value"])
+                for m in _LABEL_RE.finditer(match["exemplar"])
+            )
+            trace_id = exemplar_labels.get("trace_id")
+            if trace_id is not None:
+                try:
+                    exemplar_value = float(match["exemplar_value"])
+                except ValueError:
+                    raise ValueError(
+                        f"line {lineno}: bad exemplar value "
+                        f"{match['exemplar_value']!r}"
+                    ) from None
+                exemplars[key] = (exemplar_value, trace_id)
+    return samples, exemplars
+
+
+def parse_prometheus(text: str) -> Samples:
+    """Parse text exposition back into ``(name, labels) → value``.
+
+    Raises ``ValueError`` on any line that is neither a comment, blank,
+    nor a well-formed sample — the strictness the exposition tests
+    lean on.  Exemplars are validated but dropped; use
+    :func:`parse_exposition` to keep them.
+    """
+    samples, _exemplars = parse_exposition(text)
     return samples
 
 

@@ -68,26 +68,71 @@ class JsonlSink(TelemetrySink):
     risk.  The default 0 flushes only on explicit :meth:`flush`/
     :meth:`close` — fastest, but an abrupt exit loses whatever the
     stdio buffer held.
+
+    ``max_bytes`` enables size-based rotation for long daemon runs:
+    once the live file reaches that size it is renamed to
+    ``<path>.<n>`` with an increasing suffix (``.1`` oldest) and a
+    fresh live file opened, so a traced daemon never grows one
+    unbounded file.  The default 0 never rotates.  Rotated segments
+    are closed cleanly; only the live file can end in a truncated
+    line, and :func:`read_jsonl_rotated` chains all segments back in
+    write order with the same per-file tolerance.
     """
 
-    def __init__(self, path: str | Path, flush_every: int = 0) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        flush_every: int = 0,
+        max_bytes: int = 0,
+    ) -> None:
         if flush_every < 0:
             raise ValueError(
                 f"flush_every must be non-negative, got {flush_every}"
             )
+        if max_bytes < 0:
+            raise ValueError(
+                f"max_bytes must be non-negative, got {max_bytes}"
+            )
         self.path = Path(path)
         self.flush_every = flush_every
+        self.max_bytes = max_bytes
         self._file: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self._size = (
+            self.path.stat().st_size if self.path.exists() else 0
+        )
+        existing = [
+            int(p.suffix[1:]) for p in _rotated_segments(self.path)
+        ]
+        self._next_suffix = max(existing, default=0) + 1
         self.written = 0
+        self.rotations = 0
 
     def emit(self, event: Mapping[str, object]) -> None:
         if self._file is None:
             raise ValueError(f"JsonlSink({self.path}) is closed")
-        json.dump(event, self._file, separators=(",", ":"))
-        self._file.write("\n")
+        # json with ensure_ascii (the default) emits pure ASCII, so
+        # character count == byte count and rotation bookkeeping needs
+        # no encode pass.
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        self._file.write(line)
+        self._size += len(line)
         self.written += 1
         if self.flush_every and self.written % self.flush_every == 0:
             self._file.flush()
+        if self.max_bytes and self._size >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Close and suffix the live file; open a fresh one."""
+        assert self._file is not None
+        self._file.close()
+        self.path.rename(
+            self.path.with_name(f"{self.path.name}.{self._next_suffix}")
+        )
+        self._next_suffix += 1
+        self.rotations += 1
+        self._file = self.path.open("a", encoding="utf-8")
+        self._size = 0
 
     def flush(self) -> None:
         if self._file is not None:
@@ -148,6 +193,48 @@ def read_jsonl(path: str | Path, strict: bool = False) -> Iterator[dict]:
             "skipped this process)",
             path, pending[0], JSONL_READ_STATS.skipped,
         )
+
+
+def _rotated_segments(path: Path) -> list[Path]:
+    """The rotated ``<path>.<n>`` segments, oldest (lowest n) first."""
+    return sorted(
+        (
+            p
+            for p in path.parent.glob(path.name + ".*")
+            if p.suffix[1:].isdigit()
+        ),
+        key=lambda p: int(p.suffix[1:]),
+    )
+
+
+def rotated_paths(path: str | Path) -> list[Path]:
+    """Every segment of a (possibly rotated) JSONL sink, write order.
+
+    Rotated segments first (``.1`` oldest), the live file last.  Works
+    unchanged for an unrotated sink (one path) and for a sink whose
+    live file was rotated away but not yet re-created.
+    """
+    base = Path(path)
+    segments = _rotated_segments(base)
+    if base.exists():
+        segments.append(base)
+    return segments
+
+
+def read_jsonl_rotated(
+    path: str | Path, strict: bool = False
+) -> Iterator[dict]:
+    """Yield a rotated :class:`JsonlSink`'s events across all segments.
+
+    Chains :func:`read_jsonl` over :func:`rotated_paths`, so events
+    come back in write order and each segment keeps the per-file
+    truncated-final-line tolerance (rotated segments are closed
+    cleanly by the sink, so a bad line there normally means the file
+    was damaged after the fact — still tolerated only at that
+    segment's end, as everywhere else).
+    """
+    for segment in rotated_paths(path):
+        yield from read_jsonl(segment, strict=strict)
 
 
 class ConsoleSink(TelemetrySink):

@@ -8,10 +8,13 @@ Layers (bottom-up):
 * :mod:`repro.serve.transports` — TCP daemon and in-process loopback;
 * :mod:`repro.serve.client` — pipelined async client;
 * :mod:`repro.serve.loadgen` — open-loop load generation and
-  serving-vs-offline equivalence verification.
+  serving-vs-offline equivalence verification;
+* :mod:`repro.serve.fleet` — wire-level scraping behind the
+  :mod:`repro.obs.aggregate` fleet view.
 """
 
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.fleet import collect_fleet, parse_target, scrape_worker
 from repro.serve.loadgen import (
     LoadgenConfig,
     LoadReport,
@@ -36,6 +39,8 @@ from repro.serve.protocol import (
     LocationUpdate,
     MetricsReply,
     MetricsRequest,
+    ProfileReply,
+    ProfileRequest,
     ProtocolError,
     ServiceRequest,
     StatsReply,
@@ -70,6 +75,8 @@ __all__ = [
     "LoadReport",
     "MetricsReply",
     "MetricsRequest",
+    "ProfileReply",
+    "ProfileRequest",
     "TracesReply",
     "TracesRequest",
     "LoadgenConfig",
@@ -90,10 +97,13 @@ __all__ = [
     "WorkloadConfig",
     "build_engine",
     "build_workload",
+    "collect_fleet",
     "decision_key",
     "decode_reply",
     "decode_request",
     "encode_frame",
     "offline_replay",
+    "parse_target",
     "run_loadgen",
+    "scrape_worker",
 ]

@@ -38,6 +38,8 @@ from repro.serve.protocol import (
     LocationUpdate,
     MetricsReply,
     MetricsRequest,
+    ProfileReply,
+    ProfileRequest,
     ProtocolError,
     ServiceRequest,
     StatsReply,
@@ -351,6 +353,37 @@ class ServeClient:
         )
         if not isinstance(reply, TracesReply):
             raise ServeClientError(f"unexpected traces reply: {reply!r}")
+        return reply
+
+    async def profile(
+        self,
+        action: str = "status",
+        interval_ms: float = 5.0,
+        limit: int = 200,
+    ) -> ProfileReply:
+        """Drive the server's sampling profiler (``profile`` op).
+
+        Unlike sheds, a profiler error is a caller mistake or a server
+        without telemetry, so :class:`ErrorReply` raises
+        :class:`ServeClientError` carrying the server's code/message.
+        """
+        reply = await self._roundtrip(
+            ProfileRequest(
+                id=self.next_id(),
+                action=action,
+                interval_ms=interval_ms,
+                limit=limit,
+            )
+        )
+        if isinstance(reply, ErrorReply):
+            raise ServeClientError(
+                f"profile {action!r} failed: {reply.code}: "
+                f"{reply.message}"
+            )
+        if not isinstance(reply, ProfileReply):
+            raise ServeClientError(
+                f"unexpected profile reply: {reply!r}"
+            )
         return reply
 
     async def _roundtrip(self, frame: Frame) -> Frame:

@@ -1,0 +1,114 @@
+"""Wire-level fleet scraping for the aggregation layer.
+
+:mod:`repro.obs.aggregate` defines the transport-free merge semantics
+and :class:`~repro.obs.aggregate.MetricsCollector`; this module
+supplies the concrete scrape callable that talks the NDJSON protocol:
+:func:`scrape_worker` opens one :class:`~repro.serve.client.ServeClient`
+connection and pulls the ``health``, ``metrics``, and ``traces`` ops
+into a :class:`~repro.obs.aggregate.WorkerScrape`, and
+:func:`collect_fleet` polls every ``host:port`` target concurrently
+into one merged :class:`~repro.obs.aggregate.FleetView`.
+
+A worker with telemetry disabled answers ``metrics``/``traces`` with
+errors; those degrade to empty samples (health still reports), while a
+worker that cannot be reached at all surfaces in
+:attr:`~repro.obs.aggregate.FleetView.errors`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.aggregate import (
+    FleetView,
+    MetricsCollector,
+    WorkerScrape,
+)
+from repro.obs.export import parse_exposition
+from repro.serve.client import ServeClient, ServeClientError
+
+
+def parse_target(target: str) -> tuple[str, int]:
+    """Split a ``host:port`` target string."""
+    host, sep, port_text = target.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"target must look like host:port, got {target!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"target {target!r} has a non-numeric port"
+        ) from None
+    return host, port
+
+
+async def scrape_worker(
+    host: str,
+    port: int,
+    worker: str | None = None,
+    trace_limit: int = 32,
+    client_name: str = "fleet-scraper",
+) -> WorkerScrape:
+    """Pull one worker's health/metrics/traces over the wire.
+
+    ``worker`` names the scrape (defaults to ``host:port``); it becomes
+    the ``worker`` label on per-worker series in the merged view.
+    Connection failures propagate (the collector records them); a
+    worker that merely lacks telemetry yields empty samples/traces.
+    """
+    scrape = WorkerScrape(worker=worker or f"{host}:{port}")
+    client = await ServeClient.connect(host, port, client=client_name)
+    try:
+        health = await client.health()
+        scrape.health = {
+            "status": health.status,
+            "uptime_s": health.uptime_s,
+            "queue_depth": health.queue_depth,
+            "sessions": health.sessions,
+            "served": health.served,
+            "shed": health.shed,
+            "slo_ok": health.slo_ok,
+            "breaches": health.breaches,
+        }
+        try:
+            metrics = await client.metrics()
+            scrape.samples, scrape.exemplars = parse_exposition(
+                metrics.body
+            )
+        except ServeClientError:
+            pass  # telemetry disabled on this worker
+        try:
+            traces = await client.traces(limit=trace_limit)
+            entries = json.loads(traces.body)
+            if isinstance(entries, list):
+                scrape.traces = [
+                    entry
+                    for entry in entries
+                    if isinstance(entry, dict)
+                ]
+        except ServeClientError:
+            pass
+    finally:
+        await client.close()
+    return scrape
+
+
+async def collect_fleet(
+    targets: "list[str] | tuple[str, ...]",
+    trace_limit: int = 32,
+) -> FleetView:
+    """One concurrent scrape round over ``host:port`` targets."""
+    resolved = {
+        target: parse_target(target) for target in targets
+    }  # validate every target before any connection is attempted
+
+    async def scrape(target: str) -> WorkerScrape:
+        host, port = resolved[target]
+        return await scrape_worker(
+            host, port, worker=target, trace_limit=trace_limit
+        )
+
+    collector = MetricsCollector(scrape, list(targets))
+    return await collector.collect()

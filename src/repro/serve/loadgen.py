@@ -31,6 +31,7 @@ E17, and the serving tests:
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -49,6 +50,8 @@ from repro.serve.protocol import (
     ErrorReply,
     Frame,
     LocationUpdate,
+    ProfileReply,
+    ProfileRequest,
     ServiceRequest,
     StatsRequest,
 )
@@ -264,6 +267,11 @@ class LoadgenConfig:
     #: Negotiate distributed tracing and attach contexts to every
     #: frame (requires ``telemetry_enabled`` on a self-hosted run).
     trace: bool = False
+    #: Run the server's sampling profiler across the pass (driven over
+    #: the wire via the ``profile`` op, so it works against external
+    #: daemons too); the stage self-time table lands on the report.
+    profile: bool = False
+    profile_interval_ms: float = 5.0
 
     def __post_init__(self) -> None:
         if self.transport not in ("tcp", "loopback"):
@@ -303,6 +311,10 @@ class LoadReport:
     mismatches: int = 0
     #: Server-side telemetry snapshot holder (self-hosted runs only).
     telemetry: Telemetry | None = None
+    #: The profiler's stage report (``profile`` op ``stages`` body),
+    #: None unless the run profiled.
+    profile: dict | None = None
+    profile_samples: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -329,6 +341,8 @@ class LoadReport:
             "clean_shutdown": self.clean_shutdown,
             "verified": self.verified,
             "mismatches": self.mismatches,
+            "profile": self.profile,
+            "profile_samples": self.profile_samples,
         }
 
     def summary_lines(self) -> list[str]:
@@ -366,6 +380,16 @@ class LoadReport:
                     f"{name}={count}"
                     for name, count in sorted(self.decision_counts.items())
                 )
+            )
+        if self.profile is not None:
+            shares = "  ".join(
+                f"{row['stage']}={row['share_pct']:.1f}%"
+                for row in self.profile.get("rows", [])
+                if row.get("share_pct") is not None
+            )
+            lines.append(
+                f"profile: {self.profile_samples} samples"
+                + (f"  {shares}" if shares else "")
             )
         lines.append(
             f"clean_shutdown: {self.clean_shutdown}"
@@ -456,6 +480,7 @@ def _percentiles(samples: "list[float]") -> dict[str, float]:
         "p50": at(0.50),
         "p95": at(0.95),
         "p99": at(0.99),
+        "p99_9": at(0.999),
         "max": ordered[last],
     }
 
@@ -623,6 +648,23 @@ async def run_loadgen(
                 )
             connections.append(_Connection(raw, index))
 
+        if config.profile:
+            # Driven over the wire so the op is exercised end-to-end
+            # and external daemons can be profiled the same way.
+            profile_conn = connections[0]
+            started_reply = await profile_conn.roundtrip(
+                ProfileRequest(
+                    id=profile_conn.next_id(),
+                    action="start",
+                    interval_ms=config.profile_interval_ms,
+                )
+            )
+            if isinstance(started_reply, ErrorReply):
+                raise ValueError(
+                    "profiler start failed: "
+                    f"{started_reply.code}: {started_reply.message}"
+                )
+
         # Round-robin user partition: every user's items stay on one
         # connection, preserving per-user submission order.
         owner = {
@@ -712,6 +754,22 @@ async def run_loadgen(
                 report.decisions / report.elapsed_s
             )
         report.latency_ms = _percentiles(latencies)
+
+        if config.profile:
+            profile_conn = connections[0]
+            await profile_conn.roundtrip(
+                ProfileRequest(
+                    id=profile_conn.next_id(), action="stop"
+                )
+            )
+            stages = await profile_conn.roundtrip(
+                ProfileRequest(
+                    id=profile_conn.next_id(), action="stages"
+                )
+            )
+            if isinstance(stages, ProfileReply) and stages.body:
+                report.profile = json.loads(stages.body)
+                report.profile_samples = stages.samples
 
         stats_conn = connections[0]
         stats = await stats_conn.roundtrip(

@@ -185,6 +185,26 @@ class TracesRequest(Frame):
     limit: int = 20
 
 
+@_frame("profile", REQUEST_TYPES)
+@dataclasses.dataclass(frozen=True)
+class ProfileRequest(Frame):
+    """Control or inspect the server's sampling profiler.
+
+    ``action`` is one of ``"start"`` (begin a capture at
+    ``interval_ms`` between samples), ``"stop"``, ``"status"``,
+    ``"collapsed"`` (fetch Brendan-Gregg collapsed stacks, hottest
+    first, truncated to ``limit`` stacks and to the frame size
+    budget), or ``"stages"`` (the per-stage self-time table as JSON).
+    Lifecycle violations (start while running, stop while idle) earn
+    an :class:`ErrorReply` with ``code="profiler_state"``.
+    """
+
+    id: int
+    action: str = "status"
+    interval_ms: float = 5.0
+    limit: int = 200
+
+
 # ---------------------------------------------------------------------
 # server -> client
 # ---------------------------------------------------------------------
@@ -336,6 +356,25 @@ class TracesReply(Frame):
 
     id: int
     body: str
+
+
+@_frame("profile_reply", REPLY_TYPES)
+@dataclasses.dataclass(frozen=True)
+class ProfileReply(Frame):
+    """Profiler state after a ``profile`` op.
+
+    ``state`` is ``"idle"`` (never started), ``"running"``, or
+    ``"stopped"``; ``samples``/``duration_s`` describe the current (or
+    final) capture.  ``body`` is empty except for ``collapsed``
+    (newline-joined collapsed stacks, hottest first, truncated to the
+    frame budget) and ``stages`` (the report's JSON stage table).
+    """
+
+    id: int
+    state: str
+    samples: int
+    duration_s: float
+    body: str = ""
 
 
 # ---------------------------------------------------------------------

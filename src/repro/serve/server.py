@@ -63,6 +63,8 @@ from repro.serve.protocol import (
     LocationUpdate,
     MetricsReply,
     MetricsRequest,
+    ProfileReply,
+    ProfileRequest,
     ServiceRequest,
     StatsReply,
     StatsRequest,
@@ -330,6 +332,8 @@ class TrustedServer:
             return self._health_reply(frame)
         if isinstance(frame, TracesRequest):
             return self._traces_reply(frame)
+        if isinstance(frame, ProfileRequest):
+            return self._profile_reply(frame)
         if isinstance(frame, DrainRequest):
             reply = await self.drain()
             return DrainReply(
@@ -540,6 +544,131 @@ class TrustedServer:
         return TracesReply(
             id=frame.id,
             body=json.dumps(entries, separators=(",", ":")),
+        )
+
+    def _profile_status(self) -> tuple[str, int, float]:
+        """``(state, samples, duration_s)`` of the current capture."""
+        profiler = self.telemetry.profiler
+        if profiler is None:
+            return "idle", 0, 0.0
+        state = "running" if profiler.running else "stopped"
+        return state, profiler.sample_count, profiler.duration_s
+
+    def _fit_body(self, lines: list[str]) -> str:
+        """Join lines into one reply body that fits the frame budget.
+
+        Collapsed stacks come hottest-first, so halving the line list
+        until the body fits keeps the most significant stacks.
+        """
+        budget = max(0, self.config.max_frame_bytes - 512)
+        body = "\n".join(lines)
+        while lines and len(body.encode("utf-8")) > budget:
+            lines = lines[: len(lines) // 2]
+            body = "\n".join(lines)
+        return body
+
+    def _profile_reply(self, frame: ProfileRequest) -> Frame:
+        """Drive the sampling profiler (``profile`` op).
+
+        The profiler targets this event-loop thread — the one the
+        dispatcher (and therefore every engine call) runs on — so
+        samples land on real request stacks.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return ErrorReply(
+                id=frame.id,
+                code="no_telemetry",
+                message="telemetry is disabled on this server",
+            )
+        profiler = telemetry.profiler
+        if frame.action == "start":
+            if frame.interval_ms <= 0:
+                return ErrorReply(
+                    id=frame.id,
+                    code="bad_field",
+                    message=(
+                        "interval_ms must be positive, got "
+                        f"{frame.interval_ms}"
+                    ),
+                )
+            try:
+                telemetry.start_profiler(
+                    interval_s=frame.interval_ms / 1000.0
+                )
+            except RuntimeError as exc:
+                return ErrorReply(
+                    id=frame.id,
+                    code="profiler_state",
+                    message=str(exc),
+                )
+            return ProfileReply(
+                id=frame.id, state="running", samples=0, duration_s=0.0
+            )
+        if frame.action == "stop":
+            if profiler is None or not profiler.running:
+                return ErrorReply(
+                    id=frame.id,
+                    code="profiler_state",
+                    message="no profiler is running",
+                )
+            report = telemetry.stop_profiler()
+            assert report is not None
+            return ProfileReply(
+                id=frame.id,
+                state="stopped",
+                samples=report.samples,
+                duration_s=report.duration_s,
+            )
+        if frame.action == "status":
+            state, samples, duration_s = self._profile_status()
+            return ProfileReply(
+                id=frame.id,
+                state=state,
+                samples=samples,
+                duration_s=duration_s,
+            )
+        if frame.action in ("collapsed", "stages"):
+            if profiler is None:
+                return ErrorReply(
+                    id=frame.id,
+                    code="profiler_state",
+                    message="no capture exists; start the profiler first",
+                )
+            report = profiler.report()
+            state = "running" if profiler.running else "stopped"
+            if frame.action == "collapsed":
+                body = self._fit_body(
+                    report.collapsed_lines(limit=max(0, frame.limit))
+                )
+            else:
+                payload = report.to_dict()
+                # The stages body carries the table, not the stacks —
+                # fetch those via the ``collapsed`` action.
+                del payload["stacks"]
+                payload["traces"] = payload["traces"][
+                    : max(0, frame.limit)
+                ]
+                body = json.dumps(payload, separators=(",", ":"))
+                if len(body.encode("utf-8")) > (
+                    self.config.max_frame_bytes - 512
+                ):
+                    payload["traces"] = []
+                    body = json.dumps(payload, separators=(",", ":"))
+            return ProfileReply(
+                id=frame.id,
+                state=state,
+                samples=report.samples,
+                duration_s=report.duration_s,
+                body=body,
+            )
+        return ErrorReply(
+            id=frame.id,
+            code="bad_field",
+            message=(
+                f"unknown profile action {frame.action!r}; expected "
+                "start|stop|status|collapsed|stages"
+            ),
         )
 
     async def _dispatch_loop(self) -> None:

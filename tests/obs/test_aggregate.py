@@ -1,0 +1,299 @@
+"""Fleet aggregation: merge semantics, trace assembly, the collector."""
+
+import asyncio
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.aggregate import (
+    FleetView,
+    MetricsCollector,
+    WorkerScrape,
+    assemble_traces,
+    merge_exemplars,
+    merge_rule,
+    merge_samples,
+)
+from repro.obs.export import parse_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+HIST_BOUNDS = (1.0, 2.0, 5.0, 10.0)
+
+
+class TestMergeRule:
+    def test_classification(self):
+        assert merge_rule("serve_served_total", ()) == "sum"
+        assert merge_rule("lat_ms_sum", ()) == "sum"
+        assert merge_rule("lat_ms_count", ()) == "sum"
+        assert (
+            merge_rule("lat_ms_bucket", (("le", "1.0"),)) == "bucket"
+        )
+        assert merge_rule("serve_queue_depth", ()) == "worker"
+        # Summary quantiles cannot be combined across workers.
+        assert (
+            merge_rule("lat_ms", (("quantile", "0.5"),)) == "worker"
+        )
+        # A _bucket name without an le label is not a bucket series.
+        assert merge_rule("odd_bucket", ()) == "worker"
+
+
+class TestMergeSamples:
+    def test_counters_sum_across_workers(self):
+        key = ("serve_served_total", (("kind", "request"),))
+        merged = merge_samples({"a": {key: 7.0}, "b": {key: 3.0}})
+        assert merged[key] == 10.0
+
+    def test_gauges_keep_per_worker_identity(self):
+        key = ("serve_queue_depth", ())
+        merged = merge_samples({"a": {key: 5.0}, "b": {key: 7.0}})
+        assert merged[
+            ("serve_queue_depth", (("worker", "a"),))
+        ] == 5.0
+        assert merged[
+            ("serve_queue_depth", (("worker", "b"),))
+        ] == 7.0
+        assert key not in merged
+
+    def test_worker_label_name_is_configurable(self):
+        key = ("g", ())
+        merged = merge_samples(
+            {"a": {key: 1.0}}, worker_label="shard"
+        )
+        assert merged[("g", (("shard", "a"),))] == 1.0
+
+    def test_elided_buckets_merge_as_step_functions(self):
+        # Worker a elided the 5.0 bound (its cumulative count did not
+        # change there); worker b elided 1.0.  A naive key-wise sum
+        # would report 3.0 at le=5.0 — the step-function read says 5.0.
+        a = {
+            ("h_bucket", (("le", "1.0"),)): 2.0,
+            ("h_bucket", (("le", "+Inf"),)): 2.0,
+        }
+        b = {
+            ("h_bucket", (("le", "5.0"),)): 3.0,
+            ("h_bucket", (("le", "+Inf"),)): 4.0,
+        }
+        merged = merge_samples({"a": a, "b": b})
+        assert merged[("h_bucket", (("le", "1.0"),))] == 2.0
+        assert merged[("h_bucket", (("le", "5.0"),))] == 5.0
+        assert merged[("h_bucket", (("le", "+Inf"),))] == 6.0
+
+
+def _registry(counter_incs, hist_values) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for kind, n in counter_incs:
+        registry.counter("serve.served", kind=kind).inc(n)
+    if hist_values:
+        hist = registry.histogram(
+            "serve.request_ms", bounds=HIST_BOUNDS
+        )
+        for value in hist_values:
+            hist.record(value)
+    return registry
+
+
+counter_incs = st.lists(
+    st.tuples(
+        st.sampled_from(["request", "update", "health"]),
+        st.integers(min_value=1, max_value=50),
+    ),
+    max_size=6,
+)
+hist_values = st.lists(
+    st.floats(min_value=0.01, max_value=20.0),
+    max_size=15,
+)
+
+
+class TestMergeEqualsCombinedWorkload:
+    @settings(max_examples=60, deadline=None)
+    @given(counter_incs, hist_values, counter_incs, hist_values)
+    def test_two_scrapes_merge_to_the_combined_registry(
+        self, incs_a, values_a, incs_b, values_b
+    ):
+        """merge(scrape(A), scrape(B)) == scrape(A ++ B).
+
+        The summed series of two workers' expositions must be exactly
+        what one registry serving both workloads would expose —
+        including the bucket series, where per-worker elision makes
+        the naive key-wise sum wrong.
+        """
+        merged = merge_samples(
+            {
+                "w0": parse_prometheus(
+                    render_prometheus(_registry(incs_a, values_a))
+                ),
+                "w1": parse_prometheus(
+                    render_prometheus(_registry(incs_b, values_b))
+                ),
+            }
+        )
+        combined = parse_prometheus(
+            render_prometheus(
+                _registry(incs_a + incs_b, values_a + values_b)
+            )
+        )
+        for (name, labels), value in combined.items():
+            rule = merge_rule(name, labels)
+            if rule == "worker":
+                continue
+            key = (name, tuple(sorted(labels)))
+            assert key in merged, key
+            if name.endswith("_sum"):
+                assert math.isclose(
+                    merged[key], value, rel_tol=1e-9, abs_tol=1e-9
+                )
+            else:  # counters, bucket counts, _count: exact
+                assert merged[key] == value, key
+        # No summed/bucket key appears in the merge that the combined
+        # registry does not expose.
+        for (name, labels) in merged:
+            if merge_rule(name, labels) == "worker":
+                continue
+            assert (name, labels) in combined
+
+
+class TestMergeExemplars:
+    def test_keeps_fleet_worst_per_bucket(self):
+        key = ("lat_ms_bucket", (("le", "+Inf"),))
+        merged = merge_exemplars(
+            {
+                "a": {key: (4.0, "aaaa")},
+                "b": {key: (9.0, "bbbb")},
+            }
+        )
+        assert merged[key] == (9.0, "bbbb")
+
+    def test_value_tie_breaks_to_lexically_first_trace(self):
+        key = ("lat_ms_bucket", (("le", "+Inf"),))
+        forward = merge_exemplars(
+            {"a": {key: (5.0, "zzzz")}, "b": {key: (5.0, "aaaa")}}
+        )
+        backward = merge_exemplars(
+            {"a": {key: (5.0, "aaaa")}, "b": {key: (5.0, "zzzz")}}
+        )
+        assert forward[key] == backward[key] == (5.0, "aaaa")
+
+
+class TestAssembleTraces:
+    def test_cross_worker_grouping(self):
+        fleet = assemble_traces(
+            {
+                "a": [
+                    {
+                        "trace_id": "t1",
+                        "op": "request",
+                        "total_ms": 4.0,
+                        "queue_ms": 1.0,
+                    },
+                    {"trace_id": "t2", "total_ms": 9.0, "shed": True},
+                ],
+                "b": [
+                    {
+                        "trace_id": "t1",
+                        "decision": "forwarded",
+                        "total_ms": 6.0,
+                        "queue_ms": 0.5,
+                    },
+                ],
+            }
+        )
+        assert [t.trace_id for t in fleet] == ["t2", "t1"]  # slowest 1st
+        t1 = fleet[1]
+        assert t1.workers == ("a", "b")
+        assert t1.op == "request"
+        assert t1.decision == "forwarded"
+        assert t1.total_ms == 6.0  # worst observation wins
+        assert t1.queue_ms == 1.0
+        assert not t1.shed
+        assert fleet[0].shed
+        assert {e["worker"] for e in t1.entries} == {"a", "b"}
+
+    def test_entries_without_trace_ids_are_dropped(self):
+        assert assemble_traces({"a": [{"op": "request"}]}) == []
+
+
+def _scrape_fn(data):
+    async def scrape(target):
+        result = data[target]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    return scrape
+
+
+def _worker(name, samples=None, health=None, traces=None):
+    return WorkerScrape(
+        worker=name,
+        samples=samples or {},
+        health=health,
+        traces=traces or [],
+    )
+
+
+class TestMetricsCollector:
+    def test_rejects_empty_targets(self):
+        with pytest.raises(ValueError, match="target"):
+            MetricsCollector(_scrape_fn({}), [])
+
+    def test_merges_reachable_and_records_failures(self):
+        served = ("serve_served_total", ())
+        collector = MetricsCollector(
+            _scrape_fn(
+                {
+                    "h:1": _worker(
+                        "w0",
+                        samples={served: 7.0},
+                        health={"status": "ok", "slo_ok": True},
+                        traces=[{"trace_id": "t1", "total_ms": 3.0}],
+                    ),
+                    "h:2": _worker(
+                        "w1",
+                        samples={served: 5.0},
+                        health={"status": "ok", "slo_ok": True},
+                        traces=[{"trace_id": "t1", "total_ms": 8.0}],
+                    ),
+                    "h:3": ConnectionError("refused"),
+                }
+            ),
+            ["h:1", "h:2", "h:3"],
+        )
+        view = asyncio.run(collector.collect())
+        assert view.workers == ("w0", "w1")
+        assert view.samples[served] == 12.0
+        assert "h:3" in view.errors
+        assert "refused" in view.errors["h:3"]
+        assert not view.healthy  # an unreachable worker is unhealthy
+        [trace] = view.traces
+        assert trace.workers == ("w0", "w1")
+        assert trace.total_ms == 8.0
+
+    def test_duplicate_worker_names_are_disambiguated(self):
+        collector = MetricsCollector(
+            _scrape_fn(
+                {"h:1": _worker("w0"), "h:2": _worker("w0")}
+            ),
+            ["h:1", "h:2"],
+        )
+        view = asyncio.run(collector.collect())
+        assert set(view.scrapes) == {"w0", "w0#h:2"}
+
+    def test_healthy_requires_ok_status_and_green_slos(self):
+        def view_with(health):
+            scrape = _worker("w0", health=health)
+            return FleetView(
+                workers=("w0",),
+                scrapes={"w0": scrape},
+                errors={},
+                samples={},
+                exemplars={},
+                traces=[],
+            )
+
+        assert view_with({"status": "ok", "slo_ok": True}).healthy
+        assert not view_with({"status": "ok", "slo_ok": False}).healthy
+        assert not view_with({"status": "draining"}).healthy
+        # Health not fetched at all: reachability alone decides.
+        assert view_with(None).healthy

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.obs.export import (
+    parse_exposition,
     parse_prometheus,
     quantile_from_buckets,
     render_prometheus,
@@ -71,6 +72,32 @@ def test_exemplar_rides_the_bucket_line_and_still_parses():
     assert samples[("lat_ms_bucket", (("le", "+Inf"),))] == 3.0
 
 
+def test_parse_exposition_keeps_exemplars():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_ms", bounds=(1.0, 10.0))
+    hist.record(0.4, trace_id="aaaaaaaaaaaaaaaa")
+    hist.record(9.0, trace_id="cccccccccccccccc")
+    samples, exemplars = parse_exposition(render_prometheus(registry))
+    # Samples agree with the exemplar-dropping parser …
+    assert samples == parse_prometheus(render_prometheus(registry))
+    # … and every exemplar-carrying bucket line keeps (value, trace).
+    assert exemplars[("lat_ms_bucket", (("le", "1.0"),))] == (
+        0.4,
+        "aaaaaaaaaaaaaaaa",
+    )
+    assert exemplars[("lat_ms_bucket", (("le", "10.0"),))] == (
+        9.0,
+        "cccccccccccccccc",
+    )
+
+
+def test_parse_exposition_rejects_bad_exemplar_value():
+    with pytest.raises(ValueError, match="exemplar"):
+        parse_exposition(
+            'm_bucket{le="+Inf"} 1 # {trace_id="t"} nope\n'
+        )
+
+
 def test_snapshot_degrades_to_summary_form():
     registry = populated_registry()
     text = render_prometheus(registry.snapshot())
@@ -106,6 +133,24 @@ def test_quantile_from_buckets_interpolates():
         1.98
     )
     assert math.isnan(quantile_from_buckets(buckets, 0, 0.5))
+
+
+def test_quantile_from_buckets_edge_cases():
+    # Empty series / zero count: undefined, reported as NaN.
+    assert math.isnan(quantile_from_buckets({}, 0, 0.5))
+    assert math.isnan(quantile_from_buckets({1.0: 4.0}, 0, 0.5))
+    # All mass in the overflow bucket: the best the scrape can say is
+    # the last finite bound.
+    overflow = {1.0: 0.0, 5.0: 0.0, float("inf"): 10.0}
+    assert quantile_from_buckets(overflow, 10, 0.5) == 5.0
+    assert quantile_from_buckets(overflow, 10, 0.99) == 5.0
+    # Single finite bucket holding everything interpolates from 0.
+    single = {2.0: 10.0, float("inf"): 10.0}
+    assert quantile_from_buckets(single, 10, 0.5) == pytest.approx(1.0)
+    # q=0 pins to the distribution floor, q=1 to the top bound.
+    buckets = {1.0: 5.0, 2.0: 10.0, float("inf"): 10.0}
+    assert quantile_from_buckets(buckets, 10, 0.0) == 0.0
+    assert quantile_from_buckets(buckets, 10, 1.0) == pytest.approx(2.0)
 
 
 def test_quantile_from_buckets_matches_registry_percentile():

@@ -1,0 +1,215 @@
+"""Sampling profiler: capture, attribution, reports, telemetry wiring."""
+
+import time
+
+import pytest
+
+from repro.obs.config import NULL_TELEMETRY, TelemetryConfig
+from repro.obs.profile import (
+    IDLE_LABEL,
+    OTHER_LABEL,
+    ActivitySlot,
+    CollapsedStack,
+    ProfileReport,
+    SamplingProfiler,
+    render_stage_table,
+    report_from_dict,
+)
+
+
+def _spin(seconds: float) -> float:
+    """Busy-loop so the sampler has CPU-bound stacks to catch."""
+    deadline = time.perf_counter() + seconds
+    acc = 0.0
+    while time.perf_counter() < deadline:
+        acc += sum(i * i for i in range(100))
+    return acc
+
+
+class TestSamplingProfiler:
+    def test_captures_busy_stacks(self):
+        profiler = SamplingProfiler(interval_s=0.001).start()
+        _spin(0.15)
+        report = profiler.stop()
+        assert report.samples > 10
+        assert report.duration_s > 0.1
+        assert report.stacks
+        # The busy helper shows up in the sampled frames, root-first
+        # (so the leaf is the innermost call).
+        flat = {
+            frame for stack in report.stacks for frame in stack.frames
+        }
+        assert any("_spin" in frame for frame in flat)
+
+    def test_slot_attributes_stages_and_traces(self):
+        slot = ActivitySlot()
+        profiler = SamplingProfiler(slot=slot, interval_s=0.001).start()
+        _spin(0.05)  # idle: slot untouched
+        slot.in_request = True
+        slot.trace_id = "trace-1"
+        slot.stage = "generalize"
+        _spin(0.08)
+        slot.stage = None
+        _spin(0.04)  # in-request but between stages -> "(other)"
+        slot.clear()
+        report = profiler.stop()
+        labels = {stack.stage for stack in report.stacks}
+        assert "generalize" in labels
+        assert IDLE_LABEL in labels
+        assert 0 < report.request_samples < report.samples
+        assert any(t.trace_id == "trace-1" for t in report.traces)
+
+    def test_stage_shares_sum_to_100(self):
+        slot = ActivitySlot()
+        profiler = SamplingProfiler(slot=slot, interval_s=0.001).start()
+        slot.in_request = True
+        for stage in ("monitor_match", "generalize", None):
+            slot.stage = stage
+            _spin(0.04)
+        slot.clear()
+        report = profiler.stop()
+        rows = report.stage_table()
+        shares = [
+            row.share_pct for row in rows if row.share_pct is not None
+        ]
+        assert shares
+        assert sum(shares) == pytest.approx(100.0)
+        # The idle row (if any) carries no share and comes last.
+        if rows[-1].stage == IDLE_LABEL:
+            assert rows[-1].share_pct is None
+
+    def test_double_start_rejected_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.001).start()
+        with pytest.raises(RuntimeError, match="already started"):
+            profiler.start()
+        first = profiler.stop()
+        second = profiler.stop()
+        assert second.samples == first.samples
+        assert not profiler.running
+
+    def test_switch_interval_clamped_then_restored(self):
+        import sys
+
+        before = sys.getswitchinterval()
+        profiler = SamplingProfiler(interval_s=0.001).start()
+        assert sys.getswitchinterval() < before
+        profiler.stop()
+        assert sys.getswitchinterval() == before
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            SamplingProfiler(interval_s=0.0)
+        with pytest.raises(ValueError, match="max_depth"):
+            SamplingProfiler(max_depth=0)
+
+
+def _synthetic_report() -> ProfileReport:
+    return ProfileReport(
+        interval_s=0.005,
+        duration_s=1.0,
+        samples=10,
+        stacks=(
+            CollapsedStack(
+                frames=("main.run", "engine.handle"),
+                stage="generalize",
+                samples=6,
+                wall_s=0.6,
+                cpu_s=0.5,
+            ),
+            CollapsedStack(
+                frames=("main.run", "engine.audit"),
+                stage=OTHER_LABEL,
+                samples=2,
+                wall_s=0.2,
+                cpu_s=0.1,
+            ),
+            CollapsedStack(
+                frames=("main.wait",),
+                stage=IDLE_LABEL,
+                samples=2,
+                wall_s=0.2,
+                cpu_s=0.0,
+            ),
+        ),
+        traces=(),
+    )
+
+
+class TestProfileReport:
+    def test_collapsed_lines_format_and_order(self):
+        report = _synthetic_report()
+        lines = report.collapsed_lines()
+        # Hottest first; stage-attributed stacks end in a synthetic
+        # stage frame, idle stacks do not.
+        assert lines[0] == "main.run;engine.handle;stage:generalize 6"
+        assert f"main.run;engine.audit;stage:{OTHER_LABEL} 2" in lines
+        assert "main.wait 2" in lines
+        assert report.collapsed() == "\n".join(lines)
+
+    def test_collapsed_weights_and_limit(self):
+        report = _synthetic_report()
+        wall = report.collapsed_lines(weight="wall")
+        assert wall[0].endswith(" 600000")  # 0.6 s in microseconds
+        cpu = report.collapsed_lines(weight="cpu", limit=1)
+        assert len(cpu) == 1
+        # A zero-weight stack (idle cpu_s=0) is dropped entirely.
+        assert all("main.wait" not in line for line in (
+            report.collapsed_lines(weight="cpu")
+        ))
+        with pytest.raises(ValueError, match="weight"):
+            report.collapsed_lines(weight="bogus")
+
+    def test_request_samples_excludes_idle(self):
+        assert _synthetic_report().request_samples == 8
+
+    def test_stage_table_shares_exact(self):
+        rows = _synthetic_report().stage_table()
+        assert [row.stage for row in rows] == [
+            "generalize",
+            OTHER_LABEL,
+            IDLE_LABEL,
+        ]
+        assert rows[0].share_pct == pytest.approx(75.0)
+        assert rows[1].share_pct == pytest.approx(25.0)
+        assert rows[2].share_pct is None
+        rendered = render_stage_table(rows)
+        assert any("generalize" in line for line in rendered)
+        assert any("75.0%" in line for line in rendered)
+
+    def test_dict_round_trip(self):
+        report = _synthetic_report()
+        payload = report.to_dict()
+        restored = report_from_dict(payload)
+        assert restored.stacks == report.stacks
+        assert restored.samples == report.samples
+        assert restored.interval_s == report.interval_s
+        assert restored.request_samples == report.request_samples
+        assert payload["rows"][0]["stage"] == "generalize"
+
+
+class TestTelemetryIntegration:
+    def test_start_stop_profiler(self):
+        telemetry = TelemetryConfig(enabled=True).build()
+        profiler = telemetry.start_profiler(interval_s=0.001)
+        assert telemetry.profiling
+        assert profiler.slot is telemetry.activity
+        with pytest.raises(RuntimeError, match="already running"):
+            telemetry.start_profiler()
+        _spin(0.03)
+        report = telemetry.stop_profiler()
+        assert not telemetry.profiling
+        assert report is not None and report.samples > 0
+        # A fresh capture works after the previous one stopped.
+        telemetry.start_profiler(interval_s=0.001)
+        assert telemetry.stop_profiler() is not None
+        telemetry.close()
+
+    def test_stop_without_start_is_none(self):
+        telemetry = TelemetryConfig(enabled=True).build()
+        assert telemetry.stop_profiler() is None
+        telemetry.close()
+
+    def test_null_telemetry_rejects_profiling(self):
+        with pytest.raises(ValueError, match="disabled"):
+            NULL_TELEMETRY.start_profiler()
+        assert not NULL_TELEMETRY.profiling

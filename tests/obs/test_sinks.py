@@ -12,6 +12,8 @@ from repro.obs.sinks import (
     JsonlSink,
     RingBufferSink,
     read_jsonl,
+    read_jsonl_rotated,
+    rotated_paths,
 )
 
 
@@ -105,6 +107,77 @@ class TestJsonl:
         telemetry.event("ping", n=1)
         assert [e["type"] for e in read_jsonl(path)] == ["ping"]
         telemetry.close()
+
+
+class TestRotation:
+    def test_rotates_at_max_bytes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, max_bytes=200)
+        for i in range(50):
+            sink.emit({"type": "span", "i": i})
+        sink.close()
+        segments = rotated_paths(path)
+        assert len(segments) > 2
+        assert segments[-1] == path
+        # Rotated segments carry increasing numeric suffixes in write
+        # order and each respects the size bound.
+        for segment in segments[:-1]:
+            assert int(segment.suffix[1:]) >= 1
+            assert segment.stat().st_size >= 200
+        assert sink.rotations == len(segments) - 1
+
+    def test_read_rotated_preserves_order_and_count(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, max_bytes=150)
+        n = 40
+        for i in range(n):
+            sink.emit({"i": i})
+        sink.close()
+        events = list(read_jsonl_rotated(path))
+        assert [e["i"] for e in events] == list(range(n))
+
+    def test_reopen_continues_suffix_sequence(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _round in range(2):
+            sink = JsonlSink(path, max_bytes=100)
+            for i in range(10):
+                sink.emit({"i": i})
+            sink.close()
+        suffixes = [
+            int(p.suffix[1:]) for p in rotated_paths(path)[:-1]
+        ]
+        assert suffixes == sorted(suffixes)
+        assert len(set(suffixes)) == len(suffixes)
+        assert [e["i"] for e in read_jsonl_rotated(path)] == (
+            list(range(10)) * 2
+        )
+
+    def test_truncated_live_file_tolerated_across_rotation(
+        self, tmp_path
+    ):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, max_bytes=120)
+        for i in range(20):
+            sink.emit({"i": i})
+        sink.close()
+        # Simulate a writer dying mid-line on the live file only.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"i": 99')
+        events = list(read_jsonl_rotated(path))
+        assert [e["i"] for e in events] == list(range(20))
+
+    def test_zero_max_bytes_never_rotates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        for i in range(100):
+            sink.emit({"i": i})
+        sink.close()
+        assert rotated_paths(path) == [path]
+        assert sink.rotations == 0
+
+    def test_rejects_negative_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=-1)
 
 
 class TestReadJsonlCorruption:

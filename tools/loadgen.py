@@ -101,6 +101,17 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         help="negotiate trace propagation and mint client root spans",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the server's sampling profiler across the pass",
+    )
+    parser.add_argument(
+        "--profile-interval-ms",
+        type=float,
+        default=5.0,
+        help="profiler sampling interval in ms (default: 5)",
+    )
+    parser.add_argument(
         "--index-cell-size",
         type=float,
         default=None,
@@ -146,6 +157,8 @@ def main(argv: "list[str] | None" = None) -> int:
         verify=args.verify,
         retries=args.retries,
         trace=args.trace,
+        profile=args.profile,
+        profile_interval_ms=args.profile_interval_ms,
     )
     report = asyncio.run(run_loadgen(config))
     if args.json:

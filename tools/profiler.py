@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Drive a running daemon's sampling profiler over the wire.
+
+Speaks the ``profile`` protocol op against a live Trusted Server:
+start/stop a capture at a chosen sampling interval, poll its status,
+and fetch the results as either the per-stage self-time table or
+Brendan-Gregg collapsed stacks (pipe those straight into
+``flamegraph.pl`` or paste into speedscope).
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_daemon.py --port 7411 &
+    PYTHONPATH=src python tools/profiler.py --port 7411 start
+    PYTHONPATH=src python tools/loadgen.py --host 127.0.0.1 --port 7411
+    PYTHONPATH=src python tools/profiler.py --port 7411 stages
+    PYTHONPATH=src python tools/profiler.py --port 7411 collapsed \
+        > profile.collapsed
+    PYTHONPATH=src python tools/profiler.py --port 7411 stop
+
+Exit status 1 on a profiler-state error (e.g. ``stop`` with nothing
+running, telemetry disabled), 2 when the daemon cannot be reached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.profile import (  # noqa: E402
+    StageRow,
+    render_stage_table,
+    report_from_dict,
+)
+from repro.serve.client import ServeClient, ServeClientError  # noqa: E402
+
+
+def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Control a daemon's sampling profiler"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "action",
+        choices=("start", "stop", "status", "stages", "collapsed"),
+    )
+    parser.add_argument(
+        "--interval-ms",
+        type=float,
+        default=5.0,
+        help="sampling interval for 'start' (default: 5 ms)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=200,
+        help="max collapsed stacks / trace rows to fetch (default: 200)",
+    )
+    return parser.parse_args(argv)
+
+
+async def run(args: argparse.Namespace) -> int:
+    client = await ServeClient.connect(
+        args.host, args.port, client="profiler"
+    )
+    try:
+        reply = await client.profile(
+            action=args.action,
+            interval_ms=args.interval_ms,
+            limit=args.limit,
+        )
+    finally:
+        await client.close()
+    if args.action == "collapsed":
+        if reply.body:
+            print(reply.body)
+        return 0
+    if args.action == "stages":
+        payload = json.loads(reply.body) if reply.body else {}
+        report = report_from_dict(payload)
+        print(
+            f"profiler {reply.state}: {reply.samples} samples over "
+            f"{reply.duration_s:.2f}s "
+            f"({report.request_samples} in-request)"
+        )
+        rows = payload.get("rows", [])
+        if rows:
+            for line in render_stage_table(
+                StageRow(
+                    stage=row["stage"],
+                    samples=row["samples"],
+                    wall_s=row["wall_s"],
+                    cpu_s=row["cpu_s"],
+                    share_pct=row["share_pct"],
+                )
+                for row in rows
+            ):
+                print(line)
+        return 0
+    print(
+        f"profiler {reply.state}: {reply.samples} samples over "
+        f"{reply.duration_s:.2f}s"
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = parse_args(argv)
+    try:
+        return asyncio.run(run(args))
+    except ServeClientError as exc:
+        print(f"profiler: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"profiler: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
