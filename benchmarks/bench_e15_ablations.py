@@ -67,16 +67,20 @@ def run_e15a(city):
 
 def _uniform_store(cell_size, n_points=100_000):
     rng = np.random.default_rng(17)
+    # This ablation measures the *grid index*, so the python backend
+    # is pinned — the suite-wide REPRO_STORE_BACKEND matrix would
+    # otherwise reroute the queries through the columnar path.
     store = TrajectoryStore(
         index_cell_size=cell_size,
         telemetry=TelemetryConfig(enabled=True),
+        backend="python",
     )
     n_users = n_points // 500
     for user_id in range(n_users):
         times = np.sort(rng.uniform(0.0, 14 * 86_400.0, size=500))
         xs = rng.uniform(0.0, 4000.0, size=500)
         ys = rng.uniform(0.0, 4000.0, size=500)
-        store.add_trajectory(
+        store.add_points(
             user_id,
             [
                 STPoint(float(x), float(y), float(t))

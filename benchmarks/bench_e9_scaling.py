@@ -5,12 +5,20 @@ consuming step is the one at line 5 … the worst case complexity of this
 step is O(k·n) where n is the number of location points in the TS.
 Optimizations may be inspired by the work on indexing moving objects."
 
-Two measurements:
+Three measurements (the *backend dimension*):
 
 * the brute-force line-5 selection (scan every user's PHL) at growing
   store sizes n — its cost should scale roughly linearly in n;
-* the same queries against the uniform grid index — its cost should be
-  roughly flat in n, giving a growing speed-up.
+* the same queries against the uniform grid index — roughly flat in n,
+  giving a growing speed-up;
+* the same queries against the columnar numpy backend
+  (``TrajectoryStore(backend="numpy")``) — decision-equivalent to
+  brute (same tuples, same tie-breaks) but answered with vectorized
+  array ops; gated at ≥ 5× over brute at the largest n.
+
+The python arms pin ``backend="python"`` explicitly so the comparison
+stays meaningful when the whole suite runs under
+``REPRO_STORE_BACKEND=numpy``.
 
 This is the one experiment where the *timing* is the result, so the
 stores run with telemetry enabled and the reported ms/query are the
@@ -37,18 +45,28 @@ K = 10
 QUERIES = 30
 AREA = 4000.0
 SPAN = 14 * 86_400.0
+#: The acceptance bar: numpy ``nearest_users`` over python brute at the
+#: largest store size.
+NUMPY_SPEEDUP_FLOOR = 5.0
 #: A user id outside every generated store population, used to drive
 #: the stage-breakdown requests.
 REQUESTER = 10_000_000
 
 
 def _build_stores(n_points):
-    """A brute and an indexed store over identical data."""
+    """Brute, grid-indexed, and columnar stores over identical data."""
     rng = np.random.default_rng(n_points)
     n_users = max(20, n_points // 500)
-    brute = TrajectoryStore(telemetry=TelemetryConfig(enabled=True))
+    brute = TrajectoryStore(
+        telemetry=TelemetryConfig(enabled=True), backend="python"
+    )
     indexed = TrajectoryStore(
-        index_cell_size=500.0, telemetry=TelemetryConfig(enabled=True)
+        index_cell_size=500.0,
+        telemetry=TelemetryConfig(enabled=True),
+        backend="python",
+    )
+    columnar = TrajectoryStore(
+        telemetry=TelemetryConfig(enabled=True), backend="numpy"
     )
     per_user = n_points // n_users
     for user_id in range(n_users):
@@ -59,9 +77,10 @@ def _build_stores(n_points):
             STPoint(float(x), float(y), float(t))
             for x, y, t in zip(xs, ys, times)
         ]
-        brute.add_trajectory(user_id, points)
-        indexed.add_trajectory(user_id, points)
-    return brute, indexed
+        brute.add_points(user_id, points)
+        indexed.add_points(user_id, points)
+        columnar.add_points(user_id, points)
+    return brute, indexed, columnar
 
 
 def _query_points(seed):
@@ -131,15 +150,18 @@ def run_e9():
     targets = _query_points(seed=3)
     indexed = None
     for n_points in STORE_SIZES:
-        brute, indexed = _build_stores(n_points)
+        brute, indexed, columnar = _build_stores(n_points)
 
         for target in targets:
             brute.nearest_users_brute(target, K)
         for target in targets:
             indexed.nearest_users(target, K)
+        for target in targets:
+            columnar.nearest_users(target, K)
 
         brute_ms = _mean_query_ms(brute, "brute")
         grid_ms = _mean_query_ms(indexed, "grid")
+        numpy_ms = _mean_query_ms(columnar, "numpy")
         rows.append(
             (
                 n_points,
@@ -147,6 +169,8 @@ def run_e9():
                 brute_ms,
                 grid_ms,
                 brute_ms / grid_ms if grid_ms > 0 else float("inf"),
+                numpy_ms,
+                brute_ms / numpy_ms if numpy_ms > 0 else float("inf"),
             )
         )
     # Stage breakdown over the largest indexed store (informational).
@@ -164,7 +188,9 @@ def test_e9_scaling(benchmark, bench_export):
             "k",
             "brute ms/query",
             "grid ms/query",
-            "speedup",
+            "grid speedup",
+            "numpy ms/query",
+            "numpy speedup",
         ],
     )
     for row in rows:
@@ -191,8 +217,22 @@ def test_e9_scaling(benchmark, bench_export):
     # machine-dependent — they go in the artifact's informational
     # latency section, never the gated metrics.
     latency = {
-        f"n={n}": {"brute_ms": brute, "grid_ms": grid, "speedup": s}
-        for n, _k, brute, grid, s in rows
+        f"n={n}": {
+            "brute_ms": brute,
+            "grid_ms": grid,
+            "grid_speedup": grid_speedup,
+            "numpy_ms": numpy_ms,
+            "numpy_speedup": numpy_speedup,
+        }
+        for (
+            n,
+            _k,
+            brute,
+            grid,
+            grid_speedup,
+            numpy_ms,
+            numpy_speedup,
+        ) in rows
     }
     latency["stage_ms"] = {
         stage: summary.mean for stage, summary in breakdown.items()
@@ -200,13 +240,21 @@ def test_e9_scaling(benchmark, bench_export):
     bench_export(
         "e9",
         {"k": float(K), "queries": float(QUERIES)},
-        workload={"store_sizes": list(STORE_SIZES)},
+        workload={
+            "store_sizes": list(STORE_SIZES),
+            "backends": ["python", "python+grid", "numpy"],
+        },
         latency=latency,
     )
 
     # Brute force grows with n …
     brute_times = [row[2] for row in rows]
     assert brute_times[-1] > brute_times[0] * 2
-    # … the index is faster at scale, increasingly so.
+    # … the index is faster at scale, increasingly so …
     assert rows[-1][4] > rows[0][4]
     assert rows[-1][4] > 2.0
+    # … and the columnar backend clears the acceptance bar.
+    assert rows[-1][6] >= NUMPY_SPEEDUP_FLOOR, (
+        f"numpy speedup {rows[-1][6]:.2f}x below "
+        f"{NUMPY_SPEEDUP_FLOOR}x at n={rows[-1][0]}"
+    )

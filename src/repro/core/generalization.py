@@ -148,13 +148,13 @@ class SpatioTemporalGeneralizer:
         if required is None:
             required = len(user_ids)
         candidates: list[tuple[float, int, STPoint]] = []
-        for user_id in user_ids:
-            closest = self.store.closest_point(user_id, location)
-            if closest is not None:
-                distance = st_distance(
-                    closest, location, self.store.time_scale
-                )
-                candidates.append((distance, user_id, closest))
+        for user_id, closest in self.store.closest_points(
+            user_ids, location
+        ):
+            distance = st_distance(
+                closest, location, self.store.time_scale
+            )
+            candidates.append((distance, user_id, closest))
         candidates.sort()
         selected = {
             user_id: point

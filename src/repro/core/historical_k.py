@@ -25,14 +25,22 @@ def historical_anonymity_set(
     contexts: Sequence[STBox],
     histories: Mapping[int, PersonalHistory],
     exclude_user: int | None = None,
+    store: object | None = None,
 ) -> list[int]:
     """Users whose PHL is LT-consistent with every context in ``contexts``.
 
     ``exclude_user`` (normally the true requester) is omitted from the
     result so the return value is directly comparable against ``k − 1``.
     An empty ``contexts`` sequence is vacuously consistent with every
-    history.
+    history.  Pass the owning store as ``store`` to let backends with a
+    vectorized all-users scan
+    (:meth:`repro.mod.store.TrajectoryStore.lt_consistent_users`)
+    answer directly; the result is identical either way.
     """
+    fast = getattr(store, "lt_consistent_users", None)
+    if callable(fast):
+        result: list[int] = fast(contexts, exclude_user=exclude_user)
+        return result
     return [
         user_id
         for user_id, history in histories.items()

@@ -100,7 +100,7 @@ class SyntheticCity:
         store = store if store is not None else TrajectoryStore()
         commuters = cls._make_commuters(config, network, rng)
         for commuter in commuters:
-            store.add_trajectory(
+            store.add_points(
                 commuter.user_id, commuter.trajectory(config.days, rng)
             )
         bounds = Rect(0.0, 0.0, network.width, network.height)
@@ -115,7 +115,7 @@ class SyntheticCity:
                     rng,
                     sample_period=config.wanderer_sample_period,
                 )
-                store.add_trajectory(user_id, trajectory)
+                store.add_points(user_id, trajectory)
         return cls(config, network, commuters, store)
 
     @staticmethod

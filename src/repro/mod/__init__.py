@@ -14,18 +14,34 @@ subpackage provides it:
   the speed-up over the paper's brute-force O(k·n) bound);
 * :mod:`repro.mod.interpolation` — linear position interpolation between
   samples;
-* :mod:`repro.mod.queries` — spatio-temporal range queries over the store.
+* :mod:`repro.mod.queries` — spatio-temporal range queries over the store;
+* :mod:`repro.mod.columnar` — the structure-of-arrays numpy backend
+  behind ``TrajectoryStore(backend="numpy")``, decision-equivalent to
+  the python scans but answering the hot queries with batched array
+  ops (benchmark E9's ``backend`` dimension measures the gap).
 """
 
-from repro.mod.store import TrajectoryStore
+from repro.mod.columnar import (
+    BACKEND_ENV,
+    BACKENDS,
+    ColumnarHistory,
+    ColumnarView,
+    resolve_backend,
+)
 from repro.mod.grid_index import GridIndex
 from repro.mod.interpolation import position_at
 from repro.mod.queries import count_users_in_box, users_in_box
+from repro.mod.store import TrajectoryStore
 
 __all__ = [
-    "TrajectoryStore",
+    "BACKEND_ENV",
+    "BACKENDS",
+    "ColumnarHistory",
+    "ColumnarView",
     "GridIndex",
-    "position_at",
-    "users_in_box",
+    "TrajectoryStore",
     "count_users_in_box",
+    "position_at",
+    "resolve_backend",
+    "users_in_box",
 ]

@@ -1,0 +1,731 @@
+"""Columnar (structure-of-arrays) backend for the trajectory store.
+
+The python backend answers every Algorithm 1 query by walking
+``PersonalHistory`` point lists.  This module stores the same PHLs as
+parallel ``x``/``y``/``t`` float64 columns — one set per user
+(:class:`ColumnarHistory`) plus one global concatenated view with a
+user-slot column (:class:`ColumnarView`) — so the hot queries become
+batched numpy array ops instead of python loops.
+
+Decision equivalence
+--------------------
+
+The columnar paths return **exactly** what the python backend returns
+— same tuples, same ordering, same tie-breaks.  The argument has two
+halves: vectorized distances *select*, and the scalar formula
+*reports*.
+
+* Selection is sound because of two IEEE-754 facts (round-to-nearest,
+  which numpy and CPython both use): ``fl(sqrt(fl(dt*dt))) == |dt|`` —
+  the classic exact square-root identity — plus rounding monotonicity
+  (``fl(a+b) >= a`` for non-negative ``b``), so every point *outside*
+  a temporal window of half-width ``R`` has computed distance
+  **strictly** greater than any distance ``<= R`` found inside it.
+  Window pruning therefore never changes a minimum or drops a tie.
+* The vectorized distance is **not** always bit-identical to
+  :func:`repro.geometry.distance.st_distance`: the scalar path squares
+  via CPython's ``x ** 2`` (libm ``pow``), the array path via IEEE
+  multiplies, and ``pow(x, 2)`` can differ from ``fl(x*x)`` in the
+  last ulp (≈0.1% of uniform doubles).  So vectorized minima decide
+  *which* samples win, and every distance actually handed back to a
+  caller is recomputed with ``st_distance`` on the winning sample.
+  Exact distance *ties* still resolve identically under both formulas:
+  ties the python scan can observe come from coincident or mirrored
+  geometry, where ``pow`` and multiply agree operand-for-operand,
+  while distinct-geometry near-ties within one ulp cannot arise from
+  the query envelope the suite pins.
+
+Ties are then broken exactly as the python code does: within one PHL,
+``closest_point_to`` prefers the sample the python scan would have
+visited first (outward from the temporal insertion point, later side
+first); across users, ``nearest_users`` orders by ``(distance,
+user_id)`` exactly like ``heapq.nsmallest`` over the brute tuples.
+
+Both column stores grow by capacity doubling, so ``add_point`` /
+``add_points`` never copy the whole history per ingest.  The global
+view keeps a time-sorted main segment plus a small unsorted tail and
+re-sorts (stable, so equal timestamps keep ingest order) only when the
+tail overflows — amortized ``O(log n)`` per append.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Iterable, Iterator, Sequence, overload
+
+import numpy as np
+
+from repro.core.phl import PersonalHistory
+from repro.geometry.distance import DEFAULT_TIME_SCALE, st_distance
+from repro.geometry.point import STPoint
+from repro.geometry.region import STBox
+
+#: Environment variable read when ``TrajectoryStore(backend=None)``.
+BACKEND_ENV = "REPRO_STORE_BACKEND"
+
+#: The recognized ``TrajectoryStore`` backends.
+BACKENDS = ("python", "numpy")
+
+_MIN_CAPACITY = 16
+
+#: Smallest expanding-search radius; only reached when the seed
+#: distance is exactly 0.0 (a stored sample coincides with the query).
+_MIN_RADIUS = 1e-9
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve a backend name: explicit arg, else env, else python."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "python"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown trajectory-store backend {backend!r}; "
+            f"expected one of {BACKENDS}"
+        )
+    return backend
+
+
+class ColumnarHistory(PersonalHistory):
+    """A PHL stored as parallel time-sorted x/y/t float64 columns.
+
+    Drop-in replacement for :class:`PersonalHistory`: every public
+    method returns exactly what the list-based implementation would,
+    including tie-breaks (see the module docstring).  Appends grow the
+    columns by doubling, so bulk ingest never copies per point.
+    """
+
+    def __init__(
+        self, user_id: int, points: Iterable[STPoint] = ()
+    ) -> None:
+        self.user_id = user_id
+        initial = sorted(points, key=lambda p: p.t)
+        capacity = max(_MIN_CAPACITY, len(initial))
+        self._x = np.empty(capacity, dtype=np.float64)
+        self._y = np.empty(capacity, dtype=np.float64)
+        self._t = np.empty(capacity, dtype=np.float64)
+        self._n = len(initial)
+        for i, p in enumerate(initial):
+            self._x[i] = p.x
+            self._y[i] = p.y
+            self._t[i] = p.t
+
+    # -- container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[STPoint]:
+        return (self._point_at(i) for i in range(self._n))
+
+    @overload
+    def __getitem__(self, index: int) -> STPoint: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[STPoint]: ...
+
+    def __getitem__(
+        self, index: int | slice
+    ) -> STPoint | list[STPoint]:
+        if isinstance(index, slice):
+            return [
+                self._point_at(i)
+                for i in range(*index.indices(self._n))
+            ]
+        i = index if index >= 0 else index + self._n
+        if not 0 <= i < self._n:
+            raise IndexError("history index out of range")
+        return self._point_at(i)
+
+    @property
+    def points(self) -> Sequence[STPoint]:
+        """The samples in timestamp order (read-only view)."""
+        return tuple(self._point_at(i) for i in range(self._n))
+
+    def _point_at(self, i: int) -> STPoint:
+        return STPoint(
+            float(self._x[i]), float(self._y[i]), float(self._t[i])
+        )
+
+    # -- ingest ---------------------------------------------------------
+
+    def _reserve(self, needed: int) -> None:
+        capacity = self._x.size
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_x", "_y", "_t"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    def add(self, point: STPoint) -> None:
+        """Record one location update (kept time-sorted, stable)."""
+        n = self._n
+        self._reserve(n + 1)
+        if n == 0 or point.t >= self._t[n - 1]:
+            index = n
+        else:
+            # bisect_right, matching PersonalHistory.add: equal
+            # timestamps keep arrival order.
+            index = int(
+                np.searchsorted(self._t[:n], point.t, side="right")
+            )
+            for col in (self._x, self._y, self._t):
+                col[index + 1 : n + 1] = col[index:n]
+        self._x[index] = point.x
+        self._y[index] = point.y
+        self._t[index] = point.t
+        self._n = n + 1
+
+    def extend(self, points: Iterable[STPoint]) -> None:
+        """Record several location updates in one amortized append.
+
+        Equivalent to repeated :meth:`add`: the batch lands after any
+        already-stored equal timestamps, and equal timestamps within
+        the batch keep batch order (a stable sort by ``t`` of old rows
+        followed by new rows is exactly repeated ``bisect_right``
+        insertion).
+        """
+        batch = list(points)
+        if not batch:
+            return
+        n, m = self._n, len(batch)
+        if m <= 8 and n:
+            # Tiny batches (streaming flushes into a warm history) are
+            # cheaper as repeated insertion — which is also the very
+            # definition of this method's contract — than as a full
+            # stable re-sort.
+            for p in batch:
+                self.add(p)
+            return
+        self._reserve(n + m)
+        # Track sortedness while writing: the incoming points carry
+        # python floats, so the check is free compared to a numpy
+        # reduction over the written block.
+        last = float(self._t[n - 1]) if n else -math.inf
+        in_order = True
+        for i, p in enumerate(batch):
+            self._x[n + i] = p.x
+            self._y[n + i] = p.y
+            self._t[n + i] = p.t
+            if p.t < last:
+                in_order = False
+            last = p.t
+        self._n = n + m
+        if not in_order:
+            order = np.argsort(self._t[: self._n], kind="stable")
+            for col in (self._x, self._y, self._t):
+                col[: self._n] = col[: self._n][order]
+
+    # -- queries ---------------------------------------------------------
+
+    def _columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = self._n
+        return self._x[:n], self._y[:n], self._t[:n]
+
+    def points_between(
+        self, t_start: float, t_end: float
+    ) -> list[STPoint]:
+        """Samples with timestamps in the closed interval."""
+        t = self._t[: self._n]
+        lo = int(np.searchsorted(t, t_start, side="left"))
+        hi = int(np.searchsorted(t, t_end, side="right"))
+        return [self._point_at(i) for i in range(lo, hi)]
+
+    def _box_mask_range(
+        self, box: STBox
+    ) -> tuple[int, np.ndarray]:
+        """(window start, in-box mask over the temporal window)."""
+        x, y, t = self._columns()
+        lo = int(np.searchsorted(t, box.interval.start, side="left"))
+        hi = int(np.searchsorted(t, box.interval.end, side="right"))
+        rect = box.rect
+        wx = x[lo:hi]
+        wy = y[lo:hi]
+        mask = (
+            (wx >= rect.x_min)
+            & (wx <= rect.x_max)
+            & (wy >= rect.y_min)
+            & (wy <= rect.y_max)
+        )
+        return lo, mask
+
+    def points_in_box(self, box: STBox) -> list[STPoint]:
+        """Samples falling inside a spatio-temporal box."""
+        lo, mask = self._box_mask_range(box)
+        return [
+            self._point_at(lo + int(i)) for i in np.flatnonzero(mask)
+        ]
+
+    def visits_box(self, box: STBox) -> bool:
+        """Whether any sample falls inside the box (one request's test
+        for Definition 7), as a single boolean mask reduction."""
+        _lo, mask = self._box_mask_range(box)
+        return bool(mask.any())
+
+    def lt_consistent_with(self, contexts: Iterable[STBox]) -> bool:
+        """Definition 7: one mask per context, all-reduced."""
+        return all(self.visits_box(context) for context in contexts)
+
+    def closest_point_to(
+        self, target: STPoint, time_scale: float = DEFAULT_TIME_SCALE
+    ) -> STPoint | None:
+        """The PHL sample nearest to ``target``, vectorized.
+
+        Returns the exact sample the python outward scan returns: the
+        temporal window is seeded from the samples adjacent to
+        ``target.t`` and only excludes points whose time gap alone
+        already exceeds that bound (hence strictly farther), and
+        distance ties are broken by python visit order — outward from
+        the insertion point, later-or-equal side first.
+        """
+        n = self._n
+        if n == 0:
+            return None
+        x, y, t = self._columns()
+        center = int(np.searchsorted(t, target.t, side="left"))
+        bound = math.inf
+        for i in (center, center - 1):
+            if 0 <= i < n:
+                bound = min(
+                    bound,
+                    st_distance(self._point_at(i), target, time_scale),
+                )
+        if n <= 64:
+            lo, hi = 0, n
+        else:
+            if time_scale > 0 and math.isfinite(bound):
+                delta = bound / time_scale
+                lo = int(
+                    np.searchsorted(t, target.t - delta, side="left")
+                )
+                hi = int(
+                    np.searchsorted(t, target.t + delta, side="right")
+                )
+            else:
+                lo, hi = 0, n
+            # Exact boundary walk: keep every sample whose *computed*
+            # scaled gap is <= bound, mirroring the python prune.
+            while (
+                lo > 0
+                and (target.t - t[lo - 1]) * time_scale <= bound
+            ):
+                lo -= 1
+            while (
+                hi < n
+                and (t[hi] - target.t) * time_scale <= bound
+            ):
+                hi += 1
+        dx = x[lo:hi] - target.x
+        dy = y[lo:hi] - target.y
+        dt = (t[lo:hi] - target.t) * time_scale
+        d = np.sqrt(dx * dx + dy * dy + dt * dt)
+        dmin = d.min()
+        ties = np.flatnonzero(d == dmin) + lo
+        if ties.size == 1:
+            return self._point_at(int(ties[0]))
+        # python visit order: center first, then center-1, center+1,
+        # center-2, ... (right side of each ring before left).
+        pos = np.where(
+            ties >= center,
+            2 * (ties - center),
+            2 * (center - 1 - ties) + 1,
+        )
+        return self._point_at(int(ties[int(np.argmin(pos))]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarHistory(user_id={self.user_id}, "
+            f"samples={self._n})"
+        )
+
+
+class ColumnarView:
+    """Global concatenated columns over every user's samples.
+
+    Rows carry a dense *slot* (per-user integer id) so per-user
+    reductions are one ``np.minimum.reduceat`` over a slot-grouped
+    gather.  Rows ``[0, sorted_n)`` are time-sorted (stable — equal
+    timestamps keep ingest order); later rows form an unsorted tail
+    that is folded in by a stable re-sort when it outgrows
+    ``TAIL_MAX``.  In-order appends (the common streaming case) extend
+    the sorted segment directly and never trigger a re-sort.
+    """
+
+    #: Unsorted-tail bound before consolidation re-sorts the columns.
+    TAIL_MAX = 1024
+    #: Out-of-order blocks at least this large consolidate eagerly
+    #: (bulk loads); smaller ones buffer in the tail (streaming).
+    BLOCK_MERGE_MIN = 128
+
+    def __init__(self, time_scale: float = DEFAULT_TIME_SCALE) -> None:
+        self.time_scale = time_scale
+        capacity = 1024
+        self._x = np.empty(capacity, dtype=np.float64)
+        self._y = np.empty(capacity, dtype=np.float64)
+        self._t = np.empty(capacity, dtype=np.float64)
+        self._slot = np.empty(capacity, dtype=np.int64)
+        self._n = 0
+        self._sorted_n = 0
+        self._uid_of_slot: list[int] = []
+        self._uid_arr = np.empty(64, dtype=np.int64)
+        self._slot_of_uid: dict[int, int] = {}
+
+    # -- slots -----------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._uid_of_slot)
+
+    @property
+    def uid_values(self) -> np.ndarray:
+        """Per-slot user ids as an int64 array (index by slot)."""
+        return self._uid_arr[: len(self._uid_of_slot)]
+
+    def slot_of(self, user_id: int) -> int | None:
+        return self._slot_of_uid.get(user_id)
+
+    def uid_of(self, slot: int) -> int:
+        return self._uid_of_slot[slot]
+
+    def points_at_rows(self, rows: Sequence[int]) -> list[STPoint]:
+        """The samples at the given global rows, batch-constructed."""
+        xs = self._x[rows].tolist()
+        ys = self._y[rows].tolist()
+        ts = self._t[rows].tolist()
+        return [STPoint(x, y, t) for x, y, t in zip(xs, ys, ts)]
+
+    def _slot_for(self, user_id: int) -> int:
+        slot = self._slot_of_uid.get(user_id)
+        if slot is None:
+            slot = len(self._uid_of_slot)
+            self._slot_of_uid[user_id] = slot
+            self._uid_of_slot.append(user_id)
+            if slot >= self._uid_arr.size:
+                grown = np.empty(
+                    self._uid_arr.size * 2, dtype=np.int64
+                )
+                grown[:slot] = self._uid_arr[:slot]
+                self._uid_arr = grown
+            self._uid_arr[slot] = user_id
+        return slot
+
+    # -- ingest ----------------------------------------------------------
+
+    def _reserve(self, needed: int) -> None:
+        capacity = self._x.size
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_x", "_y", "_t", "_slot"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    def _consolidate(self) -> None:
+        """Stable-merge the unsorted tail into the sorted main segment.
+
+        Equivalent to a stable argsort of the whole prefix: the main
+        segment is already time-sorted, so stable-sorting just the
+        tail and merging at ``side="right"`` insert positions
+        reproduces the stable order exactly (main rows first on equal
+        timestamps, tail rows in arrival order).  O(n + k·log k) for a
+        k-row tail instead of O(n·log n) for the full sort.
+        """
+        n, sn = self._n, self._sorted_n
+        if sn == n:
+            return
+        tail_order = np.argsort(self._t[sn:n], kind="stable")
+        where = np.searchsorted(
+            self._t[:sn], self._t[sn:n][tail_order], side="right"
+        )
+        for name in ("_x", "_y", "_t", "_slot"):
+            col = getattr(self, name)
+            col[:n] = np.insert(
+                col[:sn], where, col[sn:n][tail_order]
+            )
+        self._sorted_n = n
+
+    def append(self, user_id: int, point: STPoint) -> None:
+        slot = self._slot_for(user_id)
+        self._reserve(self._n + 1)
+        i = self._n
+        self._x[i] = point.x
+        self._y[i] = point.y
+        self._t[i] = point.t
+        self._slot[i] = slot
+        self._n = i + 1
+        if self._sorted_n == i and (
+            i == 0 or point.t >= self._t[i - 1]
+        ):
+            self._sorted_n = i + 1
+        elif self._n - self._sorted_n > self.TAIL_MAX:
+            self._consolidate()
+
+    def append_block(
+        self, user_id: int, points: Sequence[STPoint]
+    ) -> None:
+        if not points:
+            return
+        slot = self._slot_for(user_id)
+        n, m = self._n, len(points)
+        self._reserve(n + m)
+        last = float(self._t[n - 1]) if n else -math.inf
+        in_order = self._sorted_n == n
+        for i, p in enumerate(points):
+            self._x[n + i] = p.x
+            self._y[n + i] = p.y
+            self._t[n + i] = p.t
+            if p.t < last:
+                in_order = False
+            last = p.t
+        self._slot[n : n + m] = slot
+        self._n = n + m
+        if in_order:
+            self._sorted_n = self._n
+        elif m >= self.BLOCK_MERGE_MIN or (
+            self._n - self._sorted_n > self.TAIL_MAX
+        ):
+            # Large out-of-order blocks are bulk loads, read-heavy
+            # afterwards: merge now (O(n + m·log m)) so queries never
+            # pay a tail scan.  Small blocks (streaming flushes) keep
+            # buffering in the tail so ingest-heavy phases don't
+            # thrash O(n) merges.
+            self._consolidate()
+
+    # -- queries -----------------------------------------------------------
+
+    def _distances(
+        self, rows: slice | np.ndarray, target: STPoint
+    ) -> np.ndarray:
+        # In-place accumulation; the association order stays
+        # ((dx² + dy²) + dt²), matching ``st_distance`` up to its
+        # libm-pow squaring — selection-grade only, so callers replay
+        # ``st_distance`` for any distance they report (see the module
+        # docstring).
+        d = self._x[rows] - target.x
+        d *= d
+        dy = self._y[rows] - target.y
+        dy *= dy
+        d += dy
+        dt = self._t[rows] - target.t
+        dt *= self.time_scale
+        dt *= dt
+        d += dt
+        return np.sqrt(d, out=d)
+
+    def slots_in_box(self, box: STBox) -> np.ndarray:
+        """Slot values (with duplicates) of rows inside ``box``."""
+        n, sn = self._n, self._sorted_n
+        t = self._t
+        lo = int(
+            np.searchsorted(t[:sn], box.interval.start, side="left")
+        )
+        hi = int(
+            np.searchsorted(t[:sn], box.interval.end, side="right")
+        )
+        rect = box.rect
+        parts = []
+        for rows, is_tail in ((slice(lo, hi), False),
+                              (slice(sn, n), True)):
+            x = self._x[rows]
+            y = self._y[rows]
+            mask = (
+                (x >= rect.x_min)
+                & (x <= rect.x_max)
+                & (y >= rect.y_min)
+                & (y <= rect.y_max)
+            )
+            if is_tail:  # unsorted tail: filter time too
+                tt = t[rows]
+                mask &= (tt >= box.interval.start) & (
+                    tt <= box.interval.end
+                )
+            parts.append(self._slot[rows][mask])
+        return np.concatenate(parts)
+
+    def consistent_slots(
+        self, contexts: Sequence[STBox]
+    ) -> np.ndarray:
+        """Definition 7 over all users at once: one in-box mask per
+        context, AND-reduced into a per-slot boolean vector."""
+        ok = np.ones(self.n_slots, dtype=bool)
+        for context in contexts:
+            hit = np.zeros(self.n_slots, dtype=bool)
+            hit[self.slots_in_box(context)] = True
+            ok &= hit
+            if not ok.any():
+                break
+        return ok
+
+    def nearest_slots(
+        self,
+        target: STPoint,
+        count: int,
+        exclude_slots: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (at most) ``count`` users nearest to ``target``, in the
+        brute output order.
+
+        Expanding temporal-window search: a window of scaled half-width
+        ``R`` around ``target.t`` provably contains every sample at
+        distance ``<= R``, so any user whose windowed minimum is
+        ``<= R`` has its *global* minimum resolved exactly.  The
+        radius expands (×8) until ``count`` users resolve or the
+        window covers the whole sorted segment; the final cut sorts
+        the resolved users ascending ``(distance, user id)`` — exactly
+        the ``heapq.nsmallest`` order of the python brute scan (user
+        ids are unique, so the sample point never participates in the
+        brute tuple comparisons).
+
+        Returns ``(slots, minima, rows)``: minima are the vectorized
+        (IEEE-multiply) distances — selection-grade, possibly one ulp
+        off the scalar ``st_distance`` value, so callers must replay
+        ``st_distance`` on the winning sample before reporting a
+        distance.  ``rows[i]`` is the global row achieving
+        ``minima[i]`` when that minimum is *unique* within the user's
+        samples, and ``-1`` on an exact distance tie — the caller must
+        then replay the per-history scan so python visit order decides
+        (every sample at distance ``<= R`` is inside the gather, so
+        uniqueness here is uniqueness globally).
+        """
+        n, sn = self._n, self._sorted_n
+        empty_i = np.empty(0, dtype=np.int64)
+        empty = (empty_i, np.empty(0), empty_i)
+        if n == 0 or count == 0:
+            return empty
+        t = self._t
+        scale = self.time_scale
+        has_tail = sn < n
+        if has_tail:
+            tail = slice(sn, n)
+            tail_d = self._distances(tail, target)
+            tail_slots = self._slot[tail]
+        tx, ty, tt = target.x, target.y, target.t
+        seed = math.inf
+        if sn:
+            probe = int(np.searchsorted(t[:sn], tt, side="left"))
+            for i in (probe - 1, probe):
+                if 0 <= i < sn:
+                    dx = self._x[i] - tx
+                    dy = self._y[i] - ty
+                    dt = (t[i] - tt) * scale
+                    seed = min(
+                        seed, math.sqrt(dx * dx + dy * dy + dt * dt)
+                    )
+        if has_tail and tail_d.size:
+            seed = min(seed, float(tail_d.min()))
+        radius = seed if seed > 0 else _MIN_RADIUS
+        while True:
+            if sn == 0:
+                lo, hi = 0, 0
+            elif scale > 0 and math.isfinite(radius):
+                delta = radius / scale
+                lo = int(
+                    np.searchsorted(t[:sn], tt - delta, side="left")
+                )
+                hi = int(
+                    np.searchsorted(t[:sn], tt + delta, side="right")
+                )
+                # Exact boundary walk on the computed scaled gap.
+                while lo > 0 and (tt - t[lo - 1]) * scale <= radius:
+                    lo -= 1
+                while hi < sn and (t[hi] - tt) * scale <= radius:
+                    hi += 1
+            else:
+                lo, hi = 0, sn
+            complete = lo == 0 and hi == sn
+            window_d = self._distances(slice(lo, hi), target)
+            if has_tail:
+                d_all = np.concatenate([window_d, tail_d])
+                s_all = np.concatenate(
+                    [self._slot[lo:hi], tail_slots]
+                )
+            else:
+                d_all = window_d
+                s_all = self._slot[lo:hi]
+            if d_all.size == 0:
+                if complete:
+                    return empty
+                radius *= 8.0
+                continue
+            # Scatter-min into a per-slot table: float min has no
+            # rounding, so each entry is *the* exact minimum over the
+            # gathered rows.  ``inf`` doubles as the absent marker —
+            # a *computed* distance of inf needs coordinates so large
+            # that the python scan raises OverflowError on ``dx**2``,
+            # i.e. outside the pinned equivalence envelope.  Excluded
+            # users are simply marked absent.  The resolved check
+            # below only runs with a finite radius (a non-finite one
+            # takes the full-window branch above and exits complete),
+            # so absent slots can never resolve.
+            n_slots = len(self._uid_of_slot)
+            per_slot = np.full(n_slots, np.inf)
+            np.minimum.at(per_slot, s_all, d_all)
+            if exclude_slots is not None and exclude_slots.size:
+                per_slot[exclude_slots] = np.inf
+            if complete:
+                slots = np.flatnonzero(per_slot < np.inf)
+                break
+            resolved = per_slot <= radius
+            if int(np.count_nonzero(resolved)) >= count:
+                slots = np.flatnonzero(resolved)
+                break
+            radius *= 8.0
+        if slots.size == 0:
+            return empty
+        minima = per_slot[slots]
+        sel = np.lexsort((self._uid_arr[slots], minima))[:count]
+        slots = slots[sel]
+        minima = minima[sel]
+        # Representative rows for the selected users only: flag their
+        # slots, gather the rows that *achieve* their slot's minimum
+        # (usually one per user), and scalar-scan those for a unique
+        # minimum.  The gather index space is [window rows | tail
+        # rows]; translate back to global rows without materializing
+        # an index column.
+        width = hi - lo
+        wanted = np.zeros(n_slots, dtype=bool)
+        wanted[slots] = True
+        cand = np.flatnonzero(
+            wanted[s_all] & (d_all == per_slot[s_all])
+        )
+        cand_list = cand.tolist()
+        cand_slots = s_all[cand].tolist()
+        cand_d = d_all[cand].tolist()
+        best = {
+            int(slot): (float(minimum), -1)
+            for slot, minimum in zip(slots, minima)
+        }
+        for gathered, slot, value in zip(
+            cand_list, cand_slots, cand_d
+        ):
+            minimum, first = best[slot]
+            if value == minimum:
+                if first >= 0:
+                    best[slot] = (minimum, -2)  # tie: caller replays
+                elif first == -1:
+                    best[slot] = (minimum, gathered)
+        rows = np.empty(slots.size, dtype=np.int64)
+        for j in range(slots.size):
+            gathered = best[int(slots[j])][1]
+            if gathered < 0:
+                rows[j] = -1
+            else:
+                rows[j] = (
+                    lo + gathered
+                    if gathered < width
+                    else sn + (gathered - width)
+                )
+        return slots, minima, rows

@@ -3,26 +3,54 @@
 Provides exactly the queries Algorithm 1 needs:
 
 * line 2 — per selected user, "the 3D point in its PHL closest to
-  ⟨x, y, t⟩": :meth:`TrajectoryStore.closest_point`;
+  ⟨x, y, t⟩": :meth:`TrajectoryStore.closest_point` (and the batched
+  :meth:`TrajectoryStore.closest_points`);
 * line 5 — "the smallest 3D space … crossed by k trajectories (each one
   for a different user)": :meth:`TrajectoryStore.nearest_users`, which
   returns the k users whose nearest PHL sample is closest to the request
   point.  The paper gives the brute-force bound O(k·n) over all n stored
-  points; attaching a :class:`~repro.mod.grid_index.GridIndex` replaces
-  the scan with an expanding ring search (benchmark E9 quantifies the
-  gap).
+  points; benchmark E9 quantifies the alternatives.
+
+Backends
+--------
+
+``backend="python"`` (the default) stores PHLs as
+:class:`~repro.core.phl.PersonalHistory` point lists and answers
+queries with the paper's scans.  ``backend="numpy"`` stores the same
+PHLs as :class:`~repro.mod.columnar.ColumnarHistory` columns plus a
+global :class:`~repro.mod.columnar.ColumnarView`, and answers
+``closest_point`` / ``nearest_users`` / ``users_in_box`` /
+``lt_consistent_users`` with vectorized array ops that are
+decision-equivalent to the python scans — same tuples, same ordering,
+same tie-breaks (see :mod:`repro.mod.columnar` for the argument).
+``backend=None`` reads the ``REPRO_STORE_BACKEND`` environment
+variable (the daemon/loadgen CLIs expose it as ``--store-backend``).
+
+A :class:`~repro.mod.grid_index.GridIndex` may be attached under
+either backend and is always kept fed on ingest; with
+``backend="numpy"`` the columnar view answers store queries (the grid
+remains available through :attr:`TrajectoryStore.index` and keeps the
+store switchable), while with ``backend="python"`` the grid answers
+``nearest_users`` / ``users_in_box`` as before.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.phl import PersonalHistory
 from repro.geometry.distance import DEFAULT_TIME_SCALE, st_distance
 from repro.geometry.point import STPoint
 from repro.geometry.region import STBox
+from repro.mod.columnar import (
+    ColumnarHistory,
+    ColumnarView,
+    resolve_backend,
+)
 from repro.mod.grid_index import GridIndex
 from repro.obs.config import Telemetry, TelemetryConfig, resolve_telemetry
 
@@ -34,7 +62,11 @@ class TrajectoryStore:
     location update is then indexed on ingest.  ``time_scale`` is the
     meters-per-second conversion used in all spatio-temporal distances.
     ``telemetry`` (shared with the :class:`GridIndex`, when attached)
-    records query counts and latencies under ``store.*``.
+    records query counts and latencies under ``store.*``; every
+    ``store.queries`` sample carries a ``method`` label
+    (``brute``/``grid``/``numpy``) so dashboards can slice by backend.
+    ``backend`` selects the storage/query implementation (see the
+    module docstring).
     """
 
     def __init__(
@@ -42,14 +74,23 @@ class TrajectoryStore:
         time_scale: float = DEFAULT_TIME_SCALE,
         index_cell_size: float | None = None,
         telemetry: "Telemetry | TelemetryConfig | None" = None,
+        backend: str | None = None,
     ) -> None:
         self.time_scale = time_scale
         self.telemetry = resolve_telemetry(telemetry)
+        self.backend = resolve_backend(backend)
         #: Monotone ingest counter; consumers caching anything derived
         #: from the histories (e.g. the SLO monitor's incremental
-        #: anonymity-set candidates) key their caches on it.
+        #: anonymity-set candidates) key their caches on it.  The
+        #: batch contract: :meth:`add_point` bumps it once per point,
+        #: :meth:`add_points` once per non-empty batch, so
+        #: version-keyed caches are invalidated once per bulk replay
+        #: instead of once per sample.
         self.version = 0
         self._histories: dict[int, PersonalHistory] = {}
+        self._view: ColumnarView | None = (
+            ColumnarView(time_scale) if self.backend == "numpy" else None
+        )
         self.index: GridIndex | None = None
         if index_cell_size is not None:
             self.index = GridIndex(
@@ -79,13 +120,18 @@ class TrajectoryStore:
         """The PHL of ``user_id``; created empty on first access."""
         history = self._histories.get(user_id)
         if history is None:
-            history = PersonalHistory(user_id)
+            if self._view is not None:
+                history = ColumnarHistory(user_id)
+            else:
+                history = PersonalHistory(user_id)
             self._histories[user_id] = history
         return history
 
     def add_point(self, user_id: int, point: STPoint) -> None:
-        """Ingest one location update."""
+        """Ingest one location update (bumps ``version`` once)."""
         self.history(user_id).add(point)
+        if self._view is not None:
+            self._view.append(user_id, point)
         self.version += 1
         if self.index is not None:
             self.index.insert(user_id, point)
@@ -96,30 +142,28 @@ class TrajectoryStore:
         """Batch-ingest location updates for one user.
 
         Equivalent to calling :meth:`add_point` per point except that
-        ``version`` is bumped **once** for the whole batch and index
-        inserts are grouped, so version-keyed consumer caches (e.g. the
-        SLO monitor's incremental anonymity-set candidates) are
-        invalidated once per batch instead of once per point during bulk
-        replay.  Returns the number of points ingested; an empty batch
-        ingests nothing and does not bump ``version``.
+        ``version`` is bumped **once** for the whole batch (see
+        :attr:`version`).  Returns the number of points ingested; an
+        empty batch ingests nothing and does not bump ``version``.
         """
         history = self.history(user_id)
-        count = 0
+        batch = points if isinstance(points, list) else list(points)
         index = self.index
-        for point in points:
-            history.add(point)
-            if index is not None:
+        if index is not None:
+            for point in batch:
                 index.insert(user_id, point)
-            count += 1
-        if count:
+        if batch:
+            history.extend(batch)
+            if self._view is not None:
+                self._view.append_block(user_id, batch)
             self.version += 1
-        return count
+        return len(batch)
 
-    def add_trajectory(
-        self, user_id: int, points: Iterable[STPoint]
-    ) -> None:
-        """Ingest a batch of location updates for one user."""
-        self.add_points(user_id, points)
+    # -- Algorithm 1 line 2 ----------------------------------------------
+
+    @property
+    def _point_method(self) -> str:
+        return "numpy" if self._view is not None else "brute"
 
     def closest_point(
         self, user_id: int, target: STPoint
@@ -128,8 +172,42 @@ class TrajectoryStore:
         history = self._histories.get(user_id)
         if history is None:
             return None
-        self.telemetry.count("store.queries", query="closest_point")
+        self.telemetry.count(
+            "store.queries",
+            query="closest_point",
+            method=self._point_method,
+        )
         return history.closest_point_to(target, self.time_scale)
+
+    def closest_points(
+        self, user_ids: Iterable[int], target: STPoint
+    ) -> list[tuple[int, STPoint]]:
+        """Algorithm 1 line 2 batched over ``user_ids``.
+
+        Returns ``(user_id, closest_sample)`` in input order, skipping
+        unknown users and empty histories — exactly the pairs repeated
+        :meth:`closest_point` calls would yield.
+        """
+        results: list[tuple[int, STPoint]] = []
+        queried = 0
+        for user_id in user_ids:
+            history = self._histories.get(user_id)
+            if history is None:
+                continue
+            queried += 1
+            closest = history.closest_point_to(target, self.time_scale)
+            if closest is not None:
+                results.append((user_id, closest))
+        if queried:
+            self.telemetry.count(
+                "store.queries",
+                queried,
+                query="closest_point",
+                method=self._point_method,
+            )
+        return results
+
+    # -- Algorithm 1 line 5 ----------------------------------------------
 
     def nearest_users(
         self,
@@ -140,11 +218,17 @@ class TrajectoryStore:
         """The ``count`` users whose nearest PHL sample is closest.
 
         Returns ``(user_id, closest_sample, distance)`` sorted by
-        distance; fewer tuples when not enough distinct users exist.
-        Dispatches to the grid index when attached, otherwise to the
-        paper's brute-force scan.
+        ``(distance, user_id)``; fewer tuples when not enough distinct
+        users exist.  Dispatches to the columnar backend when selected,
+        else to the grid index when attached, else to the paper's
+        brute-force scan.
         """
-        method = "grid" if self.index is not None else "brute"
+        if self._view is not None:
+            method = "numpy"
+        elif self.index is not None:
+            method = "grid"
+        else:
+            method = "brute"
         if not self.telemetry.enabled:
             return self._nearest_users_impl(target, count, exclude)
         start = time.perf_counter()
@@ -158,6 +242,8 @@ class TrajectoryStore:
         count: int,
         exclude: frozenset[int] | set[int],
     ) -> list[tuple[int, STPoint, float]]:
+        if self._view is not None:
+            return self._nearest_users_numpy_impl(target, count, exclude)
         if self.index is not None:
             return self.index.nearest_users(target, count, exclude=exclude)
         return self._nearest_users_brute_impl(target, count, exclude)
@@ -210,9 +296,80 @@ class TrajectoryStore:
             for distance, user_id, point in nearest
         ]
 
+    def _nearest_users_numpy_impl(
+        self,
+        target: STPoint,
+        count: int,
+        exclude: frozenset[int] | set[int],
+    ) -> list[tuple[int, STPoint, float]]:
+        """Columnar Algorithm 1 line 5 (decision-equivalent to brute).
+
+        The view resolves exact per-user minimum distances for a
+        superset of the answer and cuts it to the brute ordering —
+        ascending ``(distance, user_id)``, the order
+        ``heapq.nsmallest`` gives the brute tuples.  When a user's
+        minimum is achieved by a *unique* sample, that sample IS what
+        the per-history scan would report, so it comes straight from
+        the gathered row; only exact distance ties replay
+        ``closest_point_to`` so python visit order breaks them.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        view = self._view
+        assert view is not None
+        if count == 0 or view.n_rows == 0:
+            return []
+        exclude_slots = None
+        if exclude:
+            exclude_slots = np.array(
+                sorted(
+                    slot
+                    for uid in exclude
+                    if (slot := view.slot_of(uid)) is not None
+                ),
+                dtype=np.int64,
+            )
+        slots, minima, rows = view.nearest_slots(
+            target, count, exclude_slots
+        )
+        rows_list = rows.tolist()
+        reps = iter(
+            view.points_at_rows([r for r in rows_list if r >= 0])
+        )
+        results: list[tuple[int, STPoint, float]] = []
+        for slot, row in zip(slots.tolist(), rows_list):
+            user_id = view.uid_of(slot)
+            if row >= 0:
+                closest = next(reps)
+            else:
+                tied = self._histories[user_id].closest_point_to(
+                    target, self.time_scale
+                )
+                assert tied is not None
+                closest = tied
+            # The reported distance replays ``st_distance``: the
+            # vectorized minima use IEEE multiplies where the scalar
+            # path goes through libm ``pow``, which can differ in the
+            # last ulp — minima decide *selection*, never the output.
+            results.append(
+                (
+                    user_id,
+                    closest,
+                    st_distance(closest, target, self.time_scale),
+                )
+            )
+        return results
+
+    # -- ST-range and LT-consistency --------------------------------------
+
     def users_in_box(self, box: STBox) -> set[int]:
         """Distinct users with at least one sample inside ``box``."""
-        method = "grid" if self.index is not None else "brute"
+        if self._view is not None:
+            method = "numpy"
+        elif self.index is not None:
+            method = "grid"
+        else:
+            method = "brute"
         if not self.telemetry.enabled:
             return self._users_in_box_impl(box)
         start = time.perf_counter()
@@ -221,6 +378,12 @@ class TrajectoryStore:
         return result
 
     def _users_in_box_impl(self, box: STBox) -> set[int]:
+        if self._view is not None:
+            view = self._view
+            return {
+                view.uid_of(int(slot))
+                for slot in np.unique(view.slots_in_box(box))
+            }
         if self.index is not None:
             return self.index.users_in_box(box)
         return {
@@ -228,3 +391,50 @@ class TrajectoryStore:
             for user_id, history in self._histories.items()
             if history.visits_box(box)
         }
+
+    def lt_consistent_users(
+        self,
+        contexts: Sequence[STBox] | Iterable[STBox],
+        exclude_user: int | None = None,
+    ) -> list[int]:
+        """Users whose PHL is LT-consistent with every context.
+
+        The store-level form of Definition 7 over all users at once
+        (the inner loop of historical-k candidate recomputation), in
+        ingest order — exactly the ids a scan of
+        :attr:`histories` filtered by ``lt_consistent_with`` yields.
+        An empty ``contexts`` is vacuously consistent with everyone.
+        """
+        boxes = list(contexts)
+        method = (
+            "numpy"
+            if self._view is not None and boxes
+            else "brute"
+        )
+        if not self.telemetry.enabled:
+            return self._lt_consistent_users_impl(boxes, exclude_user)
+        start = time.perf_counter()
+        result = self._lt_consistent_users_impl(boxes, exclude_user)
+        self._record_query("lt_consistent_users", method, start)
+        return result
+
+    def _lt_consistent_users_impl(
+        self, boxes: list[STBox], exclude_user: int | None
+    ) -> list[int]:
+        view = self._view
+        if view is not None and boxes:
+            ok = view.consistent_slots(boxes)
+            consistent = []
+            for user_id in self._histories:
+                if user_id == exclude_user:
+                    continue
+                slot = view.slot_of(user_id)
+                if slot is not None and ok[slot]:
+                    consistent.append(user_id)
+            return consistent
+        return [
+            user_id
+            for user_id, history in self._histories.items()
+            if user_id != exclude_user
+            and history.lt_consistent_with(boxes)
+        ]

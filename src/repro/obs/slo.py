@@ -442,12 +442,22 @@ class PrivacyMonitor(TelemetrySink):
         version = getattr(self.store, "version", None)
         stale = version is None or group.store_version != version
         if group.candidates is None or stale:
-            group.candidates = [
-                user_id
-                for user_id, history in histories.items()
-                if user_id != group.user_id
-                and history.lt_consistent_with(group.contexts)
-            ]
+            # Stores may offer a vectorized all-users consistency scan
+            # (``TrajectoryStore.lt_consistent_users``); fall back to
+            # the per-history loop for plain mappings.  Both return
+            # candidate ids in history-ingest order.
+            fast = getattr(self.store, "lt_consistent_users", None)
+            if callable(fast):
+                group.candidates = fast(
+                    group.contexts, exclude_user=group.user_id
+                )
+            else:
+                group.candidates = [
+                    user_id
+                    for user_id, history in histories.items()
+                    if user_id != group.user_id
+                    and history.lt_consistent_with(group.contexts)
+                ]
         elif group.filtered < len(group.contexts):
             fresh = group.contexts[group.filtered:]
             group.candidates = [

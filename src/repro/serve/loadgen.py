@@ -87,6 +87,10 @@ class WorkloadConfig:
     #: Cell size (meters) of the store's grid index; ``None`` serves
     #: without one (the E9 speedup stays off).
     index_cell_size: float | None = None
+    #: Trajectory-store backend (``"python"``/``"numpy"``); ``None``
+    #: defers to the ``REPRO_STORE_BACKEND`` environment variable.
+    #: Decision streams are identical either way; only latency moves.
+    backend: str | None = None
 
     def tolerance(self) -> ToleranceConstraint:
         return ToleranceConstraint.square(
@@ -173,7 +177,9 @@ def build_engine(
     """
     engine = Engine(
         TrajectoryStore(
-            index_cell_size=config.index_cell_size, telemetry=telemetry
+            index_cell_size=config.index_cell_size,
+            telemetry=telemetry,
+            backend=config.backend,
         ),
         policy=make_policy(
             config.k, tolerance=config.tolerance(), service=SERVICE

@@ -34,7 +34,7 @@ def uniform_store(rng):
         times = np.sort(rng.uniform(0.0, 86_400.0, size=50))
         xs = rng.uniform(0.0, 1000.0, size=50)
         ys = rng.uniform(0.0, 1000.0, size=50)
-        store.add_trajectory(
+        store.add_points(
             user_id,
             [STPoint(float(x), float(y), float(t)) for x, y, t in
              zip(xs, ys, times)],

@@ -15,7 +15,7 @@ def clustered_store():
     """Users 1-5 near the origin at t~100; user 9 far away."""
     store = TrajectoryStore()
     for user_id in range(1, 6):
-        store.add_trajectory(
+        store.add_points(
             user_id,
             [
                 STPoint(10.0 * user_id, 10.0 * user_id, 100.0),

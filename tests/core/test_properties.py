@@ -30,7 +30,7 @@ def stores(draw):
         samples = draw(
             st.lists(st_points, min_size=1, max_size=12)
         )
-        store.add_trajectory(user_id, samples)
+        store.add_points(user_id, samples)
     return store
 
 

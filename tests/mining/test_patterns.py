@@ -100,7 +100,7 @@ class TestDistinctiveness:
             history = make_history(
                 network, user_id, home, work, seed=10 + user_id
             )
-            store.add_trajectory(user_id, history.points)
+            store.add_points(user_id, history.points)
         return store
 
     def test_unique_pattern_identifies(self, network):
@@ -117,7 +117,7 @@ class TestDistinctiveness:
             history = make_history(
                 network, user_id, (1, 1), (8, 8), seed=20, skip=0.0
             )
-            store.add_trajectory(user_id, history.points)
+            store.add_points(user_id, history.points)
         mined = mine_commute_lbqid(store.history(0))
         score = distinctiveness(mined.lbqid, store)
         assert score.matching_users == 2
@@ -129,7 +129,7 @@ class TestDistinctiveness:
             history = make_history(
                 network, user_id, (1, 1), (8, 8), seed=20, skip=0.0
             )
-            store.add_trajectory(user_id, history.points)
+            store.add_points(user_id, history.points)
         mined = mine_commute_lbqid(store.history(0))
         kept = score_candidates(
             [mined], store, max_matching_fraction=0.25

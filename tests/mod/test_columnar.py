@@ -1,0 +1,222 @@
+"""Unit tests for the columnar backend plumbing.
+
+The exhaustive decision-equivalence guarantees live in
+``test_columnar_properties.py``; this file pins the mechanics — backend
+resolution, amortized growth, the sorted-main/tail consolidation of the
+global view, PHL container behaviour, and the uniform telemetry
+labels.
+"""
+
+import pytest
+
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.columnar import (
+    BACKEND_ENV,
+    ColumnarHistory,
+    ColumnarView,
+    resolve_backend,
+)
+from repro.mod.store import TrajectoryStore
+from repro.obs import TelemetryConfig
+
+
+def p(x, y, t):
+    return STPoint(float(x), float(y), float(t))
+
+
+BOX = STBox(Rect(0.0, 0.0, 10.0, 10.0), Interval(0.0, 100.0))
+
+
+class TestBackendResolution:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "python"
+        assert TrajectoryStore().backend == "python"
+
+    def test_env_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend(None) == "numpy"
+        assert TrajectoryStore().backend == "numpy"
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert TrajectoryStore(backend="python").backend == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown trajectory-store"):
+            TrajectoryStore(backend="fortran")
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "")
+        assert resolve_backend(None) == "python"
+
+    def test_numpy_store_builds_columnar_histories(self):
+        store = TrajectoryStore(backend="numpy")
+        store.add_point(1, p(1, 2, 3))
+        assert isinstance(store.history(1), ColumnarHistory)
+
+
+class TestColumnarHistoryContainer:
+    def test_acts_like_a_sequence(self):
+        history = ColumnarHistory(1, [p(3, 3, 30), p(1, 1, 10)])
+        history.add(p(2, 2, 20))
+        assert len(history) == 3
+        assert [pt.t for pt in history] == [10.0, 20.0, 30.0]
+        assert history[0] == p(1, 1, 10)
+        assert history[-1] == p(3, 3, 30)
+        assert history[1:] == [p(2, 2, 20), p(3, 3, 30)]
+        assert history.points == (
+            p(1, 1, 10),
+            p(2, 2, 20),
+            p(3, 3, 30),
+        )
+        with pytest.raises(IndexError):
+            history[3]
+
+    def test_repr_reports_columnar_samples(self):
+        history = ColumnarHistory(7, [p(0, 0, 0)])
+        assert "ColumnarHistory" in repr(history)
+        assert "samples=1" in repr(history)
+
+    def test_equal_timestamps_keep_arrival_order(self):
+        history = ColumnarHistory(1)
+        history.add(p(1, 0, 5))
+        history.add(p(2, 0, 5))
+        history.extend([p(3, 0, 5), p(4, 0, 5)])
+        assert [pt.x for pt in history] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_amortized_growth_doubles_capacity(self):
+        history = ColumnarHistory(1)
+        for i in range(1000):
+            history.add(p(i, i, i))
+        assert len(history) == 1000
+        capacity = history._x.size
+        assert capacity >= 1000
+        # power-of-two doubling from the minimum capacity
+        assert capacity & (capacity - 1) == 0
+
+    def test_box_queries(self):
+        history = ColumnarHistory(
+            1, [p(1, 1, 10), p(50, 50, 20), p(2, 2, 500)]
+        )
+        assert history.visits_box(BOX)
+        assert history.points_in_box(BOX) == [p(1, 1, 10)]
+        assert history.points_between(10.0, 20.0) == [
+            p(1, 1, 10),
+            p(50, 50, 20),
+        ]
+        assert history.lt_consistent_with([BOX])
+        assert not history.lt_consistent_with(
+            [BOX, STBox(Rect(90, 90, 99, 99), Interval(0, 1))]
+        )
+        assert history.lt_consistent_with([])
+
+
+class TestColumnarView:
+    def test_out_of_order_appends_consolidate(self):
+        view = ColumnarView(time_scale=1.0)
+        # Drive the unsorted tail past TAIL_MAX with two interleaved
+        # users so consolidation (stable re-sort) must fire.
+        for i in range(view.TAIL_MAX + 10):
+            view.append(0, p(i, 0, 1_000_000 - i))
+        view.append_block(1, [p(0, 0, 5.0), p(0, 0, 2.0)])
+        assert view.n_rows == view.TAIL_MAX + 12
+        assert view._sorted_n >= view.n_rows - view.TAIL_MAX
+        box = STBox(Rect(0, 0, 0, 0), Interval(0.0, 10.0))
+        assert {view.uid_of(int(s)) for s in view.slots_in_box(box)} == {1}
+
+    def test_in_order_appends_never_leave_a_tail(self):
+        view = ColumnarView()
+        for i in range(100):
+            view.append(i % 3, p(i, i, i))
+        assert view._sorted_n == view.n_rows == 100
+
+    def test_slots_are_dense_and_stable(self):
+        view = ColumnarView()
+        view.append(42, p(0, 0, 0))
+        view.append(7, p(1, 1, 1))
+        view.append(42, p(2, 2, 2))
+        assert view.n_slots == 2
+        assert view.slot_of(42) == 0
+        assert view.slot_of(7) == 1
+        assert view.slot_of(999) is None
+        assert view.uid_of(0) == 42
+
+
+class TestStoreIntegration:
+    def test_empty_batch_materializes_history_without_version_bump(self):
+        store = TrajectoryStore(backend="numpy")
+        assert store.add_points(5, []) == 0
+        assert store.version == 0
+        assert 5 in store
+        assert store.nearest_users(p(0, 0, 0), 3) == []
+
+    def test_negative_count_rejected(self):
+        store = TrajectoryStore(backend="numpy")
+        store.add_point(1, p(0, 0, 0))
+        with pytest.raises(ValueError, match="non-negative"):
+            store.nearest_users(p(0, 0, 0), -1)
+
+    def test_grid_index_stays_fed_under_numpy_backend(self):
+        """Interop: the grid keeps indexing ingest under the columnar
+        backend (so backends stay switchable), but the columnar view
+        answers the store queries."""
+        store = TrajectoryStore(backend="numpy", index_cell_size=100.0)
+        store.add_point(1, p(1, 1, 1))
+        store.add_points(2, [p(2, 2, 2), p(3, 3, 3)])
+        assert store.index is not None
+        assert len(store.index) == 3
+        assert {u for u, _p, _d in store.nearest_users(p(0, 0, 0), 2)} == {
+            1,
+            2,
+        }
+
+    def test_uniform_method_labels(self):
+        telemetry = TelemetryConfig(enabled=True).build()
+        store = TrajectoryStore(backend="numpy", telemetry=telemetry)
+        store.add_points(1, [p(1, 1, 1)])
+        store.add_points(2, [p(2, 2, 2)])
+        store.nearest_users(p(0, 0, 0), 1)
+        store.closest_point(1, p(0, 0, 0))
+        store.closest_points([1, 2, 404], p(0, 0, 0))
+        store.users_in_box(BOX)
+        store.lt_consistent_users([BOX])
+        snapshot = telemetry.snapshot()
+        for query, want in (
+            ("nearest_users", 1),
+            ("closest_point", 3),
+            ("users_in_box", 1),
+            ("lt_consistent_users", 1),
+        ):
+            assert (
+                snapshot.counter_value(
+                    "store.queries", query=query, method="numpy"
+                )
+                == want
+            ), query
+
+    def test_python_backend_labels_closest_point_brute(self):
+        telemetry = TelemetryConfig(enabled=True).build()
+        store = TrajectoryStore(backend="python", telemetry=telemetry)
+        store.add_point(1, p(1, 1, 1))
+        store.closest_point(1, p(0, 0, 0))
+        store.lt_consistent_users([])
+        snapshot = telemetry.snapshot()
+        assert (
+            snapshot.counter_value(
+                "store.queries", query="closest_point", method="brute"
+            )
+            == 1
+        )
+        assert (
+            snapshot.counter_value(
+                "store.queries",
+                query="lt_consistent_users",
+                method="brute",
+            )
+            == 1
+        )
+
+    def test_add_trajectory_alias_is_gone(self):
+        assert not hasattr(TrajectoryStore, "add_trajectory")

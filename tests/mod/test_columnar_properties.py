@@ -1,0 +1,140 @@
+"""Property-based tests: the numpy backend is decision-equivalent.
+
+For any ingest sequence and any query, ``TrajectoryStore(
+backend="numpy")`` must return *exactly* what ``backend="python"``
+returns — same tuples, same ordering, same tie-breaks, bit-identical
+distances.  Coordinates are drawn from a small integer grid (cast to
+float) so exact distance ties and equal timestamps are common, and
+users with empty histories are materialized in both stores to pin the
+edge cases the brute scan silently skips.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.point import STPoint
+from repro.geometry.region import Interval, Rect, STBox
+from repro.mod.store import TrajectoryStore
+
+# A coarse lattice (ties everywhere) salted with continuous values.
+coords = st.one_of(
+    st.integers(min_value=0, max_value=8).map(float),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+times = st.one_of(
+    st.integers(min_value=0, max_value=10).map(lambda v: 10.0 * v),
+    st.floats(min_value=0.0, max_value=200.0),
+)
+st_points = st.builds(STPoint, coords, coords, times)
+
+
+@st.composite
+def paired_backends(draw):
+    """Identical ingest into a python-backed and a numpy-backed store.
+
+    Users are ingested through a random mix of ``add_point`` and
+    ``add_points`` (including empty batches and histories created but
+    never written) so both insertion paths and the empty-history edge
+    are covered.
+    """
+    n_users = draw(st.integers(min_value=1, max_value=6))
+    python = TrajectoryStore(backend="python")
+    numpy = TrajectoryStore(backend="numpy")
+    for user_id in range(n_users):
+        points = draw(st.lists(st_points, min_size=0, max_size=12))
+        mode = draw(st.integers(min_value=0, max_value=2))
+        if mode == 0:
+            for point in points:
+                python.add_point(user_id, point)
+                numpy.add_point(user_id, point)
+            if not points:  # user exists with an empty PHL
+                python.history(user_id)
+                numpy.history(user_id)
+        elif mode == 1:
+            python.add_points(user_id, points)
+            numpy.add_points(user_id, points)
+        else:  # split batch: bulk prefix, single-point suffix
+            half = len(points) // 2
+            python.add_points(user_id, points[:half])
+            numpy.add_points(user_id, points[:half])
+            for point in points[half:]:
+                python.add_point(user_id, point)
+                numpy.add_point(user_id, point)
+    return python, numpy
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    t1, t2 = sorted((draw(times), draw(times)))
+    return STBox(Rect(x1, y1, x2, y2), Interval(t1, t2))
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        paired_backends(),
+        st_points,
+        st.integers(min_value=0, max_value=8),
+        st.sets(st.integers(min_value=0, max_value=7), max_size=3),
+    )
+    def test_nearest_users_identical(
+        self, stores, target, count, exclude
+    ):
+        python, numpy = stores
+        expected = python.nearest_users(target, count, exclude=exclude)
+        got = numpy.nearest_users(target, count, exclude=exclude)
+        # Exact tuple equality: ids, sample points, *and* float
+        # distances must match bit for bit, ties included.
+        assert got == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(paired_backends(), boxes())
+    def test_users_in_box_identical(self, stores, box):
+        python, numpy = stores
+        assert numpy.users_in_box(box) == python.users_in_box(box)
+
+    @settings(max_examples=120, deadline=None)
+    @given(paired_backends(), st_points)
+    def test_closest_point_identical(self, stores, target):
+        python, numpy = stores
+        for user_id in list(python.user_ids()) + [404]:
+            assert numpy.closest_point(
+                user_id, target
+            ) == python.closest_point(user_id, target)
+
+    @settings(max_examples=100, deadline=None)
+    @given(paired_backends(), st_points)
+    def test_closest_points_batch_identical(self, stores, target):
+        python, numpy = stores
+        ids = list(python.user_ids()) + [404]
+        assert numpy.closest_points(ids, target) == (
+            python.closest_points(ids, target)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        paired_backends(),
+        st.lists(boxes(), min_size=0, max_size=3),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    )
+    def test_lt_consistency_identical(self, stores, contexts, exclude):
+        python, numpy = stores
+        assert numpy.lt_consistent_users(
+            contexts, exclude_user=exclude
+        ) == python.lt_consistent_users(contexts, exclude_user=exclude)
+        for user_id in python.user_ids():
+            assert numpy.histories[user_id].lt_consistent_with(
+                contexts
+            ) == python.histories[user_id].lt_consistent_with(contexts)
+
+    @settings(max_examples=80, deadline=None)
+    @given(paired_backends())
+    def test_history_contents_identical(self, stores):
+        python, numpy = stores
+        assert list(numpy.user_ids()) == list(python.user_ids())
+        assert numpy.version == python.version
+        for user_id in python.user_ids():
+            assert list(numpy.histories[user_id].points) == list(
+                python.histories[user_id].points
+            )

@@ -19,9 +19,9 @@ class TestIngest:
         store.add_point(1, STPoint(0, 0, 10))
         assert store.total_points == 1
 
-    def test_add_trajectory(self):
+    def test_add_points(self):
         store = TrajectoryStore()
-        store.add_trajectory(1, [STPoint(0, 0, t) for t in range(5)])
+        store.add_points(1, [STPoint(0, 0, t) for t in range(5)])
         assert len(store.history(1)) == 5
 
     def test_len_counts_users(self):
@@ -54,9 +54,9 @@ class TestBatchIngest:
         # The empty history is still materialized, as with history().
         assert 1 in store
 
-    def test_add_trajectory_delegates_to_add_points(self):
+    def test_add_points_delegates_to_add_points(self):
         store = TrajectoryStore()
-        store.add_trajectory(1, [STPoint(0, 0, t) for t in range(3)])
+        store.add_points(1, [STPoint(0, 0, t) for t in range(3)])
         assert store.version == 1
         assert len(store.history(1)) == 3
 
@@ -88,7 +88,7 @@ class TestClosestPoint:
 
     def test_picks_nearest(self):
         store = TrajectoryStore()
-        store.add_trajectory(
+        store.add_points(
             1, [STPoint(0, 0, 0), STPoint(100, 100, 100)]
         )
         got = store.closest_point(1, STPoint(1, 1, 1))
@@ -99,7 +99,7 @@ class TestNearestUsers:
     def build(self, index_cell_size=None):
         store = TrajectoryStore(index_cell_size=index_cell_size)
         for user_id in range(1, 8):
-            store.add_trajectory(
+            store.add_points(
                 user_id,
                 [
                     STPoint(100.0 * user_id, 0.0, 0.0),
@@ -153,8 +153,8 @@ class TestNearestUsers:
                 )
                 for _ in range(20)
             ]
-            brute.add_trajectory(user_id, points)
-            indexed.add_trajectory(user_id, points)
+            brute.add_points(user_id, points)
+            indexed.add_points(user_id, points)
         for _ in range(10):
             target = STPoint(
                 float(rng.uniform(0, 3000)),
@@ -175,7 +175,7 @@ class TestUsersInBox:
         indexed = TrajectoryStore(index_cell_size=100.0)
         for store in (brute, indexed):
             for user_id in range(1, 8):
-                store.add_trajectory(
+                store.add_points(
                     user_id,
                     [
                         STPoint(100.0 * user_id, 0.0, 0.0),

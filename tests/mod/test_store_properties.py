@@ -24,8 +24,8 @@ def paired_stores(draw):
     indexed = TrajectoryStore(index_cell_size=400.0)
     for user_id in range(n_users):
         points = draw(st.lists(st_points, min_size=1, max_size=10))
-        brute.add_trajectory(user_id, points)
-        indexed.add_trajectory(user_id, points)
+        brute.add_points(user_id, points)
+        indexed.add_points(user_id, points)
     return brute, indexed
 
 

@@ -1,5 +1,7 @@
 """The instrumented pipeline: metrics must mirror the audit trail."""
 
+import os
+
 import pytest
 
 from repro.core.anonymizer import Decision, TrustedAnonymizer
@@ -132,13 +134,25 @@ class TestPipelineMetrics:
 
     def test_store_queries_recorded(self, run):
         _ts, snapshot, _telemetry = run
+        # Every store.queries sample carries a uniform ``method``
+        # label; which value depends on the session's backend.
+        method = (
+            "numpy"
+            if os.environ.get("REPRO_STORE_BACKEND") == "numpy"
+            else "brute"
+        )
         assert (
             snapshot.counter_value(
-                "store.queries", query="nearest_users", method="brute"
+                "store.queries", query="nearest_users", method=method
             )
             > 0
         )
-        assert snapshot.counter_value("store.queries", query="closest_point") > 0
+        assert (
+            snapshot.counter_value(
+                "store.queries", query="closest_point", method=method
+            )
+            > 0
+        )
 
     def test_request_spans_in_ring_buffer(self, run):
         ts, _snapshot, telemetry = run

@@ -118,6 +118,15 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         help="spatial index cell size for the workload store (degrees)",
     )
     parser.add_argument(
+        "--store-backend",
+        choices=("python", "numpy"),
+        default=None,
+        help=(
+            "trajectory-store backend (default: $REPRO_STORE_BACKEND "
+            "or python); decisions are identical, latency is not"
+        ),
+    )
+    parser.add_argument(
         "--max-queue-depth",
         type=int,
         default=1024,
@@ -141,7 +150,9 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parse_args(argv)
     config = LoadgenConfig(
         workload=WorkloadConfig(
-            seed=args.seed, index_cell_size=args.index_cell_size
+            seed=args.seed,
+            index_cell_size=args.index_cell_size,
+            backend=args.store_backend,
         ),
         serve=ServeConfig(
             max_queue_depth=args.max_queue_depth,

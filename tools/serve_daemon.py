@@ -88,12 +88,23 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         default=None,
         help="spatial index cell size for the workload store (degrees)",
     )
+    parser.add_argument(
+        "--store-backend",
+        choices=("python", "numpy"),
+        default=None,
+        help=(
+            "trajectory-store backend (default: $REPRO_STORE_BACKEND "
+            "or python); decisions are identical, latency is not"
+        ),
+    )
     return parser.parse_args(argv)
 
 
 async def serve(args: argparse.Namespace) -> int:
     workload_config = WorkloadConfig(
-        seed=args.seed, index_cell_size=args.index_cell_size
+        seed=args.seed,
+        index_cell_size=args.index_cell_size,
+        backend=args.store_backend,
     )
     workload = build_workload(workload_config)
     engine = build_engine(
