@@ -27,10 +27,14 @@ Server (``repro.serve``):
   with a wide-open queue: completed decisions per second is the
   sustained serving throughput (informational latency data, but the
   ≥1k req/s bar is asserted here);
-* **overload** — the measured capacity offered at 4x against a small
-  queue: the server must degrade by *shedding* (``overloaded`` +
-  ``retry_after``), never by protocol/internal errors or an unclean
-  shutdown.
+* **overload** — the measured capacity offered at a sweep of factors
+  (1.5x, 2.5x, 4x) against a small queue: the server must degrade by
+  *shedding* (``overloaded`` + ``retry_after``), never by
+  protocol/internal errors or an unclean shutdown.  The sweep exports
+  the shed-rate vs goodput curve (``serve.shed_curve``) — the
+  backpressure story in one table: as offered load grows past
+  capacity the shed rate climbs while goodput (completed decisions
+  per second) holds near capacity instead of collapsing.
 
 Timing-dependent numbers (throughput, percentiles, shed rate) are
 exported in the artifact's informational ``latency`` section; the
@@ -60,7 +64,10 @@ TRIAL_REQUESTS = 1200
 # CPU-per-op ratio of at most 1/0.9 against the plain arm.
 OVERHEAD_BUDGET = 1.0 / 0.9
 CAPACITY_REQUESTS = 400 if BENCH_SMOKE else 2000
-OVERLOAD_FACTOR = 4.0
+# Offered-load multiples of measured capacity for the shed sweep; the
+# last factor is the gated "overload" arm.
+OVERLOAD_FACTORS = (1.5, 2.5, 4.0)
+OVERLOAD_FACTOR = OVERLOAD_FACTORS[-1]
 
 WIDE_OPEN = ServeConfig(max_queue_depth=1 << 17, max_inflight=1 << 17)
 SMALL_QUEUE = ServeConfig(max_queue_depth=64, max_inflight=32)
@@ -204,21 +211,28 @@ def run_e17():
             )
         )
     )
-    overload = asyncio.run(
-        run_loadgen(
-            LoadgenConfig(
-                workload=SERVING_WORKLOAD,
-                serve=SMALL_QUEUE,
-                requests=CAPACITY_REQUESTS,
-                clients=8,
-                rate=max(2000.0, capacity.throughput_rps)
-                * OVERLOAD_FACTOR,
-                transport="tcp",
-                include_updates=False,
-                telemetry_enabled=False,
+    shed_curve = []
+    for factor in OVERLOAD_FACTORS:
+        shed_curve.append(
+            (
+                factor,
+                asyncio.run(
+                    run_loadgen(
+                        LoadgenConfig(
+                            workload=SERVING_WORKLOAD,
+                            serve=SMALL_QUEUE,
+                            requests=CAPACITY_REQUESTS,
+                            clients=8,
+                            rate=max(2000.0, capacity.throughput_rps)
+                            * factor,
+                            transport="tcp",
+                            include_updates=False,
+                            telemetry_enabled=False,
+                        )
+                    )
+                ),
             )
         )
-    )
     return (
         steady,
         steady_numpy,
@@ -227,7 +241,7 @@ def run_e17():
         profiled,
         ratios,
         capacity,
-        overload,
+        shed_curve,
     )
 
 
@@ -240,8 +254,9 @@ def test_e17_serving(benchmark, bench_export):
         profiled,
         ratios,
         capacity,
-        overload,
+        shed_curve,
     ) = benchmark.pedantic(run_e17, rounds=1, iterations=1)
+    overload = shed_curve[-1][1]
     cpu_ratio = ratios["traced"]
     profiled_ratio = ratios["profiled"]
 
@@ -265,7 +280,9 @@ def test_e17_serving(benchmark, bench_export):
         ("traced", traced),
         ("profiled", profiled),
         ("capacity", capacity),
-        ("overload", overload),
+    ) + tuple(
+        (f"overload-{factor:g}x", report)
+        for factor, report in shed_curve
     ):
         table.add_row(
             (
@@ -356,6 +373,17 @@ def test_e17_serving(benchmark, bench_export):
             "offered_x": OVERLOAD_FACTOR,
             "shed_rate": overload.shed_rate,
         },
+        # Shed-rate vs goodput across offered-load factors: goodput is
+        # completed decisions per second — it should hold near
+        # capacity while the shed rate absorbs the excess.
+        "serve.shed_curve": {
+            f"x{factor:g}_{name}": value
+            for factor, report in shed_curve
+            for name, value in (
+                ("shed_rate", report.shed_rate),
+                ("goodput_rps", report.throughput_rps),
+            )
+        },
     }
     bench_export(
         "e17",
@@ -413,8 +441,10 @@ def test_e17_serving(benchmark, bench_export):
             if row["share_pct"] is not None
         )
         assert abs(share_sum - 100.0) < 0.5, profiled.profile["rows"]
-    # Overload degrades into explicit backpressure, never failure.
+    # Overload degrades into explicit backpressure, never failure —
+    # at every point of the sweep, not just the deepest one.
     assert overload.shed > 0
-    assert overload.protocol_errors == 0
-    assert overload.internal_errors == 0
-    assert overload.clean_shutdown
+    for factor, report in shed_curve:
+        assert report.protocol_errors == 0, factor
+        assert report.internal_errors == 0, factor
+        assert report.clean_shutdown, factor

@@ -53,11 +53,13 @@ def satisfies_historical_k(
     requests: Sequence[Request],
     histories: Mapping[int, PersonalHistory],
     k: int,
+    store: object | None = None,
 ) -> bool:
     """Definition 8 for a set of requests issued by one user.
 
     All requests must share a single ``user_id`` (they are "a subset of
     requests issued by the same user U"); a mixed set is a caller bug.
+    ``store`` is forwarded to :func:`historical_anonymity_set`.
     """
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")
@@ -72,7 +74,7 @@ def satisfies_historical_k(
     user = users.pop()
     contexts = [r.context for r in requests]
     consistent = historical_anonymity_set(
-        contexts, histories, exclude_user=user
+        contexts, histories, exclude_user=user, store=store
     )
     return len(consistent) >= k - 1
 
@@ -80,6 +82,7 @@ def satisfies_historical_k(
 def request_anonymity_set(
     context: STBox,
     histories: Mapping[int, PersonalHistory],
+    store: object | None = None,
 ) -> list[int]:
     """Users whose PHL intersects a single request context.
 
@@ -87,7 +90,17 @@ def request_anonymity_set(
     was in ``Area`` during ``TimeInterval`` and therefore "may have issued
     the request".  The requester is included when their own PHL intersects
     (it always does for contexts produced by Algorithm 1).
+
+    As with :func:`historical_anonymity_set`, passing the owning
+    ``store`` lets a vectorized backend
+    (:meth:`repro.mod.store.TrajectoryStore.users_in_box`) answer the
+    membership scan in one batch; the result order still follows the
+    ``histories`` mapping.
     """
+    fast = getattr(store, "users_in_box", None)
+    if callable(fast):
+        members = fast(context)
+        return [user_id for user_id in histories if user_id in members]
     return [
         user_id
         for user_id, history in histories.items()

@@ -21,6 +21,7 @@ from repro.core.historical_k import (
     request_anonymity_set,
 )
 from repro.core.phl import PersonalHistory
+from repro.mod.store import TrajectoryStore
 
 
 @dataclass(frozen=True)
@@ -60,8 +61,9 @@ def anonymity_summary(
         for e in events
         if e.forwarded and (e.lbqid_name is not None or not generalized_only)
     ]
+    store = TrajectoryStore.from_histories(histories) if contexts else None
     sizes = [
-        len(request_anonymity_set(context, histories))
+        len(request_anonymity_set(context, histories, store=store))
         for context in contexts
     ]
     if not sizes:
@@ -110,11 +112,12 @@ def historical_k_per_user(
         if group_by_lbqid:
             key = key + (event.lbqid_name,)
         groups.setdefault(key, []).append(event.request.context)
+    store = TrajectoryStore.from_histories(histories) if groups else None
     worst: dict[int, int] = {}
     for key, contexts in groups.items():
         user_id = key[0]
         consistent = historical_anonymity_set(
-            contexts, histories, exclude_user=user_id
+            contexts, histories, exclude_user=user_id, store=store
         )
         achieved = 1 + len(consistent)
         if user_id not in worst or achieved < worst[user_id]:

@@ -24,6 +24,7 @@ from repro.core.lbqid import LBQID
 from repro.core.matching import request_set_matches
 from repro.core.phl import PersonalHistory
 from repro.core.requests import Request
+from repro.mod.store import TrajectoryStore
 
 
 @dataclass(frozen=True)
@@ -64,8 +65,14 @@ def verify_theorem1(
     ``histories`` is the ground-truth PHL store of the run.  Only
     *forwarded* generalized requests enter the check — suppressed ones
     never reached the SP, so they are outside the theorem's statement.
+
+    The mapping is loaded into a columnar
+    :class:`~repro.mod.store.TrajectoryStore` once so every group's
+    LT-consistency scan runs vectorized; the verdicts are identical to
+    the per-observation python scan it replaces.
     """
     report = Theorem1Report(k=k)
+    store = TrajectoryStore.from_histories(histories)
     by_name: dict[tuple[int, str], LBQID] = {}
     for user_id, specs in lbqids.items():
         for lbqid in specs:
@@ -93,7 +100,7 @@ def verify_theorem1(
         report.groups_matching_lbqid += 1
         contexts = [request.context for request in requests]
         consistent = historical_anonymity_set(
-            contexts, histories, exclude_user=user_id
+            contexts, histories, exclude_user=user_id, store=store
         )
         achieved = 1 + len(consistent)
         if achieved < k:

@@ -97,6 +97,27 @@ class TrajectoryStore:
                 index_cell_size, time_scale, telemetry=self.telemetry
             )
 
+    @classmethod
+    def from_histories(
+        cls,
+        histories: Mapping[int, PersonalHistory],
+        time_scale: float = DEFAULT_TIME_SCALE,
+        backend: str | None = "numpy",
+    ) -> "TrajectoryStore":
+        """A store over an existing histories mapping, user order kept.
+
+        The offline analysis entry point: metrics and verifiers that
+        receive a plain ``{user_id: PersonalHistory}`` mapping (audit
+        pipelines, Theorem 1 checks) build a columnar store once and
+        answer their per-user scans with the vectorized
+        ``users_in_box`` / ``lt_consistent_users`` paths — identical
+        results, array speed.
+        """
+        store = cls(time_scale=time_scale, backend=backend)
+        for user_id, history in histories.items():
+            store.add_points(user_id, list(history))
+        return store
+
     def __len__(self) -> int:
         return len(self._histories)
 

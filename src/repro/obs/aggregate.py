@@ -259,6 +259,14 @@ class WorkerScrape:
     traces: list[dict] = field(default_factory=list)
 
 
+def _shard_sort_key(shard: str) -> tuple[int, object]:
+    """Numeric shard ids sort numerically, everything else after."""
+    try:
+        return (0, int(shard))
+    except ValueError:
+        return (1, shard)
+
+
 @dataclass
 class FleetView:
     """One merged snapshot of the whole fleet."""
@@ -285,6 +293,42 @@ class FleetView:
             if not health.get("slo_ok", True):
                 return False
         return True
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Distinct ``shard`` label values in the merged samples.
+
+        Sharded serving (:class:`~repro.serve.shard.ShardRouter`)
+        labels its per-request series with the owning shard id; an
+        unsharded fleet has no such labels and this is empty.
+        """
+        found: set[str] = set()
+        for (_name, labels), _value in self.samples.items():
+            for key, value in labels:
+                if key == "shard":
+                    found.add(value)
+        return tuple(sorted(found, key=_shard_sort_key))
+
+    def shard_series(self, name: str) -> dict[str, float]:
+        """One merged counter's totals grouped by ``shard`` label.
+
+        Sums every ``name`` sample carrying a ``shard`` label over its
+        remaining label dimensions, so e.g.
+        ``shard_series("serve_served_total")`` is the per-shard served
+        count across the whole fleet.  Meaningful for counters (which
+        merge by sum); samples without a ``shard`` label are ignored.
+        """
+        totals: dict[str, float] = {}
+        for (sample_name, labels), value in self.samples.items():
+            if sample_name != name:
+                continue
+            shard = next(
+                (v for k, v in labels if k == "shard"), None
+            )
+            if shard is None:
+                continue
+            totals[shard] = totals.get(shard, 0.0) + value
+        return totals
 
 
 class MetricsCollector:

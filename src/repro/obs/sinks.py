@@ -96,16 +96,48 @@ class JsonlSink(TelemetrySink):
         self.path = Path(path)
         self.flush_every = flush_every
         self.max_bytes = max_bytes
-        self._file: IO[str] | None = self.path.open("a", encoding="utf-8")
-        self._size = (
-            self.path.stat().st_size if self.path.exists() else 0
-        )
         existing = [
             int(p.suffix[1:]) for p in _rotated_segments(self.path)
         ]
         self._next_suffix = max(existing, default=0) + 1
         self.written = 0
         self.rotations = 0
+        self._seal_torn_tail()
+        self._file: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self._size = (
+            self.path.stat().st_size if self.path.exists() else 0
+        )
+
+    def _seal_torn_tail(self) -> None:
+        """Quarantine a crash-truncated live file before appending.
+
+        A writer that died mid-:meth:`emit` leaves the live file without
+        a final newline.  Appending to it would concatenate the next
+        record onto the torn one, turning a tolerated segment-final
+        truncation into an interior corrupt line that
+        :func:`read_jsonl` correctly refuses.  Instead the damaged file
+        is rotated aside as its own segment, so the torn record stays
+        segment-final (where :func:`read_jsonl_rotated` tolerates it)
+        and new writes start a clean live file.
+        """
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size == 0:
+                    return
+                handle.seek(-1, 2)
+                torn = handle.read(1) != b"\n"
+        except FileNotFoundError:
+            return
+        if torn:
+            self.path.rename(
+                self.path.with_name(
+                    f"{self.path.name}.{self._next_suffix}"
+                )
+            )
+            self._next_suffix += 1
+            self.rotations += 1
 
     def emit(self, event: Mapping[str, object]) -> None:
         if self._file is None:
@@ -171,15 +203,19 @@ def read_jsonl(path: str | Path, strict: bool = False) -> Iterator[dict]:
     pending: tuple[int, str] | None = None
     with Path(path).open("r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                # Blank lines never resurrect a pending malformed
+                # line: a torn tail followed only by whitespace is
+                # still a tolerated tail.
+                continue
             if pending is not None:
-                # The malformed line was not the last one: corruption.
+                # The malformed line was not the last record: real
+                # corruption.
                 raise ValueError(
                     f"{path}:{pending[0]}: corrupt JSONL line: "
                     f"{pending[1]!r:.80}"
                 )
-            line = line.strip()
-            if not line:
-                continue
             try:
                 yield json.loads(line)
             except ValueError:
@@ -227,11 +263,12 @@ def read_jsonl_rotated(
     """Yield a rotated :class:`JsonlSink`'s events across all segments.
 
     Chains :func:`read_jsonl` over :func:`rotated_paths`, so events
-    come back in write order and each segment keeps the per-file
-    truncated-final-line tolerance (rotated segments are closed
-    cleanly by the sink, so a bad line there normally means the file
-    was damaged after the fact — still tolerated only at that
-    segment's end, as everywhere else).
+    come back in write order and *every* segment — rotated or live —
+    tolerates a truncated final record (a crashed writer's torn tail
+    is sealed into its own rotated segment on restart, see
+    :meth:`JsonlSink._seal_torn_tail`, so truncation always lands
+    segment-final where this tolerance applies; WAL recovery depends
+    on it).  A corrupt line in a segment's interior still raises.
     """
     for segment in rotated_paths(path):
         yield from read_jsonl(segment, strict=strict)

@@ -10,7 +10,14 @@ Layers (bottom-up):
 * :mod:`repro.serve.loadgen` — open-loop load generation and
   serving-vs-offline equivalence verification;
 * :mod:`repro.serve.fleet` — wire-level scraping behind the
-  :mod:`repro.obs.aggregate` fleet view.
+  :mod:`repro.obs.aggregate` fleet view;
+* :mod:`repro.serve.shard` — :class:`ShardRouter`: user-id hashing
+  over N shared-nothing shard sequencers, decision-equivalent to the
+  single engine;
+* :mod:`repro.serve.wal` — per-shard JSONL write-ahead log and
+  snapshots with deterministic replay;
+* :mod:`repro.serve.supervisor` — :class:`WorkerSupervisor`: shard
+  worker subprocesses, WAL-backed respawn, pending-op re-send.
 """
 
 from repro.serve.client import ServeClient, ServeClientError
@@ -54,10 +61,22 @@ from repro.serve.protocol import (
     encode_frame,
 )
 from repro.serve.server import ClientSession, ServeConfig, TrustedServer
+from repro.serve.shard import (
+    ShardRouter,
+    ShardRuntime,
+    ShardSequencer,
+    shard_of,
+)
+from repro.serve.supervisor import WorkerSupervisor, worker_shards
 from repro.serve.transports import (
     LoopbackConnection,
     LoopbackTransport,
     TcpTransport,
+)
+from repro.serve.wal import (
+    ShardWal,
+    WalConfig,
+    WalCorruptionError,
 )
 
 __all__ = [
@@ -88,12 +107,19 @@ __all__ = [
     "ServeClientError",
     "ServeConfig",
     "ServiceRequest",
+    "ShardRouter",
+    "ShardRuntime",
+    "ShardSequencer",
+    "ShardWal",
     "StatsReply",
     "StatsRequest",
     "TcpTransport",
     "TrustedServer",
     "UpdateAck",
+    "WalConfig",
+    "WalCorruptionError",
     "Welcome",
+    "WorkerSupervisor",
     "WorkloadConfig",
     "build_engine",
     "build_workload",
@@ -106,4 +132,6 @@ __all__ = [
     "parse_target",
     "run_loadgen",
     "scrape_worker",
+    "shard_of",
+    "worker_shards",
 ]

@@ -106,6 +106,12 @@ class LocationUpdate(Frame):
     (``"<trace_id>-<span_id>"``, see
     :class:`repro.obs.tracing.TraceContext`) linking this frame into
     the sender's causal tree; only meaningful after trace negotiation.
+
+    ``seq`` is the shard router's per-shard write-ahead sequence
+    number.  Clients never set it; the router stamps it on frames it
+    forwards to shard workers so a worker restored from its WAL can
+    recognize (and answer from its reply cache) an operation it already
+    applied before a crash.
     """
 
     id: int
@@ -114,6 +120,7 @@ class LocationUpdate(Frame):
     y: float
     t: float
     trace: str | None = None
+    seq: int | None = None
 
 
 @_frame("request", REQUEST_TYPES)
@@ -121,7 +128,8 @@ class LocationUpdate(Frame):
 class ServiceRequest(Frame):
     """A service request at an exact ``⟨x, y, t⟩``.
 
-    ``trace`` — optional wire trace context, as on
+    ``trace`` — optional wire trace context, and ``seq`` — optional
+    router-stamped shard sequence number, both as on
     :class:`LocationUpdate`.
     """
 
@@ -132,6 +140,7 @@ class ServiceRequest(Frame):
     t: float
     service: str = "default"
     trace: str | None = None
+    seq: int | None = None
 
 
 @_frame("stats", REQUEST_TYPES)
@@ -524,3 +533,311 @@ def decode_request(
 def decode_reply(line: bytes, max_bytes: int = MAX_FRAME_BYTES) -> Frame:
     """Decode one server→client line; raises :class:`ProtocolError`."""
     return _decode(line, REPLY_TYPES, max_bytes)
+
+
+# ---------------------------------------------------------------------
+# fast codec (sharded-stack internal hop)
+# ---------------------------------------------------------------------
+#
+# ``encode_frame``/``_decode`` pay for their strictness:
+# ``dataclasses.asdict`` deep-copies every frame and the decoder walks
+# ``dataclasses.fields`` with a per-field validator — together ~90 µs
+# per frame round trip, several times the engine's own per-request
+# cost.  The shard router forwards every client frame across one more
+# codec boundary (router → shard worker), so that hop uses the
+# hand-rolled fast path below for the five hot frame types and falls
+# back to the strict codec for everything else (control ops, and any
+# input the fast decoder cannot take at face value — the fallback also
+# re-raises the proper :class:`ProtocolError`).  The *public* trust
+# boundary (client ↔ router) keeps the strict codec unchanged.
+
+
+#: Memoized ``json.dumps`` for short string fields (services,
+#: pseudonyms, decisions, LBQID names draw from small vocabularies, so
+#: the quoting/escaping work is the same few strings over and over).
+_JSTR_CACHE: dict[str, str] = {}
+
+
+def _jstr(value: str) -> str:
+    quoted = _JSTR_CACHE.get(value)
+    if quoted is None:
+        if len(_JSTR_CACHE) > 4096:
+            _JSTR_CACHE.clear()
+        quoted = _JSTR_CACHE[value] = json.dumps(value)
+    return quoted
+
+
+def _fast_encode_update(f: LocationUpdate) -> str:
+    head = (
+        f'{{"op":"update","id":{f.id},"user_id":{f.user_id},'
+        f'"x":{f.x!r},"y":{f.y!r},"t":{f.t!r}'
+    )
+    if f.trace is not None:
+        head += f',"trace":"{f.trace}"'
+    if f.seq is not None:
+        head += f',"seq":{f.seq}'
+    return head + "}"
+
+
+def _fast_encode_request(f: ServiceRequest) -> str:
+    head = (
+        f'{{"op":"request","id":{f.id},"user_id":{f.user_id},'
+        f'"x":{f.x!r},"y":{f.y!r},"t":{f.t!r},'
+        f'"service":{_jstr(f.service)}'
+    )
+    if f.trace is not None:
+        head += f',"trace":"{f.trace}"'
+    if f.seq is not None:
+        head += f',"seq":{f.seq}'
+    return head + "}"
+
+
+def _fast_encode_ack(f: UpdateAck) -> str:
+    if f.trace is None:
+        return f'{{"op":"ack","id":{f.id}}}'
+    return f'{{"op":"ack","id":{f.id},"trace":"{f.trace}"}}'
+
+
+def _fast_encode_decision(f: DecisionReply) -> str:
+    context = (
+        "null" if f.context is None
+        else "[" + ",".join(repr(v) for v in f.context) + "]"
+    )
+    return (
+        f'{{"op":"decision","id":{f.id},"msgid":{f.msgid},'
+        f'"pseudonym":{_jstr(f.pseudonym)},'
+        f'"decision":{_jstr(f.decision)},'
+        f'"forwarded":{"true" if f.forwarded else "false"},'
+        f'"context":{context},'
+        f'"lbqid":{"null" if f.lbqid is None else _jstr(f.lbqid)},'
+        f'"step":{"null" if f.step is None else f.step},'
+        f'"required_k":'
+        f'{"null" if f.required_k is None else f.required_k},'
+        f'"rotated":{"true" if f.rotated else "false"},'
+        f'"trace":{"null" if f.trace is None else _jstr(f.trace)}}}'
+    )
+
+
+def _fast_encode_error(f: ErrorReply) -> str:
+    return (
+        f'{{"op":"error","id":{"null" if f.id is None else f.id},'
+        f'"code":{json.dumps(f.code)},'
+        f'"message":{json.dumps(f.message)},'
+        f'"retry_after":'
+        f'{"null" if f.retry_after is None else repr(f.retry_after)},'
+        f'"trace":{json.dumps(f.trace)}}}'
+    )
+
+
+_FAST_ENCODERS: dict[type, Callable[[Frame], str]] = {
+    LocationUpdate: _fast_encode_update,  # type: ignore[dict-item]
+    ServiceRequest: _fast_encode_request,  # type: ignore[dict-item]
+    UpdateAck: _fast_encode_ack,  # type: ignore[dict-item]
+    DecisionReply: _fast_encode_decision,  # type: ignore[dict-item]
+    ErrorReply: _fast_encode_error,  # type: ignore[dict-item]
+}
+
+
+def encode_frame_fast(
+    frame: Frame, max_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """:func:`encode_frame` without the ``asdict`` deep copy.
+
+    Identical wire bytes modulo JSON field order (the strict decoder
+    accepts either); only for frames produced by this process — the
+    hand-rolled serializers assume finite numbers, which everything in
+    the engine guarantees by construction.
+    """
+    encoder = _FAST_ENCODERS.get(type(frame))
+    if encoder is None:
+        return encode_frame(frame, max_bytes)
+    data = encoder(frame).encode("utf-8")
+    if len(data) + 1 > max_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"frame of {len(data) + 1} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    return data + b"\n"
+
+
+#: Canonical prefixes emitted by the fast encoders above — the
+#: positional decoder recognizes exactly these shapes.
+_CANON_UPDATE = b'{"op":"update","id":'
+_CANON_REQUEST = b'{"op":"request","id":'
+
+
+def _decode_positional(line: bytes) -> "Frame | None":
+    """Positionally parse a line the fast *encoders* produced.
+
+    The router→worker hop re-encodes every hot frame with
+    :func:`_fast_encode_update` / :func:`_fast_encode_request`, whose
+    field order and spelling are fixed — so the common case (no trace,
+    no seq, escape-free service name) parses with byte splits instead
+    of a JSON scanner.  Returns ``None`` for anything else (optional
+    fields present, unexpected shape, non-canonical spelling); callers
+    fall through to the JSON path, so this is purely an accelerator
+    and never changes what decodes successfully.
+    """
+    try:
+        if line.startswith(_CANON_UPDATE):
+            parts = line[20 : line.rindex(b"}")].split(b',"')
+            if len(parts) != 5:
+                return None
+            frame = object.__new__(LocationUpdate)
+            object.__setattr__(
+                frame,
+                "__dict__",
+                {
+                    "id": int(parts[0]),
+                    "user_id": int(parts[1][9:]),
+                    "x": float(parts[2][3:]),
+                    "y": float(parts[3][3:]),
+                    "t": float(parts[4][3:]),
+                    "trace": None,
+                    "seq": None,
+                },
+            )
+            return frame
+        if line.startswith(_CANON_REQUEST):
+            parts = line[21 : line.rindex(b"}")].split(b',"')
+            if len(parts) != 6 or not parts[5].startswith(
+                b'service":"'
+            ):
+                return None
+            service = parts[5][10:]
+            if (
+                not service.endswith(b'"')
+                or b'"' in service[:-1]
+                or b"\\" in service
+            ):
+                return None
+            frame = object.__new__(ServiceRequest)
+            object.__setattr__(
+                frame,
+                "__dict__",
+                {
+                    "id": int(parts[0]),
+                    "user_id": int(parts[1][9:]),
+                    "x": float(parts[2][3:]),
+                    "y": float(parts[3][3:]),
+                    "t": float(parts[4][3:]),
+                    "service": service[:-1].decode("utf-8"),
+                    "trace": None,
+                    "seq": None,
+                },
+            )
+            return frame
+    except ValueError:
+        return None
+    return None
+
+
+def _decode_fast(
+    line: bytes, registry: Mapping[str, type], max_bytes: int
+) -> Frame:
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"frame of {len(line)} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    if registry is REQUEST_TYPES and type(line) is bytes:
+        frame = _decode_positional(line)
+        if frame is not None:
+            return frame
+    try:
+        # bytes input would route json.loads through its pure-python
+        # encoding sniffer; one C-level decode avoids that per frame.
+        payload = json.loads(
+            line.decode("utf-8")
+            if isinstance(line, (bytes, bytearray))
+            else line
+        )
+        op = payload["op"] if registry is REQUEST_TYPES else None
+        # The hot frames are built by installing a complete ``__dict__``
+        # on a bare instance — a frozen dataclass without slots stores
+        # its fields there, and one ``object.__setattr__`` of the whole
+        # dict skips the per-field frozen-``__setattr__`` dance of the
+        # generated ``__init__`` (frames carry no ``__post_init__``
+        # validation to lose; plain ``frame.__dict__ = ...`` would
+        # itself trip the frozen guard).
+        if op == "update":
+            frame = object.__new__(LocationUpdate)
+            object.__setattr__(
+                frame,
+                "__dict__",
+                {
+                    "id": payload["id"],
+                    "user_id": payload["user_id"],
+                    "x": payload["x"],
+                    "y": payload["y"],
+                    "t": payload["t"],
+                    "trace": payload.get("trace"),
+                    "seq": payload.get("seq"),
+                },
+            )
+            return frame
+        if op == "request":
+            frame = object.__new__(ServiceRequest)
+            object.__setattr__(
+                frame,
+                "__dict__",
+                {
+                    "id": payload["id"],
+                    "user_id": payload["user_id"],
+                    "x": payload["x"],
+                    "y": payload["y"],
+                    "t": payload["t"],
+                    "service": payload.get("service", "default"),
+                    "trace": payload.get("trace"),
+                    "seq": payload.get("seq"),
+                },
+            )
+            return frame
+        op = payload["op"] if registry is REPLY_TYPES else None
+        if op == "decision":
+            context = payload.get("context")
+            return DecisionReply(
+                id=payload["id"],
+                msgid=payload["msgid"],
+                pseudonym=payload["pseudonym"],
+                decision=payload["decision"],
+                forwarded=payload["forwarded"],
+                context=None if context is None else tuple(context),
+                lbqid=payload.get("lbqid"),
+                step=payload.get("step"),
+                required_k=payload.get("required_k"),
+                rotated=payload.get("rotated", False),
+                trace=payload.get("trace"),
+            )
+        if op == "ack":
+            return UpdateAck(
+                id=payload["id"], trace=payload.get("trace")
+            )
+    except ProtocolError:
+        raise
+    except Exception:
+        pass  # malformed or surprising: strict path for the real error
+    return _decode(line, registry, max_bytes)
+
+
+def decode_request_fast(
+    line: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> Frame:
+    """Fast-path :func:`decode_request` for the router→worker hop.
+
+    Hot frames (``update``/``request``) skip the reflective field walk;
+    everything else — including anything malformed — re-enters the
+    strict decoder, so error codes and unknown-field rejection are
+    unchanged for inputs the fast path does not recognize.  Use only
+    where the peer is trusted (the router and its workers).
+    """
+    return _decode_fast(line, REQUEST_TYPES, max_bytes)
+
+
+def decode_reply_fast(
+    line: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> Frame:
+    """Fast-path :func:`decode_reply` for the worker→router hop."""
+    return _decode_fast(line, REPLY_TYPES, max_bytes)

@@ -46,6 +46,7 @@ from typing import Iterable
 
 from repro.engine.pipeline import Engine
 from repro.geometry.point import STPoint
+from repro.obs.config import Telemetry
 from repro.obs.export import render_prometheus
 from repro.obs.slo import PrivacyMonitor, SloRule
 from repro.obs.tracing import TraceContext
@@ -99,6 +100,160 @@ class ServeConfig:
             raise ValueError(
                 f"max_inflight must be >= 1, got {self.max_inflight}"
             )
+
+
+def render_metrics_reply(
+    telemetry: Telemetry, max_frame_bytes: int, frame: MetricsRequest
+) -> Frame:
+    """The ``metrics`` op, shared by every frontend (server or router)."""
+    if frame.format != "prometheus":
+        return ErrorReply(
+            id=frame.id,
+            code="bad_field",
+            message=(
+                f"unknown metrics format {frame.format!r}; "
+                "this server speaks 'prometheus'"
+            ),
+        )
+    if not telemetry.enabled:
+        return ErrorReply(
+            id=frame.id,
+            code="no_telemetry",
+            message="telemetry is disabled on this server",
+        )
+    body = render_prometheus(telemetry.metrics)
+    # The exposition must fit one frame; refuse rather than hand
+    # the transport an encode-time frame_too_large surprise.
+    if len(body.encode("utf-8")) > max_frame_bytes - 256:
+        return ErrorReply(
+            id=frame.id,
+            code="frame_too_large",
+            message=(
+                "metrics exposition exceeds the frame size limit; "
+                "raise max_frame_bytes"
+            ),
+        )
+    return MetricsReply(id=frame.id, format="prometheus", body=body)
+
+
+def _fit_body(lines: "list[str]", max_frame_bytes: int) -> str:
+    """Join lines into one reply body that fits the frame budget.
+
+    Collapsed stacks come hottest-first, so halving the line list
+    until the body fits keeps the most significant stacks.
+    """
+    budget = max(0, max_frame_bytes - 512)
+    body = "\n".join(lines)
+    while lines and len(body.encode("utf-8")) > budget:
+        lines = lines[: len(lines) // 2]
+        body = "\n".join(lines)
+    return body
+
+
+def render_profile_reply(
+    telemetry: Telemetry, max_frame_bytes: int, frame: ProfileRequest
+) -> Frame:
+    """The ``profile`` op, shared by every frontend (server or router)."""
+    if not telemetry.enabled:
+        return ErrorReply(
+            id=frame.id,
+            code="no_telemetry",
+            message="telemetry is disabled on this server",
+        )
+    profiler = telemetry.profiler
+    if frame.action == "start":
+        if frame.interval_ms <= 0:
+            return ErrorReply(
+                id=frame.id,
+                code="bad_field",
+                message=(
+                    "interval_ms must be positive, got "
+                    f"{frame.interval_ms}"
+                ),
+            )
+        try:
+            telemetry.start_profiler(
+                interval_s=frame.interval_ms / 1000.0
+            )
+        except RuntimeError as exc:
+            return ErrorReply(
+                id=frame.id,
+                code="profiler_state",
+                message=str(exc),
+            )
+        return ProfileReply(
+            id=frame.id, state="running", samples=0, duration_s=0.0
+        )
+    if frame.action == "stop":
+        if profiler is None or not profiler.running:
+            return ErrorReply(
+                id=frame.id,
+                code="profiler_state",
+                message="no profiler is running",
+            )
+        report = telemetry.stop_profiler()
+        assert report is not None
+        return ProfileReply(
+            id=frame.id,
+            state="stopped",
+            samples=report.samples,
+            duration_s=report.duration_s,
+        )
+    if frame.action == "status":
+        if profiler is None:
+            state, samples, duration_s = "idle", 0, 0.0
+        else:
+            state = "running" if profiler.running else "stopped"
+            samples, duration_s = (
+                profiler.sample_count, profiler.duration_s
+            )
+        return ProfileReply(
+            id=frame.id,
+            state=state,
+            samples=samples,
+            duration_s=duration_s,
+        )
+    if frame.action in ("collapsed", "stages"):
+        if profiler is None:
+            return ErrorReply(
+                id=frame.id,
+                code="profiler_state",
+                message="no capture exists; start the profiler first",
+            )
+        report = profiler.report()
+        state = "running" if profiler.running else "stopped"
+        if frame.action == "collapsed":
+            body = _fit_body(
+                report.collapsed_lines(limit=max(0, frame.limit)),
+                max_frame_bytes,
+            )
+        else:
+            payload = report.to_dict()
+            # The stages body carries the table, not the stacks —
+            # fetch those via the ``collapsed`` action.
+            del payload["stacks"]
+            payload["traces"] = payload["traces"][
+                : max(0, frame.limit)
+            ]
+            body = json.dumps(payload, separators=(",", ":"))
+            if len(body.encode("utf-8")) > max_frame_bytes - 512:
+                payload["traces"] = []
+                body = json.dumps(payload, separators=(",", ":"))
+        return ProfileReply(
+            id=frame.id,
+            state=state,
+            samples=report.samples,
+            duration_s=report.duration_s,
+            body=body,
+        )
+    return ErrorReply(
+        id=frame.id,
+        code="bad_field",
+        message=(
+            f"unknown profile action {frame.action!r}; expected "
+            "start|stop|status|collapsed|stages"
+        ),
+    )
 
 
 class ClientSession:
@@ -476,34 +631,9 @@ class TrustedServer:
 
     def _metrics_reply(self, frame: MetricsRequest) -> Frame:
         """Render the registry for the ``metrics`` op (scrape point)."""
-        if frame.format != "prometheus":
-            return ErrorReply(
-                id=frame.id,
-                code="bad_field",
-                message=(
-                    f"unknown metrics format {frame.format!r}; "
-                    "this server speaks 'prometheus'"
-                ),
-            )
-        if not self.telemetry.enabled:
-            return ErrorReply(
-                id=frame.id,
-                code="no_telemetry",
-                message="telemetry is disabled on this server",
-            )
-        body = render_prometheus(self.telemetry.metrics)
-        # The exposition must fit one frame; refuse rather than hand
-        # the transport an encode-time frame_too_large surprise.
-        if len(body.encode("utf-8")) > self.config.max_frame_bytes - 256:
-            return ErrorReply(
-                id=frame.id,
-                code="frame_too_large",
-                message=(
-                    "metrics exposition exceeds the frame size limit; "
-                    "raise max_frame_bytes"
-                ),
-            )
-        return MetricsReply(id=frame.id, format="prometheus", body=body)
+        return render_metrics_reply(
+            self.telemetry, self.config.max_frame_bytes, frame
+        )
 
     def _health_reply(self, frame: HealthRequest) -> HealthReply:
         """One-frame liveness/readiness snapshot (``health`` op)."""
@@ -546,27 +676,6 @@ class TrustedServer:
             body=json.dumps(entries, separators=(",", ":")),
         )
 
-    def _profile_status(self) -> tuple[str, int, float]:
-        """``(state, samples, duration_s)`` of the current capture."""
-        profiler = self.telemetry.profiler
-        if profiler is None:
-            return "idle", 0, 0.0
-        state = "running" if profiler.running else "stopped"
-        return state, profiler.sample_count, profiler.duration_s
-
-    def _fit_body(self, lines: list[str]) -> str:
-        """Join lines into one reply body that fits the frame budget.
-
-        Collapsed stacks come hottest-first, so halving the line list
-        until the body fits keeps the most significant stacks.
-        """
-        budget = max(0, self.config.max_frame_bytes - 512)
-        body = "\n".join(lines)
-        while lines and len(body.encode("utf-8")) > budget:
-            lines = lines[: len(lines) // 2]
-            body = "\n".join(lines)
-        return body
-
     def _profile_reply(self, frame: ProfileRequest) -> Frame:
         """Drive the sampling profiler (``profile`` op).
 
@@ -574,101 +683,8 @@ class TrustedServer:
         dispatcher (and therefore every engine call) runs on — so
         samples land on real request stacks.
         """
-        telemetry = self.telemetry
-        if not telemetry.enabled:
-            return ErrorReply(
-                id=frame.id,
-                code="no_telemetry",
-                message="telemetry is disabled on this server",
-            )
-        profiler = telemetry.profiler
-        if frame.action == "start":
-            if frame.interval_ms <= 0:
-                return ErrorReply(
-                    id=frame.id,
-                    code="bad_field",
-                    message=(
-                        "interval_ms must be positive, got "
-                        f"{frame.interval_ms}"
-                    ),
-                )
-            try:
-                telemetry.start_profiler(
-                    interval_s=frame.interval_ms / 1000.0
-                )
-            except RuntimeError as exc:
-                return ErrorReply(
-                    id=frame.id,
-                    code="profiler_state",
-                    message=str(exc),
-                )
-            return ProfileReply(
-                id=frame.id, state="running", samples=0, duration_s=0.0
-            )
-        if frame.action == "stop":
-            if profiler is None or not profiler.running:
-                return ErrorReply(
-                    id=frame.id,
-                    code="profiler_state",
-                    message="no profiler is running",
-                )
-            report = telemetry.stop_profiler()
-            assert report is not None
-            return ProfileReply(
-                id=frame.id,
-                state="stopped",
-                samples=report.samples,
-                duration_s=report.duration_s,
-            )
-        if frame.action == "status":
-            state, samples, duration_s = self._profile_status()
-            return ProfileReply(
-                id=frame.id,
-                state=state,
-                samples=samples,
-                duration_s=duration_s,
-            )
-        if frame.action in ("collapsed", "stages"):
-            if profiler is None:
-                return ErrorReply(
-                    id=frame.id,
-                    code="profiler_state",
-                    message="no capture exists; start the profiler first",
-                )
-            report = profiler.report()
-            state = "running" if profiler.running else "stopped"
-            if frame.action == "collapsed":
-                body = self._fit_body(
-                    report.collapsed_lines(limit=max(0, frame.limit))
-                )
-            else:
-                payload = report.to_dict()
-                # The stages body carries the table, not the stacks —
-                # fetch those via the ``collapsed`` action.
-                del payload["stacks"]
-                payload["traces"] = payload["traces"][
-                    : max(0, frame.limit)
-                ]
-                body = json.dumps(payload, separators=(",", ":"))
-                if len(body.encode("utf-8")) > (
-                    self.config.max_frame_bytes - 512
-                ):
-                    payload["traces"] = []
-                    body = json.dumps(payload, separators=(",", ":"))
-            return ProfileReply(
-                id=frame.id,
-                state=state,
-                samples=report.samples,
-                duration_s=report.duration_s,
-                body=body,
-            )
-        return ErrorReply(
-            id=frame.id,
-            code="bad_field",
-            message=(
-                f"unknown profile action {frame.action!r}; expected "
-                "start|stop|status|collapsed|stages"
-            ),
+        return render_profile_reply(
+            self.telemetry, self.config.max_frame_bytes, frame
         )
 
     async def _dispatch_loop(self) -> None:
@@ -763,35 +779,61 @@ class TrustedServer:
 
     def _serve(self, frame: Frame) -> Frame:
         """The engine call behind one admitted frame."""
-        if isinstance(frame, ServiceRequest):
-            event = self.engine.process(
-                frame.user_id,
-                STPoint(frame.x, frame.y, frame.t),
-                frame.service,
-            )
-            request = event.request
-            context = request.context
-            return DecisionReply(
-                id=frame.id,
-                msgid=request.msgid,
-                pseudonym=request.pseudonym,
-                decision=event.decision.value,
-                forwarded=event.forwarded,
-                context=(
-                    context.rect.x_min,
-                    context.rect.y_min,
-                    context.rect.x_max,
-                    context.rect.y_max,
-                    context.interval.start,
-                    context.interval.end,
-                ),
-                lbqid=event.lbqid_name,
-                step=event.step,
-                required_k=event.required_k,
-                rotated=event.pseudonym_rotated,
-            )
-        assert isinstance(frame, LocationUpdate)
-        self.engine.report_location(
-            frame.user_id, STPoint(frame.x, frame.y, frame.t)
+        return execute_op(self.engine, frame)
+
+
+def execute_op(engine: Engine, frame: Frame) -> Frame:
+    """Run one state-mutating frame through an engine; build its reply.
+
+    The single reply-construction path shared by the single-sequencer
+    server and every shard worker, so a decision crosses the wire
+    identically no matter which frontend served it.
+    """
+    # Replies are built by installing a complete ``__dict__`` on a bare
+    # instance — the frames are frozen dataclasses without slots or
+    # ``__post_init__``, so this is field-for-field identical to the
+    # generated ``__init__`` minus its per-field frozen-``__setattr__``
+    # round trips (measurable on the serving hot path).
+    if isinstance(frame, ServiceRequest):
+        event = engine.process(
+            frame.user_id,
+            STPoint(frame.x, frame.y, frame.t),
+            frame.service,
         )
-        return UpdateAck(id=frame.id)
+        request = event.request
+        context = request.context
+        rect = context.rect
+        interval = context.interval
+        reply = object.__new__(DecisionReply)
+        object.__setattr__(
+            reply,
+            "__dict__",
+            {
+                "id": frame.id,
+                "msgid": request.msgid,
+                "pseudonym": request.pseudonym,
+                "decision": event.decision.value,
+                "forwarded": event.forwarded,
+                "context": (
+                    rect.x_min,
+                    rect.y_min,
+                    rect.x_max,
+                    rect.y_max,
+                    interval.start,
+                    interval.end,
+                ),
+                "lbqid": event.lbqid_name,
+                "step": event.step,
+                "required_k": event.required_k,
+                "rotated": event.pseudonym_rotated,
+                "trace": None,
+            },
+        )
+        return reply
+    assert isinstance(frame, LocationUpdate)
+    engine.report_location(
+        frame.user_id, STPoint(frame.x, frame.y, frame.t)
+    )
+    ack = object.__new__(UpdateAck)
+    object.__setattr__(ack, "__dict__", {"id": frame.id, "trace": None})
+    return ack

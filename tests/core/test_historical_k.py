@@ -113,6 +113,57 @@ class TestRequestAnonymitySet:
         assert request_anonymity_set(box, histories) == []
 
 
+class TestVectorizedStorePath:
+    """The duck-typed ``store`` fast path equals the python scans."""
+
+    def make_store(self, histories):
+        from repro.mod.store import TrajectoryStore
+
+        return TrajectoryStore.from_histories(histories)
+
+    def test_historical_set_matches_python_scan(self):
+        histories, a, b = make_histories()
+        store = self.make_store(histories)
+        for contexts in ([], [a], [b], [a, b]):
+            for exclude in (None, 1, 5):
+                assert historical_anonymity_set(
+                    contexts, histories, exclude_user=exclude,
+                    store=store,
+                ) == historical_anonymity_set(
+                    contexts, histories, exclude_user=exclude
+                )
+
+    def test_request_set_matches_python_scan(self):
+        histories, a, b = make_histories()
+        store = self.make_store(histories)
+        empty = STBox(Rect(900, 900, 910, 910), Interval(0, 10))
+        for context in (a, b, empty):
+            assert request_anonymity_set(
+                context, histories, store=store
+            ) == request_anonymity_set(context, histories)
+
+    def test_satisfies_k_matches_python_scan(self):
+        histories, a, b = make_histories()
+        store = self.make_store(histories)
+        requests = [
+            Request.issue(1, 1, "p", STPoint(5, 5, 5)).with_context(a),
+            Request.issue(2, 1, "p", STPoint(100, 100, 100))
+            .with_context(b),
+        ]
+        for k in range(1, 6):
+            assert satisfies_historical_k(
+                requests, histories, k=k, store=store
+            ) == satisfies_historical_k(requests, histories, k=k)
+
+    def test_order_follows_histories_mapping(self):
+        # Insertion order of the mapping, not sorted user ids.
+        histories, a, _b = make_histories()
+        reordered = {uid: histories[uid] for uid in (4, 2, 1, 3, 5)}
+        store = self.make_store(reordered)
+        got = request_anonymity_set(a, reordered, store=store)
+        assert got == [4, 2, 1, 3]
+
+
 class TestEntropy:
     def test_uniform_set(self):
         assert anonymity_entropy([8]) == pytest.approx(3.0)

@@ -297,3 +297,51 @@ class TestMetricsCollector:
         assert not view_with({"status": "draining"}).healthy
         # Health not fetched at all: reachability alone decides.
         assert view_with(None).healthy
+
+
+class TestShardDimension:
+    def view_with(self, samples):
+        return FleetView(
+            workers=("w0",),
+            scrapes={"w0": _worker("w0", samples=samples)},
+            errors={},
+            samples=samples,
+            exemplars={},
+            traces=[],
+        )
+
+    def test_shards_enumerated_numerically(self):
+        view = self.view_with(
+            {
+                ("serve_served_total", (("shard", "10"),)): 1.0,
+                ("serve_served_total", (("shard", "2"),)): 2.0,
+                ("serve_shed_total", (("shard", "0"),)): 3.0,
+                ("other_total", ()): 4.0,  # unlabelled: no shard
+            }
+        )
+        assert view.shards == ("0", "2", "10")
+
+    def test_shard_series_sums_over_other_labels(self):
+        view = self.view_with(
+            {
+                (
+                    "serve_served_total",
+                    (("op", "request"), ("shard", "0")),
+                ): 5.0,
+                (
+                    "serve_served_total",
+                    (("op", "update"), ("shard", "0")),
+                ): 7.0,
+                ("serve_served_total", (("shard", "1"),)): 11.0,
+                ("serve_served_total", ()): 99.0,  # unsharded: ignored
+            }
+        )
+        assert view.shard_series("serve_served_total") == {
+            "0": 12.0,
+            "1": 11.0,
+        }
+
+    def test_unsharded_fleet_has_no_shards(self):
+        view = self.view_with({("serve_served_total", ()): 3.0})
+        assert view.shards == ()
+        assert view.shard_series("serve_served_total") == {}

@@ -221,6 +221,94 @@ class TestReadJsonlCorruption:
         assert JSONL_READ_STATS.skipped == before
 
 
+class TestTornTailSeal:
+    """A crashed writer's torn tail must stay segment-final forever.
+
+    The failure mode these pin: reopening a crash-truncated live file
+    in append mode used to concatenate the next record onto the torn
+    line, turning a tolerated segment-final truncation into an
+    interior corrupt line that poisoned the whole stream.  WAL
+    recovery (repro.serve.wal) depends on these guarantees.
+    """
+
+    def test_reopen_seals_torn_live_file_into_segment(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"i": 0})
+        sink.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"i": 1')  # crash mid-emit, no newline
+        reopened = JsonlSink(path)
+        reopened.emit({"i": 2})
+        reopened.close()
+        # The torn file became its own rotated segment...
+        assert (tmp_path / "t.jsonl.1").exists()
+        assert reopened.rotations == 1
+        # ...so the torn record is segment-final and every complete
+        # record on either side of it survives a chained read.
+        events = list(read_jsonl_rotated(path))
+        assert [e["i"] for e in events] == [0, 2]
+
+    def test_reopen_after_clean_close_does_not_rotate(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"i": 0})
+        sink.close()
+        reopened = JsonlSink(path)
+        reopened.emit({"i": 1})
+        reopened.close()
+        assert rotated_paths(path) == [path]
+        assert [e["i"] for e in read_jsonl(path)] == [0, 1]
+
+    def test_torn_seal_continues_existing_suffix_sequence(
+        self, tmp_path
+    ):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, max_bytes=40)
+        for i in range(6):
+            sink.emit({"i": i})
+        sink.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"i": 99')
+        reopened = JsonlSink(path, max_bytes=40)
+        reopened.emit({"i": 100})
+        reopened.close()
+        suffixes = [
+            int(p.suffix[1:]) for p in rotated_paths(path)[:-1]
+        ]
+        assert suffixes == sorted(suffixes)
+        assert len(set(suffixes)) == len(suffixes)
+        events = [e["i"] for e in read_jsonl_rotated(path)]
+        assert events == [0, 1, 2, 3, 4, 5, 100]
+
+    def test_truncated_record_in_rotated_segment_tolerated(
+        self, tmp_path
+    ):
+        # Any segment — not just the live file — may end torn (a
+        # sealed pre-crash live file does); reads must tolerate it.
+        path = tmp_path / "t.jsonl"
+        (tmp_path / "t.jsonl.1").write_text(
+            '{"i": 0}\n{"i": 1', encoding="utf-8"
+        )
+        path.write_text('{"i": 2}\n', encoding="utf-8")
+        assert [e["i"] for e in read_jsonl_rotated(path)] == [0, 2]
+
+    def test_torn_tail_followed_by_blank_lines_tolerated(
+        self, tmp_path
+    ):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1\n\n \n', encoding="utf-8")
+        assert [e["i"] for e in read_jsonl(path)] == [0]
+
+    def test_empty_live_file_not_sealed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.touch()
+        sink = JsonlSink(path)
+        sink.emit({"i": 0})
+        sink.close()
+        assert rotated_paths(path) == [path]
+
+
 class TestConsole:
     def test_routes_through_repro_logger(self, caplog):
         sink = ConsoleSink()

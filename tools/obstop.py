@@ -217,6 +217,16 @@ def render_fleet(view: FleetView) -> list[str]:
         )
     for target, error in sorted(view.errors.items()):
         lines.append(f"  {target:<20} UNREACHABLE: {error}")
+    if view.shards:
+        served_by = view.shard_series("serve_served_total")
+        shed_by = view.shard_series("serve_shed_total")
+        lines.append("per shard        served      shed")
+        for shard in view.shards:
+            lines.append(
+                f"  shard {shard:<8} "
+                f"{served_by.get(shard, 0.0):8.0f}  "
+                f"{shed_by.get(shard, 0.0):8.0f}"
+            )
     rows = stage_latencies(view.samples)
     if rows:
         lines.append("fleet stage      p50 ms    p99 ms     count")

@@ -1,18 +1,35 @@
 #!/usr/bin/env python3
 """Run the Trusted Server as a long-running TCP daemon.
 
-Builds the seeded city workload engine (warm store, LBQIDs registered,
-sessions pre-opened — the same construction the load generator and the
-serving tests use), binds the NDJSON frontend, prints the bound
-address, and serves until a client sends ``drain`` or the process gets
-SIGINT/SIGTERM, whichever comes first.  Either path performs a graceful
-drain: stop admitting, flush the dispatch queue, emit the final
-``serve.drained`` audit event.
+Three deployment shapes, smallest first:
 
-Usage::
+* **single** (default) — one :class:`TrustedServer` over one engine,
+  exactly the seed behavior::
 
-    PYTHONPATH=src python tools/serve_daemon.py --port 7411
-    PYTHONPATH=src python tools/loadgen.py --host 127.0.0.1 --port 7411
+      PYTHONPATH=src python tools/serve_daemon.py --port 7411
+
+* **sharded, one process** (``--shards M``) — a
+  :class:`~repro.serve.shard.ShardRouter` over M shared-nothing shard
+  engines in this process; add ``--data-dir`` for per-shard
+  write-ahead logs::
+
+      PYTHONPATH=src python tools/serve_daemon.py --shards 4 \
+          --data-dir /var/lib/repro
+
+* **multi-worker** (``--workers N --shards M --data-dir DIR``) — a
+  :class:`~repro.serve.supervisor.WorkerSupervisor` parent that spawns
+  N worker processes (each serving the shards ``i mod N == w`` with
+  durable WALs) and respawns any that die, replaying their logs::
+
+      PYTHONPATH=src python tools/serve_daemon.py \
+          --workers 2 --shards 4 --data-dir /var/lib/repro
+
+``--worker-index`` is the internal worker entry point the supervisor
+uses; workers announce ``{"repro_worker": w, "port": p, "applied":
+{shard: seq}}`` as one JSON line on stdout when ready.
+
+Every shape serves the same NDJSON protocol and drains gracefully on
+SIGINT/SIGTERM or a client ``drain`` op.
 """
 
 from __future__ import annotations
@@ -34,7 +51,14 @@ from repro.serve.loadgen import (  # noqa: E402
     build_workload,
 )
 from repro.serve.server import ServeConfig, TrustedServer  # noqa: E402
+from repro.serve.shard import ShardRouter  # noqa: E402
+from repro.serve.supervisor import (  # noqa: E402
+    WorkerSupervisor,
+    announce,
+    worker_shards,
+)
 from repro.serve.transports import TcpTransport  # noqa: E402
+from repro.serve.wal import WalConfig  # noqa: E402
 
 
 def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
@@ -54,11 +78,51 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
     parser.add_argument("--max-queue-depth", type=int, default=1024)
     parser.add_argument("--max-inflight", type=int, default=64)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "spawn this many worker processes behind a supervising "
+            "router (default: 0 = serve in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "partition users over this many shard engines "
+            "(default: 0 = single unsharded engine; with --workers, "
+            "defaults to the worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "root of per-shard write-ahead logs (shard-<i>/wal.jsonl); "
+            "required with --workers, optional with --shards"
+        ),
+    )
+    parser.add_argument(
+        "--wal-fsync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help="WAL durability policy (default: batch)",
+    )
+    parser.add_argument(
+        "--worker-index",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # internal: supervisor worker entry
+    )
+    parser.add_argument(
         "--slo",
         action="append",
         default=None,
         metavar="RULE",
-        help="attach a privacy SLO rule (repeatable)",
+        help="attach a privacy SLO rule (repeatable; unsharded only)",
     )
     parser.add_argument(
         "--trace-sample-rate",
@@ -97,45 +161,70 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
             "or python); decisions are identical, latency is not"
         ),
     )
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.workers and not args.shards:
+        args.shards = args.workers
+    if args.workers and args.data_dir is None:
+        parser.error("--workers requires --data-dir")
+    if args.worker_index is not None and (
+        not args.workers or not args.shards or args.data_dir is None
+    ):
+        parser.error(
+            "--worker-index requires --workers, --shards and --data-dir"
+        )
+    return args
 
 
-async def serve(args: argparse.Namespace) -> int:
-    workload_config = WorkloadConfig(
-        seed=args.seed,
-        index_cell_size=args.index_cell_size,
-        backend=args.store_backend,
-    )
-    workload = build_workload(workload_config)
-    engine = build_engine(
-        workload,
-        workload_config,
-        TelemetryConfig(
-            enabled=True,
-            jsonl_path=args.trace_jsonl,
-            trace_sample_rate=args.trace_sample_rate,
-            worker=args.worker,
-            shard=args.shard,
-        ),
-    )
-    server = TrustedServer(
-        engine,
-        ServeConfig(
-            max_queue_depth=args.max_queue_depth,
-            max_inflight=args.max_inflight,
-        ),
-        slo_rules=args.slo,
-    )
-    transport = TcpTransport(server, args.host, args.port)
-    host, port = await transport.start()
-    print(f"repro-ts listening on {host}:{port}", flush=True)
-
+async def _wait_for_stop() -> None:
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError):
             loop.add_signal_handler(signum, stop.set)
     await stop.wait()
+
+
+def _workload_config(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
+        seed=args.seed,
+        index_cell_size=args.index_cell_size,
+        backend=args.store_backend,
+    )
+
+
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        max_queue_depth=args.max_queue_depth,
+        max_inflight=args.max_inflight,
+    )
+
+
+def _telemetry_config(
+    args: argparse.Namespace, worker: "str | None" = None
+) -> TelemetryConfig:
+    return TelemetryConfig(
+        enabled=True,
+        jsonl_path=args.trace_jsonl,
+        trace_sample_rate=args.trace_sample_rate,
+        worker=worker if worker is not None else args.worker,
+        shard=args.shard,
+    )
+
+
+async def serve_single(args: argparse.Namespace) -> int:
+    """The seed shape: one engine, one sequencer."""
+    workload_config = _workload_config(args)
+    workload = build_workload(workload_config)
+    engine = build_engine(
+        workload, workload_config, _telemetry_config(args)
+    )
+    server = TrustedServer(
+        engine, _serve_config(args), slo_rules=args.slo
+    )
+    transport = TcpTransport(server, args.host, args.port)
+    host, port = await transport.start()
+    print(f"repro-ts listening on {host}:{port}", flush=True)
+    await _wait_for_stop()
     print("repro-ts draining", flush=True)
     reply = await server.drain()
     await transport.stop()
@@ -148,8 +237,98 @@ async def serve(args: argparse.Namespace) -> int:
     return 0
 
 
+async def serve_sharded(
+    args: argparse.Namespace, worker_index: "int | None" = None
+) -> int:
+    """In-process sharded router; doubles as the worker entry point."""
+    workload_config = _workload_config(args)
+    workload = build_workload(workload_config)
+    shard_ids = None
+    worker_label = args.worker
+    if worker_index is not None:
+        shard_ids = worker_shards(
+            worker_index, args.workers, args.shards
+        )
+        worker_label = str(worker_index)
+    router = ShardRouter(
+        workload,
+        workload_config,
+        n_shards=args.shards,
+        config=_serve_config(args),
+        telemetry=_telemetry_config(args, worker=worker_label),
+        data_dir=args.data_dir,
+        wal_config=WalConfig(fsync=args.wal_fsync),
+        shard_ids=shard_ids,
+    )
+    await router.start()
+    transport = TcpTransport(router, args.host, args.port)
+    host, port = await transport.start()
+    if worker_index is not None:
+        print(
+            announce(worker_index, port, router.applied_seqs()),
+            flush=True,
+        )
+    else:
+        print(f"repro-ts listening on {host}:{port}", flush=True)
+    await _wait_for_stop()
+    reply = await router.drain()
+    await transport.stop()
+    await router.close()
+    if worker_index is None:
+        print(
+            f"repro-ts drained: served={reply.served} "
+            f"shed={reply.shed} rejected={reply.rejected}",
+            flush=True,
+        )
+    return 0
+
+
+async def serve_supervised(args: argparse.Namespace) -> int:
+    """The multi-worker shape: supervisor parent + N shard workers."""
+    worker_args = ["--seed", str(args.seed), "--wal-fsync",
+                   args.wal_fsync,
+                   "--max-queue-depth", str(args.max_queue_depth),
+                   "--max-inflight", str(args.max_inflight)]
+    if args.index_cell_size is not None:
+        worker_args += ["--index-cell-size", str(args.index_cell_size)]
+    if args.store_backend is not None:
+        worker_args += ["--store-backend", args.store_backend]
+    if args.trace_jsonl is not None:
+        worker_args += ["--trace-jsonl", args.trace_jsonl]
+    supervisor = WorkerSupervisor(
+        args.workers,
+        args.shards,
+        args.data_dir,
+        config=_serve_config(args),
+        telemetry=_telemetry_config(args),
+        worker_args=worker_args,
+        daemon_path=Path(__file__).resolve(),
+    )
+    await supervisor.start()
+    transport = TcpTransport(supervisor, args.host, args.port)
+    host, port = await transport.start()
+    print(
+        f"repro-ts supervisor listening on {host}:{port} "
+        f"(workers={args.workers} shards={args.shards})",
+        flush=True,
+    )
+    await _wait_for_stop()
+    print("repro-ts draining", flush=True)
+    await transport.stop()
+    await supervisor.close()
+    print("repro-ts drained", flush=True)
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
-    return asyncio.run(serve(parse_args(argv)))
+    args = parse_args(argv)
+    if args.worker_index is not None:
+        return asyncio.run(serve_sharded(args, args.worker_index))
+    if args.workers:
+        return asyncio.run(serve_supervised(args))
+    if args.shards:
+        return asyncio.run(serve_sharded(args))
+    return asyncio.run(serve_single(args))
 
 
 if __name__ == "__main__":
