@@ -1,0 +1,459 @@
+"""E19 — the hardened multi-transport frontend: TLS, auth, HTTP.
+
+Every arm drives the identical serving workload through the identical
+:class:`~repro.serve.server.TrustedServer`; what varies is the frontend
+in front of it (``repro.serve.gate`` + ``repro.serve.transports`` /
+``repro.serve.http``):
+
+* **plain-gated vs TLS-gated** — the cost of the crypto, isolated: both
+  arms authenticate with the same bearer token through the same
+  :class:`~repro.serve.gate.ConnectionGate`, so the only delta is the
+  stdlib ``ssl`` layer under the NDJSON codec.  **Gated**: TLS must
+  keep >= 70% of plaintext throughput.  As in E17, the bound is
+  measured as the median per-round ratio of process CPU times over
+  interleaved passes (at saturation, throughput is 1/CPU-per-op, and
+  the within-round ratio cancels scheduler drift that a wall-clock
+  comparison would swallow whole);
+* **TLS steady, verified** — the E17 steady arm over TLS + token: the
+  served per-user decision streams must equal the offline
+  ``Engine.process_batch`` replay exactly, nothing shed, nothing
+  rejected — the hardening layers are decision-invariant (**gated**);
+* **HTTP(S)-gated** — the same codec as NDJSON bodies over HTTP/1.1
+  (``POST /v1/frame``, keep-alive, batched client): throughput is
+  informational (the per-request framing tax is the point of showing
+  it), cleanliness and decision count are asserted;
+* **rejection probes** — an unauthenticated client and an over-rate
+  client against a gated TLS frontend: both must be refused with typed
+  errors (``bad_token``, ``rate_limited`` + sufficient
+  ``retry_after``), counted in the gate's ``gate.*`` mirrors, and —
+  the hardening contract — *before* the sequencer: the server's
+  ``served`` counter must account for exactly the admitted
+  operations (**gated**).
+
+The dev certificate is generated in-run by ``tools/gen_dev_cert.py``
+(the same generator CI uses), so the benchmark needs no checked-in key
+material.
+"""
+
+import asyncio
+import gc
+import importlib.util
+import pathlib
+import time
+
+from repro.experiments.harness import Table
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.gate import ConnectionGate, GateConfig
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    WorkloadConfig,
+    build_engine,
+    build_workload,
+    run_loadgen,
+)
+from repro.serve.protocol import ErrorReply, LocationUpdate
+from repro.serve.server import ServeConfig, TrustedServer
+from repro.serve.transports import (
+    TcpTransport,
+    client_ssl_context,
+    server_ssl_context,
+)
+
+from benchmarks.conftest import BENCH_SMOKE
+
+SERVING_WORKLOAD = WorkloadConfig()  # seed 11, 12 commuters, 6 wanderers
+#: Small city for the rejection probes — they exercise the gate, not
+#: the engine, so the workload only needs to exist.
+PROBE_WORKLOAD = WorkloadConfig(n_commuters=4, n_wanderers=2, days=2)
+STEADY_REQUESTS = 300 if BENCH_SMOKE else 1200
+#: The paired CPU trials always run full length (see E17: short passes
+#: put per-pass fixed costs at ~±4% noise each — too wide for the bound).
+TRIAL_REQUESTS = 1200
+TRIAL_ROUNDS = 5
+HTTP_REQUESTS = 300 if BENCH_SMOKE else 1200
+#: TLS must keep >= 70% of plaintext throughput, i.e. at most 1/0.7x
+#: the plaintext CPU per operation.
+TLS_BUDGET = 1.0 / 0.7
+TOKEN = "e19-bench-token"
+#: Rejection-probe rate limit: tiny burst so an immediate burst of
+#: ``PROBE_BURST`` operations must trip the bucket.
+PROBE_RATE, PROBE_BURST = 5.0, 10
+
+WIDE_OPEN = ServeConfig(max_queue_depth=1 << 17, max_inflight=1 << 17)
+
+
+def _dev_cert(out_dir) -> "tuple[str, str]":
+    """Generate the self-signed dev pair with the CI generator."""
+    path = (
+        pathlib.Path(__file__).resolve().parents[1]
+        / "tools"
+        / "gen_dev_cert.py"
+    )
+    spec = importlib.util.spec_from_file_location("gen_dev_cert", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.generate_dev_cert(str(out_dir))
+
+
+def _arm_config(transport, cert, key, **overrides) -> LoadgenConfig:
+    """One gated arm: same token, same gate, transport varies."""
+    defaults = dict(
+        workload=SERVING_WORKLOAD,
+        serve=WIDE_OPEN,
+        requests=TRIAL_REQUESTS,
+        clients=8,
+        rate=20_000.0,
+        transport=transport,
+        token=TOKEN,
+        gate=GateConfig(tokens=(TOKEN,)),
+        telemetry_enabled=False,
+    )
+    if transport in ("tls", "http"):
+        defaults.update(tls_cert=cert, tls_key=key)
+    defaults.update(overrides)
+    return LoadgenConfig(**defaults)
+
+
+def _transport_trials(cert, key, rounds: int = TRIAL_ROUNDS):
+    """Interleaved plain/TLS passes; the TLS tax as a median CPU ratio.
+
+    Per round the plaintext-gated pass and the TLS-gated pass run back
+    to back; the gated quantity is the median across rounds of the
+    within-round ``tls_cpu / plain_cpu`` ratio (the noise-robust
+    estimator of the throughput ratio, see the module doc and E17's
+    ``_overhead_trials``).  Returns ``(best, ratio)``: the per-arm best
+    pass by throughput and the median ratio.
+    """
+    arms = {"plain": "tcp", "tls": "tls"}
+
+    def measured(config):
+        gc.collect()
+        gc.disable()
+        try:
+            cpu0 = time.process_time()
+            report = asyncio.run(run_loadgen(config))
+            return report, time.process_time() - cpu0
+        finally:
+            gc.enable()
+
+    best = {name: None for name in arms}
+    cpus = {name: [] for name in arms}
+    for _ in range(rounds):
+        for name, transport in arms.items():
+            report, cpu = measured(
+                _arm_config(transport, cert, key)
+            )
+            assert report.ok, (name, report.to_dict())
+            cpus[name].append(cpu)
+            if (
+                best[name] is None
+                or report.throughput_rps > best[name].throughput_rps
+            ):
+                best[name] = report
+    ratio = sorted(
+        tls_cpu / plain_cpu
+        for tls_cpu, plain_cpu in zip(cpus["tls"], cpus["plain"])
+    )[rounds // 2]
+    return best, ratio
+
+
+def _rejection_probes(cert, key):
+    """Unauthenticated and over-rate clients against a gated TLS door.
+
+    Returns the probe record the gate assertions read: the two typed
+    rejections, the gate's plain-int counters, and the server's
+    ``served`` tally next to the gate's admitted-op tally — equality is
+    the "rejections never touch a sequencer" contract, counted rather
+    than asserted by construction.
+    """
+
+    async def run():
+        workload = build_workload(PROBE_WORKLOAD, max_requests=4)
+        engine = build_engine(workload, PROBE_WORKLOAD)
+        server = TrustedServer(engine, ServeConfig())
+        await server.start()
+        gate = ConnectionGate(
+            GateConfig(
+                tokens=(TOKEN,),
+                rate_limit=PROBE_RATE,
+                burst=2.0,
+            )
+        )
+        transport = TcpTransport(
+            server,
+            ssl_context=server_ssl_context(cert, key),
+            gate=gate,
+        )
+        host, port = await transport.start()
+        ctx = client_ssl_context(cert)
+        record = {}
+        client = None
+        try:
+            # Probe 1: a wrong token is refused at the hello with a
+            # typed reply, before any session exists.
+            try:
+                await ServeClient.connect(
+                    host, port, ssl=ctx, token="not-the-token"
+                )
+                record["bad_token"] = None
+            except ServeClientError as exc:
+                record["bad_token"] = exc.reply
+
+            # Probe 2: an authenticated client bursting past its
+            # bucket gets rate_limited with a sufficient retry_after.
+            client = await ServeClient.connect(
+                host, port, ssl=ctx, token=TOKEN
+            )
+            user_id = workload.user_ids[0]
+            sample = workload.per_user[user_id][0].location
+            replies = await asyncio.gather(
+                *(
+                    client.post(
+                        LocationUpdate(
+                            id=index + 1,
+                            user_id=user_id,
+                            x=sample.x,
+                            y=sample.y,
+                            t=sample.t,
+                        )
+                    )
+                    for index in range(PROBE_BURST)
+                )
+            )
+            limited = [
+                reply
+                for reply in replies
+                if isinstance(reply, ErrorReply)
+                and reply.code == "rate_limited"
+            ]
+            record["rate_limited"] = limited[0] if limited else None
+            record["burst_admitted"] = PROBE_BURST - len(limited)
+            record["burst_limited"] = len(limited)
+            record["served"] = server.served
+            record["gate_admitted_ops"] = gate.admitted_ops
+            record["gate_admitted_connections"] = (
+                gate.admitted_connections
+            )
+            record["gate_rejected"] = dict(gate.rejected)
+        finally:
+            if client is not None:
+                await client.close()
+            await transport.stop()
+            await server.close()
+        return record
+
+    return asyncio.run(run())
+
+
+def run_e19(tmp_path):
+    cert, key = _dev_cert(tmp_path / "certs")
+
+    best, tls_ratio = _transport_trials(cert, key)
+    if tls_ratio > TLS_BUDGET:
+        # One bad scheduling window can push a five-round median past
+        # the budget; a real regression breaches two independent trial
+        # blocks (the E17 retry idiom).
+        best_retry, ratio_retry = _transport_trials(cert, key)
+        tls_ratio = min(tls_ratio, ratio_retry)
+        for name, report in best_retry.items():
+            if report.throughput_rps > best[name].throughput_rps:
+                best[name] = report
+
+    steady = asyncio.run(
+        run_loadgen(
+            _arm_config(
+                "tls",
+                cert,
+                key,
+                requests=STEADY_REQUESTS,
+                verify=True,
+                telemetry_enabled=True,
+            )
+        )
+    )
+    http = asyncio.run(
+        run_loadgen(
+            _arm_config(
+                "http",
+                cert,
+                key,
+                requests=HTTP_REQUESTS,
+                rate=1e6,
+                include_updates=False,
+            )
+        )
+    )
+    probes = _rejection_probes(cert, key)
+    return {
+        "plain": best["plain"],
+        "tls": best["tls"],
+        "tls_ratio": tls_ratio,
+        "steady": steady,
+        "http": http,
+        "probes": probes,
+    }
+
+
+def test_e19_transports(benchmark, bench_export, tmp_path):
+    result = benchmark.pedantic(
+        run_e19, args=(tmp_path,), rounds=1, iterations=1
+    )
+    plain, tls = result["plain"], result["tls"]
+    steady, http = result["steady"], result["http"]
+    probes = result["probes"]
+    tls_ratio = result["tls_ratio"]
+
+    table = Table(
+        "E19: multi-transport frontend (gated arms share one token)",
+        [
+            "arm",
+            "transport",
+            "requests",
+            "decisions",
+            "req/s",
+            "vs plain",
+            "verified",
+        ],
+    )
+    for name, transport, report in (
+        ("plain-gated", "tcp", plain),
+        ("tls-gated", "tls", tls),
+        ("tls-steady", "tls", steady),
+        ("http-gated", "https", http),
+    ):
+        table.add_row(
+            (
+                name,
+                transport,
+                report.requests_sent,
+                report.decisions,
+                round(report.throughput_rps),
+                (
+                    round(
+                        report.throughput_rps / plain.throughput_rps,
+                        2,
+                    )
+                    if plain.throughput_rps > 0
+                    else "-"
+                ),
+                {True: 1, False: 0, None: "-"}[report.verified],
+            )
+        )
+    table.print()
+
+    bad_token = probes["bad_token"]
+    rate_limited = probes["rate_limited"]
+    metrics = {
+        "steady_requests": float(STEADY_REQUESTS),
+        "tls_steady_verified": 1.0 if steady.verified else 0.0,
+        "tls_steady_mismatches": float(steady.mismatches),
+        "tls_steady_shed": float(steady.shed),
+        "tls_within_budget": (
+            1.0 if tls_ratio <= TLS_BUDGET else 0.0
+        ),
+        "http_clean": 1.0 if http.ok else 0.0,
+        "http_decisions": float(http.decisions),
+        "probe_bad_token_typed": (
+            1.0
+            if bad_token is not None and bad_token.code == "bad_token"
+            else 0.0
+        ),
+        "probe_rate_limited_typed": (
+            1.0
+            if rate_limited is not None
+            and (rate_limited.retry_after or 0.0) > 0.0
+            else 0.0
+        ),
+        "probe_rejections_pre_sequencer": (
+            1.0
+            if probes["served"] == probes["gate_admitted_ops"]
+            else 0.0
+        ),
+        "probe_burst_limited": float(probes["burst_limited"]),
+        "probe_gate_bad_token": float(
+            probes["gate_rejected"].get("bad_token", 0)
+        ),
+        "probe_gate_rate_limited": float(
+            probes["gate_rejected"].get("rate_limited", 0)
+        ),
+    }
+    for decision, count in sorted(steady.decision_counts.items()):
+        metrics[f"tls_steady_decisions_{decision}"] = float(count)
+    latency = {
+        "serve.transport_rps": {
+            "plain_gated_best": plain.throughput_rps,
+            "tls_gated_best": tls.throughput_rps,
+            "tls_steady": steady.throughput_rps,
+            "http_gated": http.throughput_rps,
+        },
+        "serve.tls_overhead": {
+            "cpu_tls_over_plain": tls_ratio,
+            "budget": TLS_BUDGET,
+            "tls_over_plain_rps": (
+                tls.throughput_rps / plain.throughput_rps
+                if plain.throughput_rps > 0
+                else 0.0
+            ),
+            "http_over_plain_rps": (
+                http.throughput_rps / plain.throughput_rps
+                if plain.throughput_rps > 0
+                else 0.0
+            ),
+        },
+        "serve.tls_steady_latency_ms": {
+            "p50": steady.latency_ms.get("p50", 0.0),
+            "p95": steady.latency_ms.get("p95", 0.0),
+            "p99": steady.latency_ms.get("p99", 0.0),
+        },
+    }
+    bench_export(
+        "e19",
+        metrics,
+        workload={
+            "serving_seed": SERVING_WORKLOAD.seed,
+            "serving_commuters": SERVING_WORKLOAD.n_commuters,
+            "serving_wanderers": SERVING_WORKLOAD.n_wanderers,
+            "serving_days": SERVING_WORKLOAD.days,
+            "steady_requests": STEADY_REQUESTS,
+            "trial_requests": TRIAL_REQUESTS,
+            "trial_rounds": TRIAL_ROUNDS,
+            "http_requests": HTTP_REQUESTS,
+        },
+        latency=latency,
+    )
+
+    # The hardening bar: TLS keeps >= 70% of plaintext throughput —
+    # i.e. at most 1/0.7x the plaintext CPU per operation, measured as
+    # the median of within-round CPU ratios over interleaved passes.
+    assert tls_ratio <= TLS_BUDGET, (
+        tls_ratio,
+        tls.throughput_rps,
+        plain.throughput_rps,
+    )
+    # Hardening must be decision-invariant: the TLS+token steady arm
+    # verifies against the offline replay exactly, sheds nothing, and
+    # its gate admitted every client and rejected nobody.
+    assert steady.verified is True and steady.mismatches == 0
+    assert steady.shed == 0 and steady.ok
+    assert steady.gate is not None
+    assert steady.gate.admitted_connections == 8
+    assert steady.gate.rejected == {}
+    # The HTTP binding serves the same decisions, cleanly.
+    assert http.ok, http.to_dict()
+    assert http.decisions == HTTP_REQUESTS
+    # Rejection probes: typed refusals with actionable hints...
+    assert bad_token is not None and bad_token.code == "bad_token"
+    assert rate_limited is not None
+    assert rate_limited.code == "rate_limited"
+    assert (rate_limited.retry_after or 0.0) > 0.0
+    assert probes["burst_limited"] > 0
+    # ...counted in the gate's plain-int mirrors...
+    assert probes["gate_rejected"].get("bad_token", 0) >= 1
+    assert probes["gate_rejected"].get("rate_limited", 0) == (
+        probes["burst_limited"]
+    )
+    assert probes["gate_admitted_connections"] == 1
+    # ...and refused *before* the sequencer: the server served exactly
+    # the operations the gate admitted, nothing more.
+    assert probes["served"] == probes["gate_admitted_ops"]

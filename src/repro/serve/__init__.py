@@ -5,8 +5,15 @@ Layers (bottom-up):
 * :mod:`repro.serve.protocol` — the NDJSON wire frames and strict codec;
 * :mod:`repro.serve.server` — :class:`TrustedServer`: admission control,
   the bounded single-sequencer dispatch queue, drain/shutdown;
-* :mod:`repro.serve.transports` — TCP daemon and in-process loopback;
-* :mod:`repro.serve.client` — pipelined async client;
+* :mod:`repro.serve.gate` — :class:`ConnectionGate`: bearer-token
+  auth, connection caps, and per-client token-bucket rate limits ahead
+  of every sequencer;
+* :mod:`repro.serve.transports` — TCP daemon (plaintext or TLS) and
+  in-process loopback;
+* :mod:`repro.serve.http` — the HTTP/1.1 binding of the same codec
+  (``POST /v1/frame``) plus its client;
+* :mod:`repro.serve.client` — pipelined async client with token/TLS
+  dialing and bounded-backoff reconnect;
 * :mod:`repro.serve.loadgen` — open-loop load generation and
   serving-vs-offline equivalence verification;
 * :mod:`repro.serve.fleet` — wire-level scraping behind the
@@ -22,6 +29,14 @@ Layers (bottom-up):
 
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.fleet import collect_fleet, parse_target, scrape_worker
+from repro.serve.gate import (
+    ConnectionGate,
+    GateConfig,
+    GatePass,
+    TokenBucket,
+    load_tokens,
+)
+from repro.serve.http import HttpServeClient, HttpTransport
 from repro.serve.loadgen import (
     LoadgenConfig,
     LoadReport,
@@ -72,6 +87,8 @@ from repro.serve.transports import (
     LoopbackConnection,
     LoopbackTransport,
     TcpTransport,
+    client_ssl_context,
+    server_ssl_context,
 )
 from repro.serve.wal import (
     ShardWal,
@@ -83,14 +100,19 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ClientSession",
+    "ConnectionGate",
     "DecisionReply",
     "DrainReply",
     "DrainRequest",
     "ErrorReply",
     "Frame",
+    "GateConfig",
+    "GatePass",
     "HealthReply",
     "HealthRequest",
     "Hello",
+    "HttpServeClient",
+    "HttpTransport",
     "LoadReport",
     "MetricsReply",
     "MetricsRequest",
@@ -114,6 +136,7 @@ __all__ = [
     "StatsReply",
     "StatsRequest",
     "TcpTransport",
+    "TokenBucket",
     "TrustedServer",
     "UpdateAck",
     "WalConfig",
@@ -123,12 +146,15 @@ __all__ = [
     "WorkloadConfig",
     "build_engine",
     "build_workload",
+    "client_ssl_context",
     "collect_fleet",
     "decision_key",
     "decode_reply",
     "decode_request",
     "encode_frame",
+    "load_tokens",
     "offline_replay",
+    "server_ssl_context",
     "parse_target",
     "run_loadgen",
     "scrape_worker",

@@ -24,6 +24,7 @@ declines, the client sends no contexts and pays no tracing cost.
 from __future__ import annotations
 
 import asyncio
+import ssl as _ssl
 
 from repro.obs.config import Telemetry
 from repro.serve.protocol import (
@@ -54,7 +55,19 @@ from repro.obs.tracing import Span
 
 
 class ServeClientError(ConnectionError):
-    """Handshake failure or transport loss (not a shed)."""
+    """Handshake failure or transport loss (not a shed).
+
+    When the failure was a typed server rejection (a refused
+    handshake, e.g. the gate's ``bad_token`` or ``connection_limit``),
+    ``reply`` carries the decoded :class:`ErrorReply` so callers can
+    branch on ``reply.code`` instead of parsing the message.
+    """
+
+    def __init__(
+        self, message: str, reply: "ErrorReply | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.reply = reply
 
 
 class ServeClient:
@@ -67,12 +80,28 @@ class ServeClient:
         welcome: Welcome,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         telemetry: Telemetry | None = None,
+        connect_args: "dict | None" = None,
+        reconnect: int = 0,
+        reconnect_base_s: float = 0.05,
+        reconnect_cap_s: float = 2.0,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self.welcome = welcome
         self._max_frame_bytes = max_frame_bytes
         self._telemetry = telemetry
+        #: kwargs for :meth:`_handshake`, kept so a dropped socket can
+        #: be re-dialed in place (None disables reconnection).
+        self._connect_args = connect_args
+        self._reconnect_limit = reconnect
+        self._reconnect_base_s = reconnect_base_s
+        self._reconnect_cap_s = reconnect_cap_s
+        self._reconnect_lock = asyncio.Lock()
+        #: Bumped on every successful reconnect so concurrent senders
+        #: that all saw the same dead socket re-dial only once.
+        self._generation = 0
+        #: Total successful reconnects over this client's lifetime.
+        self.reconnects = 0
         #: True only when tracing was negotiated (hello asked, welcome
         #: agreed) *and* this client can record spans locally.
         self.trace_enabled = bool(
@@ -87,31 +116,30 @@ class ServeClient:
             self._read_loop(), name="repro-serve-client-reader"
         )
 
-    @classmethod
-    async def connect(
-        cls,
+    @staticmethod
+    async def _handshake(
         host: str,
         port: int,
-        client: str = "client",
-        max_frame_bytes: int = MAX_FRAME_BYTES,
-        telemetry: Telemetry | None = None,
-        trace: bool = False,
-    ) -> "ServeClient":
-        """Open a connection and perform the version handshake.
+        client: str,
+        max_frame_bytes: int,
+        want_trace: bool,
+        token: "str | None",
+        ssl: "_ssl.SSLContext | None",
+    ) -> "tuple[asyncio.StreamReader, asyncio.StreamWriter, Welcome]":
+        """Dial, send hello, await welcome; one connection attempt.
 
-        ``trace=True`` (with an enabled ``telemetry``) asks the server
-        to accept trace contexts; the Welcome's ``trace`` echo decides
-        whether they actually flow.
+        A typed server rejection (the gate's ``bad_token`` /
+        ``connection_limit``, or a version refusal) raises
+        :class:`ServeClientError` with the decoded reply attached —
+        callers must not retry those, only transport-level failures.
         """
         reader, writer = await asyncio.open_connection(
-            host, port, limit=max_frame_bytes
-        )
-        want_trace = bool(
-            trace and telemetry is not None and telemetry.enabled
+            host, port, limit=max_frame_bytes, ssl=ssl
         )
         writer.write(
             encode_frame(
-                Hello(client=client, trace=want_trace), max_frame_bytes
+                Hello(client=client, trace=want_trace, token=token),
+                max_frame_bytes,
             )
         )
         await writer.drain()
@@ -122,9 +150,83 @@ class ServeClient:
         reply = decode_reply(line, max_frame_bytes)
         if not isinstance(reply, Welcome):
             writer.close()
-            raise ServeClientError(f"handshake rejected: {reply!r}")
+            rejection = reply if isinstance(reply, ErrorReply) else None
+            raise ServeClientError(
+                f"handshake rejected: {reply!r}", reply=rejection
+            )
+        return reader, writer, reply
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        client: str = "client",
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        telemetry: Telemetry | None = None,
+        trace: bool = False,
+        ssl: "_ssl.SSLContext | None" = None,
+        token: "str | None" = None,
+        reconnect: int = 0,
+        reconnect_base_s: float = 0.05,
+        reconnect_cap_s: float = 2.0,
+    ) -> "ServeClient":
+        """Open a connection and perform the version handshake.
+
+        ``trace=True`` (with an enabled ``telemetry``) asks the server
+        to accept trace contexts; the Welcome's ``trace`` echo decides
+        whether they actually flow.  ``ssl`` (usually
+        :func:`repro.serve.transports.client_ssl_context`) upgrades the
+        dial to TLS; ``token`` rides the hello for the server's gate.
+
+        ``reconnect=N`` makes the client survive a dropped socket
+        (connection refused/reset, e.g. a worker respawning): the
+        initial dial and every awaitable send re-dial up to N times
+        with bounded exponential backoff.  Typed rejections
+        (``bad_token``…) never retry.
+        """
+        want_trace = bool(
+            trace and telemetry is not None and telemetry.enabled
+        )
+        connect_args = dict(
+            host=host,
+            port=port,
+            client=client,
+            max_frame_bytes=max_frame_bytes,
+            want_trace=want_trace,
+            token=token,
+            ssl=ssl,
+        )
+        attempt = 0
+        while True:
+            try:
+                reader, writer, welcome = await cls._handshake(
+                    **connect_args
+                )
+                break
+            except (ConnectionError, OSError) as exc:
+                if (
+                    getattr(exc, "reply", None) is not None
+                    or attempt >= reconnect
+                ):
+                    raise
+                await asyncio.sleep(
+                    min(
+                        reconnect_cap_s,
+                        reconnect_base_s * 2.0**attempt,
+                    )
+                )
+                attempt += 1
         return cls(
-            reader, writer, reply, max_frame_bytes, telemetry=telemetry
+            reader,
+            writer,
+            welcome,
+            max_frame_bytes,
+            telemetry=telemetry,
+            connect_args=connect_args,
+            reconnect=reconnect,
+            reconnect_base_s=reconnect_base_s,
+            reconnect_cap_s=reconnect_cap_s,
         )
 
     # -- pipelined sends ----------------------------------------------
@@ -301,10 +403,34 @@ class ServeClient:
         backoff_cap_s: float,
     ) -> Frame:
         attempt = 0
+        redials = 0
         while True:
-            future = send()
-            await self._writer.drain()
-            reply = await future
+            generation = self._generation
+            future: "asyncio.Future[Frame] | None" = None
+            try:
+                future = send()
+                await self._writer.drain()
+                reply = await future
+            except (ConnectionError, OSError) as exc:
+                if future is not None and not future.done():
+                    # The op future was never awaited (drain failed
+                    # first); cancel it so the reconnect's pending
+                    # sweep doesn't strand an unretrieved exception.
+                    future.cancel()
+                # Transport loss mid-send.  With a reconnect budget the
+                # client re-dials and resubmits; typed rejections (a
+                # gate refusal on re-hello) and exhausted budgets are
+                # final.  The lost op was never acked, so resubmission
+                # is the caller's only correct move anyway.
+                if (
+                    getattr(exc, "reply", None) is not None
+                    or self._connect_args is None
+                    or redials >= self._reconnect_limit
+                ):
+                    raise
+                await self._reconnect(generation)
+                redials += 1
+                continue
             shed = isinstance(reply, ErrorReply) and reply.is_shed
             if not shed or attempt >= retries:
                 return reply
@@ -315,6 +441,58 @@ class ServeClient:
             )
             await asyncio.sleep(delay)
             attempt += 1
+
+    async def _reconnect(self, generation: int) -> None:
+        """Re-dial and re-handshake in place (reconnect satellite).
+
+        ``generation`` is what the failing sender observed: if another
+        sender already restored the connection (generation moved on),
+        this is a no-op — one dead socket costs one re-dial no matter
+        how many ops were in flight on it.
+        """
+        assert self._connect_args is not None
+        async with self._reconnect_lock:
+            if self._closed:
+                raise ServeClientError("client is closed")
+            if self._generation != generation:
+                return
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._writer.close()
+            self._fail_pending(
+                ServeClientError("connection lost; reconnecting")
+            )
+            attempt = 0
+            while True:
+                try:
+                    reader, writer, welcome = await self._handshake(
+                        **self._connect_args
+                    )
+                    break
+                except (ConnectionError, OSError) as exc:
+                    if (
+                        getattr(exc, "reply", None) is not None
+                        or attempt >= self._reconnect_limit
+                    ):
+                        raise
+                    await asyncio.sleep(
+                        min(
+                            self._reconnect_cap_s,
+                            self._reconnect_base_s * 2.0**attempt,
+                        )
+                    )
+                    attempt += 1
+            self._reader = reader
+            self._writer = writer
+            self.welcome = welcome
+            self._generation += 1
+            self.reconnects += 1
+            self._reader_task = asyncio.create_task(
+                self._read_loop(), name="repro-serve-client-reader"
+            )
 
     async def stats(self) -> StatsReply:
         """Fetch the server's live serving counters."""

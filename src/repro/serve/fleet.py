@@ -18,6 +18,7 @@ worker that cannot be reached at all surfaces in
 from __future__ import annotations
 
 import json
+import ssl
 
 from repro.obs.aggregate import (
     FleetView,
@@ -26,6 +27,8 @@ from repro.obs.aggregate import (
 )
 from repro.obs.export import parse_exposition
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.http import HttpServeClient
+from repro.serve.transports import client_ssl_context
 
 
 def parse_target(target: str) -> tuple[str, int]:
@@ -50,6 +53,9 @@ async def scrape_worker(
     worker: str | None = None,
     trace_limit: int = 32,
     client_name: str = "fleet-scraper",
+    transport: str = "tcp",
+    ssl_context: "ssl.SSLContext | None" = None,
+    token: "str | None" = None,
 ) -> WorkerScrape:
     """Pull one worker's health/metrics/traces over the wire.
 
@@ -57,9 +63,29 @@ async def scrape_worker(
     the ``worker`` label on per-worker series in the merged view.
     Connection failures propagate (the collector records them); a
     worker that merely lacks telemetry yields empty samples/traces.
+
+    Hardened fleets scrape like any other client: ``transport`` picks
+    the dial (``"tcp"``/``"tls"`` NDJSON or ``"http"``),
+    ``ssl_context`` pins the daemon's cert, ``token`` rides the hello.
     """
     scrape = WorkerScrape(worker=worker or f"{host}:{port}")
-    client = await ServeClient.connect(host, port, client=client_name)
+    client: "ServeClient | HttpServeClient"
+    if transport == "http":
+        client = await HttpServeClient.connect(
+            host,
+            port,
+            client=client_name,
+            ssl=ssl_context,
+            token=token,
+        )
+    else:
+        client = await ServeClient.connect(
+            host,
+            port,
+            client=client_name,
+            ssl=ssl_context,
+            token=token,
+        )
     try:
         health = await client.health()
         scrape.health = {
@@ -98,16 +124,33 @@ async def scrape_worker(
 async def collect_fleet(
     targets: "list[str] | tuple[str, ...]",
     trace_limit: int = 32,
+    transport: str = "tcp",
+    tls_ca: "str | None" = None,
+    token: "str | None" = None,
 ) -> FleetView:
-    """One concurrent scrape round over ``host:port`` targets."""
+    """One concurrent scrape round over ``host:port`` targets.
+
+    ``transport``/``tls_ca``/``token`` apply to every target — a fleet
+    is deployed with one frontend policy, so the scraper carries one
+    credential set.
+    """
     resolved = {
         target: parse_target(target) for target in targets
     }  # validate every target before any connection is attempted
+    ssl_context = (
+        client_ssl_context(tls_ca) if tls_ca is not None else None
+    )
 
     async def scrape(target: str) -> WorkerScrape:
         host, port = resolved[target]
         return await scrape_worker(
-            host, port, worker=target, trace_limit=trace_limit
+            host,
+            port,
+            worker=target,
+            trace_limit=trace_limit,
+            transport=transport,
+            ssl_context=ssl_context,
+            token=token,
         )
 
     collector = MetricsCollector(scrape, list(targets))

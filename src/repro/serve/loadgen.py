@@ -44,22 +44,28 @@ from repro.mobility.population import CityConfig, SyntheticCity
 from repro.mod.store import TrajectoryStore
 from repro.obs.config import Telemetry, TelemetryConfig
 from repro.serve.client import ServeClient
+from repro.serve.gate import ConnectionGate, GateConfig
+from repro.serve.http import HttpServeClient, HttpTransport
 from repro.serve.protocol import (
     DecisionReply,
     DrainRequest,
     ErrorReply,
     Frame,
+    Hello,
     LocationUpdate,
     ProfileReply,
     ProfileRequest,
     ServiceRequest,
     StatsRequest,
+    Welcome,
 )
 from repro.serve.server import ServeConfig, TrustedServer
 from repro.serve.transports import (
     LoopbackConnection,
     LoopbackTransport,
     TcpTransport,
+    client_ssl_context,
+    server_ssl_context,
 )
 
 SERVICE = "poi"
@@ -258,10 +264,24 @@ class LoadgenConfig:
     clients: int = 4
     #: Total offered arrival rate over all clients (operations/s).
     rate: float = 2000.0
-    transport: str = "tcp"  # "tcp" | "loopback"
+    #: "tcp" (plaintext NDJSON), "tls" (same over TLS), "http"
+    #: (NDJSON bodies over HTTP/1.1, HTTPS when certs are given), or
+    #: in-process "loopback".
+    transport: str = "tcp"
     #: Connect to an external daemon instead of self-hosting.
     host: str | None = None
     port: int | None = None
+    #: Bearer token sent in the hello (gated deployments).
+    token: str | None = None
+    #: Server cert/key for self-hosted TLS arms.
+    tls_cert: str | None = None
+    tls_key: str | None = None
+    #: Client trust anchor; defaults to ``tls_cert`` (self-signed pin).
+    tls_ca: str | None = None
+    #: Install a ConnectionGate on self-hosted runs.
+    gate: "GateConfig | None" = None
+    #: Re-dial budget on dropped sockets (TCP/TLS transports).
+    reconnect: int = 0
     #: Send the non-request location updates too.
     include_updates: bool = True
     #: Compare the served decision stream against the offline replay.
@@ -280,10 +300,16 @@ class LoadgenConfig:
     profile_interval_ms: float = 5.0
 
     def __post_init__(self) -> None:
-        if self.transport not in ("tcp", "loopback"):
+        if self.transport not in ("tcp", "tls", "http", "loopback"):
             raise ValueError(
-                f"transport must be 'tcp' or 'loopback', "
-                f"got {self.transport!r}"
+                "transport must be 'tcp', 'tls', 'http', or "
+                f"'loopback', got {self.transport!r}"
+            )
+        if self.transport == "tls" and self.host is None and (
+            self.tls_cert is None or self.tls_key is None
+        ):
+            raise ValueError(
+                "self-hosted tls transport needs tls_cert and tls_key"
             )
         if self.clients < 1:
             raise ValueError(f"clients must be >= 1, got {self.clients}")
@@ -317,6 +343,9 @@ class LoadReport:
     mismatches: int = 0
     #: Server-side telemetry snapshot holder (self-hosted runs only).
     telemetry: Telemetry | None = None
+    #: The self-hosted run's gate (its counters back the E19/CI
+    #: never-touched-a-sequencer assertions); None when ungated.
+    gate: "ConnectionGate | None" = None
     #: The profiler's stage report (``profile`` op ``stages`` body),
     #: None unless the run profiled.
     profile: dict | None = None
@@ -420,10 +449,12 @@ class LoadReport:
 
 
 class _Connection:
-    """Uniform facade over ServeClient and LoopbackConnection."""
+    """Uniform facade over the three client shapes (TCP/HTTP/loopback)."""
 
     def __init__(
-        self, raw: "ServeClient | LoopbackConnection", index: int
+        self,
+        raw: "ServeClient | HttpServeClient | LoopbackConnection",
+        index: int,
     ) -> None:
         self.raw = raw
         self.index = index
@@ -461,16 +492,15 @@ class _Connection:
         return raw.post(frame)
 
     async def roundtrip(self, frame: Frame) -> Frame:
-        if isinstance(self.raw, ServeClient):
-            future = self.raw.post(frame)
-            return await future
-        return await self.raw.send(frame)
+        if isinstance(self.raw, LoopbackConnection):
+            return await self.raw.send(frame)
+        return await self.raw.post(frame)
 
     async def close(self) -> None:
-        if isinstance(self.raw, ServeClient):
-            await self.raw.close()
-        else:
+        if isinstance(self.raw, LoopbackConnection):
             self.raw.close()
+        else:
+            await self.raw.close()
 
 
 def _percentiles(samples: "list[float]") -> dict[str, float]:
@@ -607,7 +637,7 @@ async def run_loadgen(
         for item in workload.timeline:
             workload.per_user.setdefault(item.user_id, []).append(item)
 
-    transport: "TcpTransport | None" = None
+    transport: "TcpTransport | HttpTransport | None" = None
     own_server = server is None and config.host is None
     if own_server:
         telemetry = (
@@ -619,10 +649,37 @@ async def run_loadgen(
         server = TrustedServer(engine, config.serve)
         await server.start()
         report.telemetry = engine.telemetry
-    host, port = config.host, config.port
-    if config.transport == "tcp" and config.host is None:
+    gate: "ConnectionGate | None" = None
+    if config.gate is not None and config.host is None:
         assert server is not None
-        transport = TcpTransport(server)
+        gate = ConnectionGate(
+            config.gate, telemetry=server.telemetry
+        )
+        report.gate = gate
+    server_ctx = None
+    if config.host is None and config.tls_cert is not None:
+        assert config.tls_key is not None
+        server_ctx = server_ssl_context(
+            config.tls_cert, config.tls_key
+        )
+    client_ca = config.tls_ca or config.tls_cert
+    client_ctx = None
+    if config.transport == "tls" or (
+        config.transport == "http" and client_ca is not None
+    ):
+        assert client_ca is not None
+        client_ctx = client_ssl_context(client_ca)
+    host, port = config.host, config.port
+    if config.transport != "loopback" and config.host is None:
+        assert server is not None
+        if config.transport == "http":
+            transport = HttpTransport(
+                server, ssl_context=server_ctx, gate=gate
+            )
+        else:
+            transport = TcpTransport(
+                server, ssl_context=server_ctx, gate=gate
+            )
         host, port = await transport.start()
 
     connections: "list[_Connection]" = []
@@ -636,23 +693,50 @@ async def run_loadgen(
                 TelemetryConfig(enabled=True).build()
             )
         for index in range(config.clients):
-            if config.transport == "tcp":
+            raw: "ServeClient | HttpServeClient | LoopbackConnection"
+            if config.transport in ("tcp", "tls"):
                 assert host is not None and port is not None
-                raw: "ServeClient | LoopbackConnection" = (
-                    await ServeClient.connect(
-                        host,
-                        port,
-                        client=f"loadgen-{index}",
-                        telemetry=client_telemetry,
-                        trace=config.trace,
-                    )
+                raw = await ServeClient.connect(
+                    host,
+                    port,
+                    client=f"loadgen-{index}",
+                    telemetry=client_telemetry,
+                    trace=config.trace,
+                    ssl=client_ctx,
+                    token=config.token,
+                    reconnect=config.reconnect,
+                )
+            elif config.transport == "http":
+                assert host is not None and port is not None
+                raw = await HttpServeClient.connect(
+                    host,
+                    port,
+                    client=f"loadgen-{index}",
+                    telemetry=client_telemetry,
+                    ssl=client_ctx,
+                    token=config.token,
                 )
             else:
                 assert server is not None
-                raw = LoopbackTransport(server).connect(
+                raw = LoopbackTransport(server, gate=gate).connect(
                     client=f"loadgen-{index}", trace=config.trace
                 )
             connections.append(_Connection(raw, index))
+
+        if config.transport == "loopback" and gate is not None:
+            # Loopback has no dial-time handshake; a gated run sends
+            # the hello explicitly so each connection earns a ticket.
+            for conn in connections:
+                greeting = await conn.roundtrip(
+                    Hello(
+                        client=f"loadgen-{conn.index}",
+                        token=config.token,
+                    )
+                )
+                if not isinstance(greeting, Welcome):
+                    raise ValueError(
+                        f"gated loopback hello rejected: {greeting!r}"
+                    )
 
         if config.profile:
             # Driven over the wire so the op is exercised end-to-end

@@ -90,11 +90,18 @@ class Hello(Frame):
     with the negotiated value (``False`` when its telemetry is off), so
     both peers know whether ``trace`` fields carry meaning.  Old peers
     simply omit the field — the codec default keeps them compatible.
+
+    ``token`` is the bearer credential judged by the transport's
+    :class:`~repro.serve.gate.ConnectionGate` before the server ever
+    sees the hello; ungated deployments ignore it, and old peers omit
+    it.  It rides the hello (not a transport header) so TCP, TLS, and
+    HTTP authenticate through the exact same frame.
     """
 
     version: int = PROTOCOL_VERSION
     client: str = "client"
     trace: bool = False
+    token: str | None = None
 
 
 @_frame("update", REQUEST_TYPES)

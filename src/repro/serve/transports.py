@@ -16,17 +16,31 @@ Two implementations of the same connection contract:
 
 Framing errors are answered, not fatal: an undecodable line produces an
 :class:`ErrorReply` with ``id=None`` and the connection continues at
-the next newline.  The two exceptions that do close the connection are
+the next newline.  The exceptions that do close the connection are
 oversized frames (the stream may be mid-garbage; there is no safe
-resynchronization point within the truncated line) and a failed
-version handshake.
+resynchronization point within the truncated line), a failed version
+handshake, and a gate rejection of the hello itself.
+
+Hardening (both optional, off by default):
+
+* ``ssl_context`` wraps the TCP listener in TLS
+  (:func:`server_ssl_context` builds the server side from a cert/key
+  pair, :func:`client_ssl_context` the CA-pinning client side) —
+  plaintext stays available for loopback and tests;
+* ``gate`` installs a :class:`~repro.serve.gate.ConnectionGate`:
+  hellos are judged (token, connection cap) before the server's
+  welcome, and every servable op is charged to the client's token
+  bucket *before* :meth:`TrustedServer.submit` — a rejected op is
+  answered right here and never touches a queue or an engine.
 """
 
 from __future__ import annotations
 
 import asyncio
+import ssl
 from typing import Set
 
+from repro.serve.gate import ConnectionGate, GatePass
 from repro.serve.protocol import (
     ErrorReply,
     Frame,
@@ -40,6 +54,32 @@ from repro.serve.protocol import (
     encode_frame,
 )
 from repro.serve.server import ClientSession, TrustedServer
+
+
+def server_ssl_context(
+    certfile: str, keyfile: str
+) -> ssl.SSLContext:
+    """The daemon's TLS context: one cert/key pair, TLS 1.2+."""
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.load_cert_chain(certfile, keyfile)
+    return context
+
+
+def client_ssl_context(cafile: str) -> ssl.SSLContext:
+    """A CA-pinning client context: trust exactly ``cafile``.
+
+    The pinned CA (for dev deployments, the server's own self-signed
+    cert) is the trust anchor — certificate verification is required,
+    while hostname checking is off because the pin already binds the
+    client to one key holder and the daemons are addressed by IP.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.check_hostname = False
+    context.verify_mode = ssl.CERT_REQUIRED
+    context.load_verify_locations(cafile)
+    return context
 
 
 class LoopbackConnection:
@@ -58,13 +98,43 @@ class LoopbackConnection:
         server: TrustedServer,
         session: ClientSession,
         trace: bool = False,
+        gate: "ConnectionGate | None" = None,
     ):
         self._server = server
         self.session = session
         self._closed = False
+        self._gate = gate
+        self._ticket: "GatePass | None" = None
         self.trace = bool(trace and server.telemetry.enabled)
         if self.trace:
             session.trace = True
+
+    def _screen(self, frame: Frame) -> "Frame | None":
+        """The gate verdict on one decoded frame (None = admitted).
+
+        Mirrors the TCP handler: hellos are judged for token and
+        connection cap, servable ops are charged to the bucket, and a
+        gated connection that never greeted gets ``hello_required``.
+        """
+        gate = self._gate
+        if gate is None:
+            return None
+        if isinstance(frame, Hello):
+            verdict = gate.admit_connection(frame)
+            if isinstance(verdict, ErrorReply):
+                return verdict
+            gate.release(self._ticket)  # a re-hello replaces the ticket
+            self._ticket = verdict
+            return None
+        if not isinstance(frame, (LocationUpdate, ServiceRequest)):
+            return None
+        if self._ticket is None:
+            return ErrorReply(
+                id=frame.id,
+                code="hello_required",
+                message="gated connection: first frame must be 'hello'",
+            )
+        return gate.admit_op(self._ticket, frame.id)
 
     async def send(self, frame: Frame) -> Frame:
         """Submit one frame through the full codec path; await reply."""
@@ -101,6 +171,13 @@ class LoopbackConnection:
             if span is not None:
                 span.annotate(error=exc.code).end()
             return ErrorReply(id=None, code=exc.code, message=exc.message)
+        rejection = self._screen(decoded)
+        if rejection is not None:
+            if span is not None:
+                span.annotate(error=rejection.code).end()
+            return decode_reply(
+                encode_frame(rejection, max_bytes), max_bytes
+            )
         reply = await self._server.submit(self.session, decoded)
         if span is not None:
             decision = getattr(reply, "decision", None)
@@ -122,35 +199,54 @@ class LoopbackConnection:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if self._gate is not None:
+                self._gate.release(self._ticket)
             self._server.close_session(self.session)
 
 
 class LoopbackTransport:
     """Socket-free transport: connections straight into the server."""
 
-    def __init__(self, server: TrustedServer) -> None:
+    def __init__(
+        self,
+        server: TrustedServer,
+        gate: "ConnectionGate | None" = None,
+    ) -> None:
         self.server = server
+        self.gate = gate
 
     def connect(
         self, client: str = "loopback", trace: bool = False
     ) -> LoopbackConnection:
         return LoopbackConnection(
-            self.server, self.server.open_session(client), trace=trace
+            self.server,
+            self.server.open_session(client),
+            trace=trace,
+            gate=self.gate,
         )
 
 
 class TcpTransport:
-    """The TCP daemon frontend (``asyncio.start_server``)."""
+    """The TCP daemon frontend (``asyncio.start_server``).
+
+    ``ssl_context`` (see :func:`server_ssl_context`) upgrades the
+    listener to TLS; ``gate`` screens hellos and servable ops before
+    they reach the server (see module doc).
+    """
 
     def __init__(
         self,
         server: TrustedServer,
         host: str = "127.0.0.1",
         port: int = 0,
+        ssl_context: "ssl.SSLContext | None" = None,
+        gate: "ConnectionGate | None" = None,
     ) -> None:
         self.server = server
         self.host = host
         self.port = port
+        self.ssl_context = ssl_context
+        self.gate = gate
         self._listener: asyncio.AbstractServer | None = None
         self._handlers: Set["asyncio.Task[None]"] = set()
 
@@ -162,6 +258,7 @@ class TcpTransport:
             self.host,
             self.port,
             limit=self.server.config.max_frame_bytes,
+            ssl=self.ssl_context,
         )
         sockname = self._listener.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
@@ -191,6 +288,7 @@ class TcpTransport:
         workers: Set["asyncio.Task[None]"] = set()
         max_bytes = self.server.config.max_frame_bytes
         greeted = False
+        ticket: "GatePass | None" = None
         try:
             while True:
                 try:
@@ -229,6 +327,15 @@ class TcpTransport:
                         break
                     continue
                 if isinstance(frame, Hello):
+                    if self.gate is not None:
+                        verdict = self.gate.admit_connection(frame)
+                        if isinstance(verdict, ErrorReply):
+                            # Auth/cap refusal: answer and close before
+                            # the server ever sees the hello.
+                            await self._write(writer, write_lock, verdict)
+                            break
+                        self.gate.release(ticket)  # re-hello replaces
+                        ticket = verdict
                     reply = self.server.welcome(session, frame)
                     await self._write(writer, write_lock, reply)
                     if not isinstance(reply, Welcome):
@@ -247,6 +354,15 @@ class TcpTransport:
                         ),
                     )
                     continue
+                if (
+                    self.gate is not None
+                    and ticket is not None
+                    and isinstance(frame, (LocationUpdate, ServiceRequest))
+                ):
+                    rejection = self.gate.admit_op(ticket, frame.id)
+                    if rejection is not None:
+                        await self._write(writer, write_lock, rejection)
+                        continue
                 worker = asyncio.create_task(
                     self._serve_one(session, frame, writer, write_lock)
                 )
@@ -257,6 +373,8 @@ class TcpTransport:
                 await asyncio.gather(
                     *tuple(workers), return_exceptions=True
                 )
+            if self.gate is not None:
+                self.gate.release(ticket)
             self.server.close_session(session)
             writer.close()
             try:

@@ -1,0 +1,285 @@
+"""ConnectionGate and token-bucket tests (unit + properties).
+
+The hypothesis properties pin the three bucket invariants the
+rate-limit contract rests on:
+
+* **never over rate** — over any interval, a bucket admits at most
+  ``capacity + rate · elapsed`` operations, no matter how the acquire
+  timestamps interleave;
+* **monotonic refill** — time running backwards (clock skew between
+  callers) never changes the token level, and the level never exceeds
+  capacity;
+* **sufficient retry_after** — waiting exactly the hinted
+  ``retry_after`` after a rejection always readmits.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.gate import (
+    ConnectionGate,
+    GateConfig,
+    TokenBucket,
+    _reject_constant_time,
+    load_tokens,
+)
+from repro.serve.protocol import ErrorReply, Hello
+
+rates = st.floats(min_value=0.1, max_value=1000.0)
+capacities = st.floats(min_value=1.0, max_value=100.0)
+#: Non-negative inter-arrival gaps (seconds), small enough that the
+#: admitted-count bound stays far from float trouble.
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=60
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------
+# token-bucket properties
+# ---------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(rate=rates, capacity=capacities, deltas=gaps)
+def test_bucket_never_exceeds_rate(rate, capacity, deltas):
+    """Admissions over any window stay <= capacity + rate·elapsed."""
+    bucket = TokenBucket(rate, capacity, now=0.0)
+    now, admitted = 0.0, 0
+    for delta in deltas:
+        now += delta
+        if bucket.acquire(now) == 0.0:
+            admitted += 1
+    # The 1e-6 absorbs float accumulation in the refill arithmetic.
+    assert admitted <= capacity + rate * now + 1e-6
+
+
+@settings(max_examples=200)
+@given(rate=rates, capacity=capacities, deltas=gaps)
+def test_bucket_refill_monotonic(rate, capacity, deltas):
+    """Backwards time never adds tokens; level never tops capacity."""
+    bucket = TokenBucket(rate, capacity, now=50.0)
+    bucket.acquire(50.0)  # spend one so refill has room to move
+    now = 50.0
+    for delta in deltas:
+        before = bucket.tokens
+        # Walk time alternately forward and backward; the backward
+        # step must be a no-op on the level.
+        level = bucket.refill(now - delta)
+        assert level == before
+        now += delta
+        level = bucket.refill(now)
+        assert level >= before
+        assert level <= capacity + 1e-9
+
+
+@settings(max_examples=200)
+@given(
+    rate=rates,
+    capacity=capacities,
+    spends=st.integers(min_value=1, max_value=120),
+)
+def test_bucket_retry_after_sufficient(rate, capacity, spends):
+    """Waiting exactly the hint always readmits."""
+    bucket = TokenBucket(rate, capacity, now=0.0)
+    now = 0.0
+    retry_after = 0.0
+    for _ in range(spends):
+        retry_after = bucket.acquire(now)
+        if retry_after > 0.0:
+            break
+    if retry_after == 0.0:
+        # Capacity outlasted the spend loop; drain it dry first.
+        while (retry_after := bucket.acquire(now)) == 0.0:
+            pass
+    assert retry_after > 0.0
+    assert bucket.acquire(now + retry_after) == 0.0
+
+
+# ---------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------
+
+
+def test_gate_config_validation():
+    with pytest.raises(ValueError):
+        GateConfig(rate_limit=0.0)
+    with pytest.raises(ValueError):
+        GateConfig(rate_limit=10.0, burst=0.5)
+    with pytest.raises(ValueError):
+        GateConfig(max_connections=0)
+    with pytest.raises(ValueError):
+        GateConfig(max_principals=0)
+    with pytest.raises(ValueError):
+        TokenBucket(0.0, 1.0, now=0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(1.0, 0.0, now=0.0)
+
+
+def test_effective_burst_defaults_to_one_second_of_rate():
+    assert GateConfig(rate_limit=50.0).effective_burst == 50.0
+    assert GateConfig(rate_limit=0.5).effective_burst == 1.0
+    assert GateConfig(rate_limit=10.0, burst=3.0).effective_burst == 3.0
+
+
+# ---------------------------------------------------------------------
+# connection admission
+# ---------------------------------------------------------------------
+
+
+def test_bad_token_rejected_with_typed_reply():
+    gate = ConnectionGate(GateConfig(tokens=("good",)))
+    verdict = gate.admit_connection(Hello(token="bad"))
+    assert isinstance(verdict, ErrorReply)
+    assert verdict.code == "bad_token"
+    none = gate.admit_connection(Hello())  # missing token
+    assert isinstance(none, ErrorReply) and none.code == "bad_token"
+    assert gate.rejected == {"bad_token": 2}
+    assert gate.admitted_connections == 0
+    assert gate.connections == 0
+
+
+def test_empty_token_tuple_rejects_everyone():
+    gate = ConnectionGate(GateConfig(tokens=()))
+    verdict = gate.admit_connection(Hello(token="anything"))
+    assert isinstance(verdict, ErrorReply)
+    assert verdict.code == "bad_token"
+
+
+def test_connection_cap_and_idempotent_release():
+    gate = ConnectionGate(GateConfig(max_connections=2))
+    first = gate.admit_connection(Hello(client="a"))
+    second = gate.admit_connection(Hello(client="b"))
+    assert not isinstance(first, ErrorReply)
+    assert not isinstance(second, ErrorReply)
+    third = gate.admit_connection(Hello(client="c"))
+    assert isinstance(third, ErrorReply)
+    assert third.code == "connection_limit"
+    assert third.retry_after == 1.0
+    gate.release(first)
+    gate.release(first)  # double release must not free a second slot
+    gate.release(None)  # and None is harmless
+    assert gate.connections == 1
+    fourth = gate.admit_connection(Hello(client="d"))
+    assert not isinstance(fourth, ErrorReply)
+    assert gate.admitted_connections == 3
+    assert gate.rejected == {"connection_limit": 1}
+
+
+def test_bad_token_checked_before_connection_cap():
+    """An attacker without a credential cannot probe fleet occupancy."""
+    gate = ConnectionGate(
+        GateConfig(tokens=("good",), max_connections=1)
+    )
+    ticket = gate.admit_connection(Hello(token="good"))
+    assert not isinstance(ticket, ErrorReply)
+    # Cap is full, but the wrong token must dominate the verdict.
+    verdict = gate.admit_connection(Hello(token="bad"))
+    assert isinstance(verdict, ErrorReply)
+    assert verdict.code == "bad_token"
+
+
+def test_principal_is_token_when_auth_is_on():
+    clock = FakeClock()
+    gate = ConnectionGate(
+        GateConfig(tokens=("t1",), rate_limit=10.0, burst=1.0),
+        clock=clock,
+    )
+    one = gate.admit_connection(Hello(client="a", token="t1"))
+    two = gate.admit_connection(Hello(client="b", token="t1"))
+    # Same token, different client names: one shared bucket — clients
+    # cannot multiply their budget by renaming themselves.
+    assert one.principal == two.principal == "t1"
+    assert one.bucket is two.bucket
+    assert gate.admit_op(one, 1) is None
+    limited = gate.admit_op(two, 2)
+    assert isinstance(limited, ErrorReply)
+    assert limited.code == "rate_limited"
+    assert limited.id == 2
+    assert limited.retry_after is not None
+    assert limited.retry_after > 0.0
+
+
+def test_rate_limit_recovers_after_retry_after():
+    clock = FakeClock()
+    gate = ConnectionGate(
+        GateConfig(rate_limit=2.0, burst=1.0), clock=clock
+    )
+    ticket = gate.admit_connection(Hello(client="c"))
+    assert gate.admit_op(ticket, 1) is None
+    limited = gate.admit_op(ticket, 2)
+    assert isinstance(limited, ErrorReply)
+    clock.now += limited.retry_after
+    assert gate.admit_op(ticket, 3) is None
+    assert gate.admitted_ops == 2
+    assert gate.rejected == {"rate_limited": 1}
+
+
+def test_unlimited_gate_admits_everything():
+    gate = ConnectionGate(GateConfig())
+    ticket = gate.admit_connection(Hello(client="free"))
+    assert ticket.bucket is None
+    for index in range(100):
+        assert gate.admit_op(ticket, index) is None
+    assert gate.admitted_ops == 100
+    assert gate.rejected == {}
+
+
+def test_principal_table_drops_oldest_beyond_bound():
+    clock = FakeClock()
+    gate = ConnectionGate(
+        GateConfig(rate_limit=1.0, max_principals=2), clock=clock
+    )
+    a = gate.admit_connection(Hello(client="a"))
+    gate.admit_connection(Hello(client="b"))
+    gate.admit_connection(Hello(client="c"))  # evicts "a"
+    assert set(gate._buckets) == {"b", "c"}
+    # "a" reappearing builds a fresh (full) bucket — eviction costs
+    # the gate a little generosity, never correctness.
+    again = gate.admit_connection(Hello(client="a"))
+    assert again.bucket is not a.bucket
+    assert set(gate._buckets) == {"c", "a"}
+
+
+# ---------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------
+
+
+def test_reject_constant_time_scans_every_token():
+    assert _reject_constant_time(None, ("a", "b"))
+    assert _reject_constant_time("", ("a", "b"))
+    assert _reject_constant_time("c", ("a", "b"))
+    assert not _reject_constant_time("a", ("a", "b"))
+    assert not _reject_constant_time("b", ("a", "b"))
+    assert _reject_constant_time("anything", ())
+
+
+def test_load_tokens_merges_flags_and_file(tmp_path):
+    token_file = tmp_path / "tokens.txt"
+    token_file.write_text(
+        "# fleet credentials\nfile-one\n\n  file-two  \n"
+    )
+    assert load_tokens(["flag-one"], str(token_file)) == (
+        "flag-one",
+        "file-one",
+        "file-two",
+    )
+    assert load_tokens(["a", ""], None) == ("a",)
+    assert load_tokens(None, None) is None
+
+
+def test_load_tokens_empty_sources_mean_auth_off(tmp_path):
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# only comments\n\n")
+    assert load_tokens([], str(empty)) is None
+    assert load_tokens() is None

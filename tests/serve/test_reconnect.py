@@ -1,0 +1,229 @@
+"""Client reconnect tests: dropped sockets, redial budgets, rejections."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.gate import ConnectionGate, GateConfig
+from repro.serve.protocol import UpdateAck
+from repro.serve.server import TrustedServer
+from repro.serve.transports import TcpTransport
+
+
+def first_update(workload):
+    return next(i for i in workload.timeline if not i.is_request)
+
+
+async def _serving(engine, gate=None):
+    server = TrustedServer(engine)
+    transport = TcpTransport(server, gate=gate)
+    host, port = await transport.start()
+    return server, transport, host, port
+
+
+def _abort(client):
+    """Kill the client's socket like a reset (no FIN handshake)."""
+    client._writer.transport.abort()
+
+
+def test_send_survives_reset_with_reconnect_budget(engine, workload):
+    async def run():
+        server, transport, host, port = await _serving(engine)
+        client = await ServeClient.connect(
+            host, port, client="resilient", reconnect=3
+        )
+        update = first_update(workload)
+        ack = await client.update(
+            update.user_id,
+            update.location.x,
+            update.location.y,
+            update.location.t,
+        )
+        assert isinstance(ack, UpdateAck)
+        _abort(client)
+        # The next send sees the dead socket, redials in place, and
+        # resubmits — the caller never observes the reset.
+        ack = await client.update(
+            update.user_id,
+            update.location.x,
+            update.location.y,
+            update.location.t,
+        )
+        assert isinstance(ack, UpdateAck)
+        assert client.reconnects == 1
+        await client.close()
+        await transport.stop()
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_send_without_budget_raises(engine, workload):
+    async def run():
+        server, transport, host, port = await _serving(engine)
+        client = await ServeClient.connect(host, port)
+        update = first_update(workload)
+        _abort(client)
+        with pytest.raises((ServeClientError, OSError)):
+            await client.update(
+                update.user_id,
+                update.location.x,
+                update.location.y,
+                update.location.t,
+            )
+        assert client.reconnects == 0
+        await client.close()
+        await transport.stop()
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_concurrent_senders_share_one_redial(engine, workload):
+    """N ops on one dead socket cost one reconnect, not N."""
+
+    async def run():
+        server, transport, host, port = await _serving(engine)
+        client = await ServeClient.connect(host, port, reconnect=3)
+        update = first_update(workload)
+        _abort(client)
+        replies = await asyncio.gather(
+            *(
+                client.update(
+                    update.user_id,
+                    update.location.x,
+                    update.location.y,
+                    update.location.t,
+                )
+                for _ in range(5)
+            ),
+            return_exceptions=True,
+        )
+        # Every op either rode the reconnected socket to an ack or was
+        # failed by the pending sweep — but the redial happened once.
+        assert any(isinstance(r, UpdateAck) for r in replies)
+        assert client.reconnects == 1
+        # The connection is live again for everything that follows.
+        ack = await client.update(
+            update.user_id,
+            update.location.x,
+            update.location.y,
+            update.location.t,
+        )
+        assert isinstance(ack, UpdateAck)
+        await client.close()
+        await transport.stop()
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_connect_retries_until_listener_appears(engine):
+    """The initial dial honors the same bounded-backoff budget."""
+
+    async def run():
+        server = TrustedServer(engine)
+        transport = TcpTransport(server)
+        host, port = await transport.start()
+        await transport.stop()  # port known, nobody listening
+
+        async def bring_back():
+            await asyncio.sleep(0.15)
+            late = TcpTransport(server, host=host, port=port)
+            await late.start()
+            return late
+
+        revive = asyncio.create_task(bring_back())
+        client = await ServeClient.connect(
+            host, port, reconnect=6, reconnect_base_s=0.05
+        )
+        late = await revive
+        stats = await client.stats()
+        assert stats.op == "stats_reply"
+        await client.close()
+        await late.stop()
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_connect_without_budget_fails_fast(engine):
+    async def run():
+        server = TrustedServer(engine)
+        transport = TcpTransport(server)
+        host, port = await transport.start()
+        await transport.stop()
+        with pytest.raises((ConnectionError, OSError)):
+            await ServeClient.connect(host, port)
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_typed_rejection_is_never_retried(engine):
+    """A gate refusal is final: no backoff loop burns the budget."""
+
+    async def run():
+        gate = ConnectionGate(GateConfig(tokens=("right",)))
+        server, transport, host, port = await _serving(
+            engine, gate=gate
+        )
+        started = time.monotonic()
+        with pytest.raises(ServeClientError) as exc_info:
+            await ServeClient.connect(
+                host,
+                port,
+                token="wrong",
+                reconnect=8,
+                reconnect_base_s=0.2,
+            )
+        elapsed = time.monotonic() - started
+        assert exc_info.value.reply is not None
+        assert exc_info.value.reply.code == "bad_token"
+        # One attempt, one rejection: the gate saw exactly one hello
+        # and the call returned well inside one backoff step.
+        assert gate.rejected == {"bad_token": 1}
+        assert elapsed < 0.2
+        await transport.stop()
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_reconnect_rehandshakes_through_gate(engine, workload):
+    """A redial repeats the hello, so the gate re-screens and the
+    connection accounting stays balanced."""
+
+    async def run():
+        gate = ConnectionGate(GateConfig(tokens=("tok",)))
+        server, transport, host, port = await _serving(
+            engine, gate=gate
+        )
+        client = await ServeClient.connect(
+            host, port, token="tok", reconnect=3
+        )
+        update = first_update(workload)
+        _abort(client)
+        ack = await client.update(
+            update.user_id,
+            update.location.x,
+            update.location.y,
+            update.location.t,
+        )
+        assert isinstance(ack, UpdateAck)
+        assert gate.admitted_connections == 2
+        await client.close()
+        await transport.stop()
+        # The dead handler and the live one both released their slots.
+        for _ in range(50):
+            if gate.connections == 0:
+                break
+            await asyncio.sleep(0.01)
+        assert gate.connections == 0
+        await server.close()
+
+    asyncio.run(run())

@@ -32,6 +32,11 @@ def scripted_client() -> ServeClient:
     """A ServeClient shell exposing only the retry loop under test."""
     client = ServeClient.__new__(ServeClient)
     client._writer = _DrainOnlyWriter()
+    # The retry loop snapshots the connection generation and, on
+    # transport loss, consults the reconnect budget; mirror a client
+    # constructed without one (reconnect=0).
+    client._generation = 0
+    client._connect_args = None
     return client
 
 

@@ -1,0 +1,243 @@
+"""TLS transport tests: dev certs, pinned dials, gated handshakes."""
+
+from __future__ import annotations
+
+import asyncio
+import importlib.util
+import pathlib
+import ssl
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.gate import ConnectionGate, GateConfig
+from repro.serve.protocol import DecisionReply, ErrorReply, UpdateAck
+from repro.serve.server import TrustedServer
+from repro.serve.transports import (
+    TcpTransport,
+    client_ssl_context,
+    server_ssl_context,
+)
+
+TOKEN = "tls-test-token"
+
+
+def _gen_dev_cert():
+    path = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "tools"
+        / "gen_dev_cert.py"
+    )
+    spec = importlib.util.spec_from_file_location("gen_dev_cert", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="session")
+def dev_cert(tmp_path_factory):
+    """One self-signed pair for the whole session (generation is slow)."""
+    out_dir = tmp_path_factory.mktemp("certs")
+    module = _gen_dev_cert()
+    return module.generate_dev_cert(str(out_dir))
+
+
+@pytest.fixture(scope="session")
+def other_cert(tmp_path_factory):
+    """A second, unrelated pair (the wrong-pin counterexample)."""
+    out_dir = tmp_path_factory.mktemp("other-certs")
+    module = _gen_dev_cert()
+    return module.generate_dev_cert(str(out_dir))
+
+
+def test_dev_cert_generator_output(dev_cert):
+    cert, key = dev_cert
+    cert_text = pathlib.Path(cert).read_text()
+    key_text = pathlib.Path(key).read_text()
+    assert "BEGIN CERTIFICATE" in cert_text
+    assert "PRIVATE KEY" in key_text
+    # The key is secret material: owner-only permissions.
+    mode = pathlib.Path(key).stat().st_mode & 0o777
+    assert mode == 0o600
+    # The pair must actually load as an SSL identity.
+    server_ssl_context(cert, key)
+    client_ssl_context(cert)
+
+
+async def _tls_serving(engine, dev_cert, gate=None):
+    cert, key = dev_cert
+    server = TrustedServer(engine)
+    transport = TcpTransport(
+        server,
+        ssl_context=server_ssl_context(cert, key),
+        gate=gate,
+    )
+    host, port = await transport.start()
+    return server, transport, host, port
+
+
+def first_request(workload):
+    return next(i for i in workload.timeline if i.is_request)
+
+
+def first_update(workload):
+    return next(i for i in workload.timeline if not i.is_request)
+
+
+def test_tls_end_to_end(engine, workload, dev_cert):
+    async def run():
+        server, transport, host, port = await _tls_serving(
+            engine, dev_cert
+        )
+        client = await ServeClient.connect(
+            host, port, ssl=client_ssl_context(dev_cert[0])
+        )
+        update = first_update(workload)
+        ack = await client.update(
+            update.user_id,
+            update.location.x,
+            update.location.y,
+            update.location.t,
+        )
+        assert isinstance(ack, UpdateAck)
+        request = first_request(workload)
+        decision = await client.request(
+            request.user_id,
+            request.location.x,
+            request.location.y,
+            request.location.t,
+            service=request.service,
+        )
+        assert isinstance(decision, DecisionReply)
+        stats = await client.stats()
+        assert stats.served == 2
+        await client.close()
+        await transport.stop()
+        await server.close()
+
+    asyncio.run(run())
+
+
+def test_tls_client_rejects_unpinned_server(
+    engine, dev_cert, other_cert
+):
+    """The pin binds the dial to one key holder, not just "some TLS"."""
+
+    async def run():
+        server, transport, host, port = await _tls_serving(
+            engine, dev_cert
+        )
+        try:
+            with pytest.raises(ssl.SSLError):
+                await ServeClient.connect(
+                    host, port, ssl=client_ssl_context(other_cert[0])
+                )
+        finally:
+            await transport.stop()
+            await server.close()
+
+    asyncio.run(run())
+
+
+def test_plaintext_client_cannot_speak_to_tls_port(engine, dev_cert):
+    async def run():
+        server, transport, host, port = await _tls_serving(
+            engine, dev_cert
+        )
+        try:
+            with pytest.raises((ServeClientError, OSError)):
+                await ServeClient.connect(host, port)
+        finally:
+            await transport.stop()
+            await server.close()
+
+    asyncio.run(run())
+
+
+def test_gated_tls_bad_token_typed_rejection(engine, dev_cert):
+    async def run():
+        gate = ConnectionGate(GateConfig(tokens=(TOKEN,)))
+        server, transport, host, port = await _tls_serving(
+            engine, dev_cert, gate=gate
+        )
+        ctx = client_ssl_context(dev_cert[0])
+        try:
+            with pytest.raises(ServeClientError) as exc_info:
+                await ServeClient.connect(
+                    host, port, ssl=ctx, token="wrong"
+                )
+            rejection = exc_info.value.reply
+            assert isinstance(rejection, ErrorReply)
+            assert rejection.code == "bad_token"
+            # The refusal happened at the gate: no session, no serving.
+            assert server.served == 0
+            assert gate.rejected == {"bad_token": 1}
+            assert gate.admitted_connections == 0
+            # The right token still gets in afterwards.
+            client = await ServeClient.connect(
+                host, port, ssl=ctx, token=TOKEN
+            )
+            assert gate.admitted_connections == 1
+            await client.close()
+        finally:
+            await transport.stop()
+            await server.close()
+
+    asyncio.run(run())
+
+
+def test_gated_tls_rate_limit_before_sequencer(
+    engine, workload, dev_cert
+):
+    async def run():
+        gate = ConnectionGate(
+            GateConfig(tokens=(TOKEN,), rate_limit=5.0, burst=2.0)
+        )
+        server, transport, host, port = await _tls_serving(
+            engine, dev_cert, gate=gate
+        )
+        client = await ServeClient.connect(
+            host,
+            port,
+            ssl=client_ssl_context(dev_cert[0]),
+            token=TOKEN,
+        )
+        try:
+            update = first_update(workload)
+            replies = await asyncio.gather(
+                *(
+                    client.update(
+                        update.user_id,
+                        update.location.x,
+                        update.location.y,
+                        update.location.t,
+                    )
+                    for _ in range(8)
+                )
+            )
+            limited = [
+                reply
+                for reply in replies
+                if isinstance(reply, ErrorReply)
+                and reply.code == "rate_limited"
+            ]
+            acked = [
+                reply
+                for reply in replies
+                if isinstance(reply, UpdateAck)
+            ]
+            assert limited and acked
+            assert all(
+                (reply.retry_after or 0.0) > 0.0 for reply in limited
+            )
+            # The defining property: rejections never reached the
+            # sequencer — the server served exactly the admitted ops.
+            assert server.served == len(acked) == gate.admitted_ops
+            assert gate.rejected["rate_limited"] == len(limited)
+        finally:
+            await client.close()
+            await transport.stop()
+            await server.close()
+
+    asyncio.run(run())

@@ -1,0 +1,154 @@
+"""Self-signed dev certificate generator for the TLS transport.
+
+Produces a cert/key pair good enough for the CA-pinning trust model of
+:func:`repro.serve.transports.client_ssl_context`: the server presents
+the cert, clients pin the very same file as their only trust anchor.
+Nothing here is meant for a public PKI — the cert is self-signed, valid
+for ``127.0.0.1`` / ``localhost``, and uses an EC P-256 key so
+generation is fast enough to run per-CI-job.
+
+Two backends, picked automatically:
+
+* the ``cryptography`` package when importable (the dev image has it);
+* the ``openssl`` CLI otherwise (the CI image installs only the
+  numeric stack, but ships openssl).
+
+Usage::
+
+    python tools/gen_dev_cert.py --out-dir certs/
+    # -> certs/dev-cert.pem  certs/dev-key.pem
+
+or from code: ``generate_dev_cert(out_dir)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import os
+import subprocess
+import sys
+
+CERT_NAME = "dev-cert.pem"
+KEY_NAME = "dev-key.pem"
+_SUBJECT = "repro-serve-dev"
+_DAYS = 825
+
+
+def _generate_with_cryptography(
+    cert_path: str, key_path: str
+) -> None:
+    from cryptography import x509
+    from cryptography.hazmat.primitives import hashes, serialization
+    from cryptography.hazmat.primitives.asymmetric import ec
+    from cryptography.x509.oid import NameOID
+    import ipaddress
+
+    key = ec.generate_private_key(ec.SECP256R1())
+    name = x509.Name(
+        [x509.NameAttribute(NameOID.COMMON_NAME, _SUBJECT)]
+    )
+    now = datetime.datetime.now(datetime.timezone.utc)
+    cert = (
+        x509.CertificateBuilder()
+        .subject_name(name)
+        .issuer_name(name)
+        .public_key(key.public_key())
+        .serial_number(x509.random_serial_number())
+        .not_valid_before(now - datetime.timedelta(minutes=5))
+        .not_valid_after(now + datetime.timedelta(days=_DAYS))
+        .add_extension(
+            x509.SubjectAlternativeName(
+                [
+                    x509.IPAddress(
+                        ipaddress.IPv4Address("127.0.0.1")
+                    ),
+                    x509.DNSName("localhost"),
+                ]
+            ),
+            critical=False,
+        )
+        .add_extension(
+            x509.BasicConstraints(ca=True, path_length=None),
+            critical=True,
+        )
+        .sign(key, hashes.SHA256())
+    )
+    with open(key_path, "wb") as handle:
+        handle.write(
+            key.private_bytes(
+                serialization.Encoding.PEM,
+                serialization.PrivateFormat.PKCS8,
+                serialization.NoEncryption(),
+            )
+        )
+    with open(cert_path, "wb") as handle:
+        handle.write(cert.public_bytes(serialization.Encoding.PEM))
+
+
+def _generate_with_openssl(cert_path: str, key_path: str) -> None:
+    subprocess.run(
+        [
+            "openssl",
+            "req",
+            "-x509",
+            "-newkey",
+            "ec",
+            "-pkeyopt",
+            "ec_paramgen_curve:prime256v1",
+            "-keyout",
+            key_path,
+            "-out",
+            cert_path,
+            "-days",
+            str(_DAYS),
+            "-nodes",
+            "-subj",
+            f"/CN={_SUBJECT}",
+            "-addext",
+            "subjectAltName=IP:127.0.0.1,DNS:localhost",
+            "-addext",
+            "basicConstraints=critical,CA:TRUE",
+        ],
+        check=True,
+        capture_output=True,
+    )
+
+
+def generate_dev_cert(out_dir: str) -> tuple[str, str]:
+    """Write ``dev-cert.pem`` / ``dev-key.pem``; returns their paths.
+
+    The key file is chmod 0600 — ``ssl`` does not care, but leaving a
+    private key world-readable is a habit not worth teaching.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    cert_path = os.path.join(out_dir, CERT_NAME)
+    key_path = os.path.join(out_dir, KEY_NAME)
+    try:
+        import cryptography  # noqa: F401
+
+        _generate_with_cryptography(cert_path, key_path)
+    except ImportError:
+        _generate_with_openssl(cert_path, key_path)
+    os.chmod(key_path, 0o600)
+    return cert_path, key_path
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate a self-signed dev TLS cert/key pair."
+    )
+    parser.add_argument(
+        "--out-dir",
+        default="certs",
+        help="directory for dev-cert.pem / dev-key.pem (default: certs)",
+    )
+    args = parser.parse_args(argv)
+    cert_path, key_path = generate_dev_cert(args.out_dir)
+    print(f"cert: {cert_path}")
+    print(f"key:  {key_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

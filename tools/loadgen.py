@@ -32,6 +32,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.serve.gate import GateConfig  # noqa: E402
 from repro.serve.loadgen import (  # noqa: E402
     LoadgenConfig,
     WorkloadConfig,
@@ -64,9 +65,12 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
     )
     parser.add_argument(
         "--transport",
-        choices=("tcp", "loopback"),
+        choices=("tcp", "tls", "http", "loopback"),
         default="tcp",
-        help="tcp (real sockets, default) or in-process loopback",
+        help=(
+            "tcp (plaintext sockets, default), tls (NDJSON over TLS), "
+            "http (POST /v1/frame bodies), or in-process loopback"
+        ),
     )
     parser.add_argument(
         "--host",
@@ -75,6 +79,56 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
     )
     parser.add_argument(
         "--port", type=int, default=None, help="external daemon port"
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="bearer token sent in the hello (gated daemons)",
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        help="server certificate for self-hosted TLS runs",
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        help="server private key for self-hosted TLS runs",
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        help=(
+            "trust anchor to pin when dialing (defaults to --tls-cert "
+            "for self-signed dev certs)"
+        ),
+    )
+    parser.add_argument(
+        "--reconnect",
+        type=int,
+        default=0,
+        help="re-dial dropped sockets up to N times with backoff",
+    )
+    parser.add_argument(
+        "--gate-rate",
+        type=float,
+        default=None,
+        help=(
+            "install a connection gate on the self-hosted server with "
+            "this per-client ops/s budget (with --token: auth too)"
+        ),
+    )
+    parser.add_argument(
+        "--gate-burst",
+        type=float,
+        default=None,
+        help="gate bucket burst capacity (default: one second of rate)",
+    )
+    parser.add_argument(
+        "--gate-max-connections",
+        type=int,
+        default=None,
+        help="gate concurrent-connection cap (self-hosted runs)",
     )
     parser.add_argument(
         "--seed", type=int, default=11, help="workload seed (default: 11)"
@@ -148,6 +202,20 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = parse_args(argv)
+    gate = None
+    if args.host is None and (
+        args.token is not None
+        or args.gate_rate is not None
+        or args.gate_max_connections is not None
+    ):
+        # Self-hosted runs exercise the gate they would face in
+        # production: the offered token is also the accepted one.
+        gate = GateConfig(
+            tokens=(args.token,) if args.token is not None else None,
+            rate_limit=args.gate_rate,
+            burst=args.gate_burst,
+            max_connections=args.gate_max_connections,
+        )
     config = LoadgenConfig(
         workload=WorkloadConfig(
             seed=args.seed,
@@ -164,6 +232,12 @@ def main(argv: "list[str] | None" = None) -> int:
         transport=args.transport,
         host=args.host,
         port=args.port,
+        token=args.token,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+        tls_ca=args.tls_ca,
+        gate=gate,
+        reconnect=args.reconnect,
         include_updates=not args.requests_only,
         verify=args.verify,
         retries=args.retries,

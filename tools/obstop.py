@@ -52,6 +52,8 @@ from repro.obs.export import (  # noqa: E402
 )
 from repro.serve.client import ServeClient, ServeClientError  # noqa: E402
 from repro.serve.fleet import collect_fleet  # noqa: E402
+from repro.serve.http import HttpServeClient  # noqa: E402
+from repro.serve.transports import client_ssl_context  # noqa: E402
 
 #: Canonical engine stage order (the pipeline's six stages) — stages
 #: appear in this order first, anything else alphabetically after.
@@ -256,7 +258,11 @@ async def run_fleet(args: argparse.Namespace) -> int:
     healthy = True
     while rounds <= 0 or i < rounds:
         view = await collect_fleet(
-            list(args.target), trace_limit=args.traces
+            list(args.target),
+            trace_limit=args.traces,
+            transport=args.transport,
+            tls_ca=args.tls_ca,
+            token=args.token,
         )
         print("\n".join(render_fleet(view)), flush=True)
         healthy = view.healthy
@@ -273,9 +279,28 @@ async def run_fleet(args: argparse.Namespace) -> int:
 async def run(args: argparse.Namespace) -> int:
     if args.target:
         return await run_fleet(args)
-    client = await ServeClient.connect(
-        args.host, args.port, client="obstop"
+    ssl_context = (
+        client_ssl_context(args.tls_ca)
+        if args.tls_ca is not None
+        else None
     )
+    client: Any
+    if args.transport == "http":
+        client = await HttpServeClient.connect(
+            args.host,
+            args.port,
+            client="obstop",
+            ssl=ssl_context,
+            token=args.token,
+        )
+    else:
+        client = await ServeClient.connect(
+            args.host,
+            args.port,
+            client="obstop",
+            ssl=ssl_context,
+            token=args.token,
+        )
     healthy = True
     try:
         prev: dict | None = None
@@ -337,6 +362,23 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         type=int,
         default=8,
         help="recent traces to fetch per refresh (default: 8)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("tcp", "tls", "http"),
+        default="tcp",
+        help="how to dial the daemon(s) (default: tcp)",
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help="pin this trust anchor when dialing (implies TLS)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="bearer token for gated daemons",
     )
     args = parser.parse_args(argv)
     if not args.target and args.port is None:

@@ -30,6 +30,14 @@ uses; workers announce ``{"repro_worker": w, "port": p, "applied":
 
 Every shape serves the same NDJSON protocol and drains gracefully on
 SIGINT/SIGTERM or a client ``drain`` op.
+
+Hardening flags apply to every shape and compose freely:
+``--tls-cert/--tls-key`` serve TLS (generate a dev pair with
+``tools/gen_dev_cert.py``), ``--token``/``--token-file`` require a
+bearer token in the hello, ``--gate-rate``/``--gate-burst``/
+``--gate-max-connections`` rate-limit admitted clients, and
+``--http-port`` adds an HTTP/1.1 frontend (``POST /v1/frame``) sharing
+the same TLS context and gate.
 """
 
 from __future__ import annotations
@@ -45,6 +53,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs.config import TelemetryConfig  # noqa: E402
+from repro.serve.gate import (  # noqa: E402
+    ConnectionGate,
+    GateConfig,
+    load_tokens,
+)
+from repro.serve.http import HttpTransport  # noqa: E402
 from repro.serve.loadgen import (  # noqa: E402
     WorkloadConfig,
     build_engine,
@@ -57,7 +71,10 @@ from repro.serve.supervisor import (  # noqa: E402
     announce,
     worker_shards,
 )
-from repro.serve.transports import TcpTransport  # noqa: E402
+from repro.serve.transports import (  # noqa: E402
+    TcpTransport,
+    server_ssl_context,
+)
 from repro.serve.wal import WalConfig  # noqa: E402
 
 
@@ -147,6 +164,61 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         help="shard identity stamped onto every span record",
     )
     parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help="serve TLS with this certificate (requires --tls-key)",
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key matching --tls-cert",
+    )
+    parser.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "accept this bearer token (repeatable); with any --token/"
+            "--token-file, unauthenticated hellos earn bad_token"
+        ),
+    )
+    parser.add_argument(
+        "--token-file",
+        default=None,
+        metavar="PATH",
+        help="accept the tokens in this file (one per line, # comments)",
+    )
+    parser.add_argument(
+        "--gate-rate",
+        type=float,
+        default=None,
+        help="per-client token-bucket rate limit, ops/s",
+    )
+    parser.add_argument(
+        "--gate-burst",
+        type=float,
+        default=None,
+        help="gate bucket burst capacity (default: one second of rate)",
+    )
+    parser.add_argument(
+        "--gate-max-connections",
+        type=int,
+        default=None,
+        help="cap on concurrent gated connections",
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help=(
+            "also serve HTTP/1.1 (POST /v1/frame) on this port "
+            "(0 = ephemeral); shares the TLS context and gate"
+        ),
+    )
+    parser.add_argument(
         "--index-cell-size",
         type=float,
         default=None,
@@ -166,6 +238,8 @@ def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
         args.shards = args.workers
     if args.workers and args.data_dir is None:
         parser.error("--workers requires --data-dir")
+    if (args.tls_cert is None) != (args.tls_key is None):
+        parser.error("--tls-cert and --tls-key go together")
     if args.worker_index is not None and (
         not args.workers or not args.shards or args.data_dir is None
     ):
@@ -211,6 +285,80 @@ def _telemetry_config(
     )
 
 
+def _build_gate(args: argparse.Namespace, telemetry) -> (
+    "ConnectionGate | None"
+):
+    """The daemon's admission gate; None when every knob is off."""
+    tokens = load_tokens(args.token, args.token_file)
+    if (
+        tokens is None
+        and args.gate_rate is None
+        and args.gate_max_connections is None
+    ):
+        return None
+    return ConnectionGate(
+        GateConfig(
+            tokens=tokens,
+            rate_limit=args.gate_rate,
+            burst=args.gate_burst,
+            max_connections=args.gate_max_connections,
+        ),
+        telemetry=telemetry,
+    )
+
+
+async def _start_frontends(args: argparse.Namespace, server) -> (
+    "list[TcpTransport | HttpTransport]"
+):
+    """Start the public frontends of one backend (any daemon shape).
+
+    Always the NDJSON TCP listener; an HTTP listener too when
+    ``--http-port`` was given.  Both share one TLS context and one
+    gate, so policy is identical no matter how a client dials in.
+    """
+    gate = _build_gate(args, server.telemetry)
+    ssl_ctx = (
+        server_ssl_context(args.tls_cert, args.tls_key)
+        if args.tls_cert is not None
+        else None
+    )
+    transports: "list[TcpTransport | HttpTransport]" = [
+        TcpTransport(
+            server, args.host, args.port, ssl_context=ssl_ctx, gate=gate
+        )
+    ]
+    if args.http_port is not None:
+        transports.append(
+            HttpTransport(
+                server,
+                args.host,
+                args.http_port,
+                ssl_context=ssl_ctx,
+                gate=gate,
+            )
+        )
+    for transport in transports:
+        await transport.start()
+    return transports
+
+
+def _frontend_banner(
+    args: argparse.Namespace,
+    transports: "list[TcpTransport | HttpTransport]",
+    label: str = "",
+) -> str:
+    tcp = transports[0]
+    scheme = "tls" if args.tls_cert is not None else "tcp"
+    parts = [f"repro-ts{label} listening on {tcp.host}:{tcp.port}"]
+    if scheme == "tls":
+        parts.append("(tls)")
+    if args.token or args.token_file:
+        parts.append("(auth)")
+    for extra in transports[1:]:
+        parts.append(f"http on {extra.host}:{extra.port}")
+    return " ".join(parts)
+
+
 async def serve_single(args: argparse.Namespace) -> int:
     """The seed shape: one engine, one sequencer."""
     workload_config = _workload_config(args)
@@ -221,13 +369,13 @@ async def serve_single(args: argparse.Namespace) -> int:
     server = TrustedServer(
         engine, _serve_config(args), slo_rules=args.slo
     )
-    transport = TcpTransport(server, args.host, args.port)
-    host, port = await transport.start()
-    print(f"repro-ts listening on {host}:{port}", flush=True)
+    transports = await _start_frontends(args, server)
+    print(_frontend_banner(args, transports), flush=True)
     await _wait_for_stop()
     print("repro-ts draining", flush=True)
     reply = await server.drain()
-    await transport.stop()
+    for transport in transports:
+        await transport.stop()
     await server.close()
     print(
         f"repro-ts drained: served={reply.served} shed={reply.shed} "
@@ -261,18 +409,22 @@ async def serve_sharded(
         shard_ids=shard_ids,
     )
     await router.start()
-    transport = TcpTransport(router, args.host, args.port)
-    host, port = await transport.start()
+    transports = await _start_frontends(args, router)
     if worker_index is not None:
         print(
-            announce(worker_index, port, router.applied_seqs()),
+            announce(
+                worker_index,
+                transports[0].port,
+                router.applied_seqs(),
+            ),
             flush=True,
         )
     else:
-        print(f"repro-ts listening on {host}:{port}", flush=True)
+        print(_frontend_banner(args, transports), flush=True)
     await _wait_for_stop()
     reply = await router.drain()
-    await transport.stop()
+    for transport in transports:
+        await transport.stop()
     await router.close()
     if worker_index is None:
         print(
@@ -305,16 +457,16 @@ async def serve_supervised(args: argparse.Namespace) -> int:
         daemon_path=Path(__file__).resolve(),
     )
     await supervisor.start()
-    transport = TcpTransport(supervisor, args.host, args.port)
-    host, port = await transport.start()
+    transports = await _start_frontends(args, supervisor)
     print(
-        f"repro-ts supervisor listening on {host}:{port} "
-        f"(workers={args.workers} shards={args.shards})",
+        _frontend_banner(args, transports, label=" supervisor")
+        + f" (workers={args.workers} shards={args.shards})",
         flush=True,
     )
     await _wait_for_stop()
     print("repro-ts draining", flush=True)
-    await transport.stop()
+    for transport in transports:
+        await transport.stop()
     await supervisor.close()
     print("repro-ts drained", flush=True)
     return 0
